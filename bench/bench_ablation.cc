@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablations of design constants the paper fixes without a figure:
+ *  - barrier TTL (paper default 128 cycles): too short and barriers die
+ *    between bursts; too long and stale barriers stop uncontended
+ *    acquires;
+ *  - spin interval of the polling loops;
+ *  - QSL sleep/wakeup cost (the OS-path weight OCOR trades against).
+ * Each sweep reports iNPG's ROI relative to Original on a contended
+ * program, holding everything else at paper defaults.
+ */
+
+#include "bench_util.hh"
+
+using namespace inpg;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    const BenchmarkProfile &p = benchmarkByName(
+        opts.overrides.getString("benchmark", "freq"));
+    std::printf("=== Ablations (program '%s') ===\n\n",
+                p.fullName.c_str());
+
+    {
+        TablePrinter t("barrier TTL (cycles) -- paper default 128");
+        t.header({"TTL", "ROI Original", "ROI iNPG", "iNPG rel."});
+        for (Cycle ttl : {16u, 64u, 128u, 512u}) {
+            SystemConfig sc = opts.systemConfig();
+            sc.inpg.barrierTtl = ttl;
+            AveragedResult base =
+                runPoint(p, sc, Mechanism::Original, opts);
+            AveragedResult inpg = runPoint(p, sc, Mechanism::Inpg, opts);
+            t.row({std::to_string(ttl), fixed(base.roiCycles, 0),
+                   fixed(inpg.roiCycles, 0),
+                   pct(inpg.roiCycles / base.roiCycles)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    {
+        TablePrinter t("spin interval (cycles) -- default 16");
+        t.header({"interval", "ROI Original", "ROI iNPG", "iNPG rel."});
+        for (Cycle si : {8u, 16u, 32u, 64u}) {
+            SystemConfig sc = opts.systemConfig();
+            sc.sync.spinInterval = si;
+            AveragedResult base =
+                runPoint(p, sc, Mechanism::Original, opts);
+            AveragedResult inpg = runPoint(p, sc, Mechanism::Inpg, opts);
+            t.row({std::to_string(si), fixed(base.roiCycles, 0),
+                   fixed(inpg.roiCycles, 0),
+                   pct(inpg.roiCycles / base.roiCycles)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    {
+        TablePrinter t("QSL context-switch + wakeup cost (cycles each)");
+        t.header({"cost", "ROI Original", "sleeps", "ROI iNPG",
+                  "iNPG rel."});
+        for (Cycle cost : {500u, 1500u, 4000u}) {
+            SystemConfig sc = opts.systemConfig();
+            sc.sync.contextSwitchCost = cost;
+            sc.sync.wakeupCost = cost;
+            AveragedResult base =
+                runPoint(p, sc, Mechanism::Original, opts);
+            AveragedResult inpg = runPoint(p, sc, Mechanism::Inpg, opts);
+            t.row({std::to_string(cost), fixed(base.roiCycles, 0),
+                   fixed(base.sleeps, 0), fixed(inpg.roiCycles, 0),
+                   pct(inpg.roiCycles / base.roiCycles)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    return 0;
+}

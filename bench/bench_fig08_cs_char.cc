@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 8 -- critical-section characteristics of the 24 programs:
+ * (a) total CS count and mean cycles per CS, (b) the breakdown of the
+ * total CS time into competition overhead (COH) and CS execution
+ * (CSE), with the group assignment used by Figures 11/12/14.
+ */
+
+#include <algorithm>
+
+#include "bench_util.hh"
+
+using namespace inpg;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+
+    struct Row {
+        BenchmarkProfile p;
+        AveragedResult r;
+        double csTotal;
+    };
+    std::vector<Row> rows;
+    for (const auto &p : opts.benchmarks()) {
+        SystemConfig sc = opts.systemConfig();
+        Row row{p, runPoint(p, sc, Mechanism::Original, opts), 0};
+        row.csTotal = row.r.cohCycles + row.r.cseCycles;
+        rows.push_back(row);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &a, const Row &b) {
+                  return a.csTotal < b.csTotal;
+              });
+
+    std::printf("=== Figure 8a: total CS accesses & mean cycles per CS "
+                "===\n\n");
+    TablePrinter a("programs sorted by total CS time (ascending)");
+    a.header({"program", "suite", "group", "CS accesses (paper)",
+              "CS simulated", "mean CS cycles"});
+    for (const auto &row : rows) {
+        double mean_cse = row.r.csCompleted > 0
+            ? row.r.cseCycles / row.r.csCompleted
+            : 0;
+        a.row({row.p.fullName,
+               row.p.suite == Suite::Parsec ? "PARSEC" : "OMP2012",
+               std::to_string(row.p.group),
+               std::to_string(row.p.totalCs),
+               fixed(row.r.csCompleted, 0), fixed(mean_cse, 1)});
+    }
+    std::printf("%s\n", a.render().c_str());
+
+    std::printf("=== Figure 8b: COH vs CSE breakdown of total CS time "
+                "===\n\n");
+    TablePrinter b("COH dominates CSE (paper's central observation)");
+    b.header({"program", "group", "COH (thread-cycles)",
+              "CSE (thread-cycles)", "COH share"});
+    double coh_sum = 0;
+    double cse_sum = 0;
+    for (const auto &row : rows) {
+        coh_sum += row.r.cohCycles;
+        cse_sum += row.r.cseCycles;
+        b.row({row.p.fullName, std::to_string(row.p.group),
+               fixed(row.r.cohCycles, 0), fixed(row.r.cseCycles, 0),
+               pct(row.r.cohCycles / (row.r.cohCycles + row.r.cseCycles))});
+    }
+    b.separator();
+    b.row({"ALL", "-", fixed(coh_sum, 0), fixed(cse_sum, 0),
+           pct(coh_sum / (coh_sum + cse_sum))});
+    std::printf("%s\n", b.render().c_str());
+    std::printf("Shape to hold: COH > CSE for nearly every program, and "
+                "group 3 programs carry the largest totals.\n");
+    return 0;
+}

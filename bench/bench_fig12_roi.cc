@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 12 -- application Region-of-Interest finish time relative to
+ * Original (100%) for the four mechanisms, per group and overall
+ * (paper: OCOR 87.7%, iNPG 80.1%, iNPG+OCOR 75.3% overall; iNPG over
+ * OCOR 7.8% avg / 14.7% max with bt331).
+ */
+
+#include "bench_util.hh"
+
+using namespace inpg;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    std::printf("=== Figure 12: relative ROI finish time (Original = "
+                "100%%) ===\n\n");
+
+    TablePrinter t("per-benchmark relative ROI finish time");
+    t.header({"program", "group", "OCOR", "iNPG", "iNPG+OCOR",
+              "iNPG vs OCOR"});
+
+    const Mechanism mechs[] = {Mechanism::Ocor, Mechanism::Inpg,
+                               Mechanism::InpgOcor};
+    double group_sum[4][3] = {};
+    int group_n[4] = {};
+    double best_gain_vs_ocor = 0;
+    std::string best_name;
+
+    for (const auto &p : opts.benchmarks()) {
+        SystemConfig sc = opts.systemConfig();
+        AveragedResult base =
+            runPoint(p, sc, Mechanism::Original, opts);
+        double rel[3];
+        std::vector<std::string> cells{p.fullName,
+                                       std::to_string(p.group)};
+        for (int i = 0; i < 3; ++i) {
+            AveragedResult r = runPoint(p, sc, mechs[i], opts);
+            rel[i] = r.roiCycles / base.roiCycles;
+            cells.push_back(pct(rel[i]));
+            group_sum[p.group][i] += rel[i];
+        }
+        double gain = 1.0 - rel[1] / rel[0];
+        cells.push_back((gain >= 0 ? "-" : "+") +
+                        pct(gain >= 0 ? gain : -gain));
+        if (gain > best_gain_vs_ocor) {
+            best_gain_vs_ocor = gain;
+            best_name = p.fullName;
+        }
+        ++group_n[p.group];
+        t.row(cells);
+    }
+
+    t.separator();
+    int n_all = 0;
+    double sum_all[3] = {};
+    for (int g = 1; g <= 3; ++g) {
+        if (group_n[g] == 0)
+            continue;
+        std::vector<std::string> cells{
+            "Group " + std::to_string(g) + " avg", std::to_string(g)};
+        for (int i = 0; i < 3; ++i) {
+            cells.push_back(pct(group_sum[g][i] / group_n[g]));
+            sum_all[i] += group_sum[g][i];
+        }
+        cells.push_back("");
+        n_all += group_n[g];
+        t.row(cells);
+    }
+    t.separator();
+    std::vector<std::string> all{"ALL avg", "-"};
+    for (int i = 0; i < 3; ++i)
+        all.push_back(pct(sum_all[i] / n_all));
+    double avg_gain = 1.0 - (sum_all[1] / n_all) / (sum_all[0] / n_all);
+    all.push_back((avg_gain >= 0 ? "-" : "+") +
+                  pct(avg_gain >= 0 ? avg_gain : -avg_gain));
+    t.row(all);
+
+    std::printf("%s\n", t.render().c_str());
+    std::printf("iNPG improves ROI over OCOR by %.1f%% on average and "
+                "%.1f%% at maximum (%s).\n",
+                100.0 * avg_gain, 100.0 * best_gain_vs_ocor,
+                best_name.c_str());
+    std::printf("Paper reference: OCOR 87.7%%, iNPG 80.1%%, iNPG+OCOR "
+                "75.3%% overall; group trends 1 < 2 < 3; iNPG over OCOR "
+                "7.8%% avg / 14.7%% max (bt331).\n");
+    return 0;
+}

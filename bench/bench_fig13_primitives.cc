@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 13 -- iNPG's ROI finish-time reduction under the five locking
+ * primitives (paper averages: TAS 52.8%, TTL 33.4%, ABQL 32.6%, QSL
+ * 19.9%, MCS 16.5% -- the more lock-competition traffic a primitive
+ * generates, the more iNPG helps).
+ */
+
+#include "bench_util.hh"
+
+using namespace inpg;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    std::printf("=== Figure 13: iNPG ROI reduction per locking "
+                "primitive ===\n\n");
+
+    const LockKind kinds[] = {LockKind::Tas, LockKind::Ticket,
+                              LockKind::Abql, LockKind::Qsl,
+                              LockKind::Mcs};
+
+    TablePrinter t("ROI finish time with iNPG relative to Original");
+    t.header({"program", "TAS", "TTL", "ABQL", "QSL", "MCS"});
+
+    double sums[5] = {};
+    int n = 0;
+    for (const auto &p : opts.benchmarks()) {
+        std::vector<std::string> cells{p.fullName};
+        for (int i = 0; i < 5; ++i) {
+            SystemConfig sc = opts.systemConfig();
+            sc.lockKind = kinds[i];
+            AveragedResult base =
+                runPoint(p, sc, Mechanism::Original, opts);
+            AveragedResult inpg =
+                runPoint(p, sc, Mechanism::Inpg, opts);
+            double rel = inpg.roiCycles / base.roiCycles;
+            sums[i] += rel;
+            cells.push_back(pct(rel));
+        }
+        ++n;
+        t.row(cells);
+    }
+    t.separator();
+    std::vector<std::string> avg{"AVG (reduction)"};
+    for (int i = 0; i < 5; ++i) {
+        double red = 1.0 - sums[i] / n;
+        avg.push_back((red >= 0 ? "-" : "+") +
+                      pct(red >= 0 ? red : -red));
+    }
+    t.row(avg);
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Paper reference reductions: TAS 52.8%%, TTL 33.4%%, "
+                "ABQL 32.6%%, QSL 19.9%%, MCS 16.5%%.\n");
+    return 0;
+}

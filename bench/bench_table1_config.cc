@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table 1 -- simulation platform configuration. Prints the exact
+ * parameters of each of the four comparative cases as built by the
+ * harness (the runtime counterpart of the paper's configuration table).
+ */
+
+#include "bench_util.hh"
+
+using namespace inpg;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    std::printf("=== Table 1: simulation platform configurations ===\n\n");
+
+    TablePrinter t("Platform (paper Table 1)");
+    t.header({"item", "amount", "description"});
+    SystemConfig sc = opts.systemConfig();
+    sc.finalize();
+    t.row({"Core", std::to_string(sc.numCores()) + " cores",
+           "in-order lock/compute thread model @ 2.0 GHz"});
+    t.row({"L1-Cache", std::to_string(sc.numCores()) + " banks",
+           "private, " + std::to_string(sc.coh.lineSize) + " B blocks, " +
+               std::to_string(sc.coh.l1Latency) + "-cycle latency"});
+    t.row({"L2-Cache", std::to_string(sc.numCores()) + " banks",
+           "shared, directory MOESI, " +
+               std::to_string(sc.coh.l2Latency) + "-cycle latency"});
+    t.row({"Memory", "8 ranks",
+           std::to_string(sc.coh.memLatency) +
+               "-cycle DRAM, 8 memory controllers"});
+    t.row({"NoC", std::to_string(sc.numCores()) + " nodes",
+           std::to_string(sc.noc.meshWidth) + "x" +
+               std::to_string(sc.noc.meshHeight) +
+               " mesh, XY routing, 2-stage routers, " +
+               std::to_string(sc.noc.vcsPerVnet) + " VCs/vnet x " +
+               std::to_string(sc.noc.numVnets) + " vnets, " +
+               std::to_string(sc.noc.vcDepth) + " flits/VC, 128-bit"});
+    t.row({"OCOR", "-",
+           std::to_string(sc.sync.ocor.priorityLevels) +
+               " priority levels, " +
+               std::to_string(sc.sync.ocor.retriesPerLevel) +
+               " retries/level, " +
+               std::to_string(sc.sync.qslRetryLimit) + " retry budget"});
+    t.row({"iNPG", "-",
+           std::to_string(sc.inpg.numBigRouters) + " big routers, " +
+               std::to_string(sc.inpg.barrierEntries) +
+               "-entry locking barrier table, TTL " +
+               std::to_string(sc.inpg.barrierTtl)});
+    std::printf("%s\n", t.render().c_str());
+
+    for (Mechanism m : ALL_MECHANISMS) {
+        SystemConfig c = opts.systemConfig();
+        c.mechanism = m;
+        c.finalize();
+        std::printf("--- Case %s ---\n%s\n", mechanismName(m),
+                    c.describe().c_str());
+    }
+    return 0;
+}

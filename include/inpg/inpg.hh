@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Umbrella header of libinpg: the public API of the iNPG many-core
+ * simulation library.
+ *
+ * Typical use (see examples/quickstart.cpp):
+ *
+ *   #include <inpg/inpg.hh>
+ *
+ *   inpg::SystemConfig cfg;          // paper Table 1 defaults
+ *   cfg.mechanism = inpg::Mechanism::Inpg;
+ *
+ *   inpg::RunConfig rc;
+ *   rc.profile = inpg::benchmarkByName("freq");
+ *   rc.system = cfg;
+ *   inpg::RunResult r = inpg::runBenchmark(rc);
+ *
+ * Layering (each header usable on its own):
+ *   common/   types, logging, RNG, config, stats, histogram
+ *   sim/      cycle kernel + event queue
+ *   noc/      Garnet-style mesh NoC (flits, VCs, routers, NIs)
+ *   coh/      directory MOESI coherence substrate
+ *   inpg/     big routers: in-network packet generation (the paper's
+ *             contribution), locking barrier table, synthesis model
+ *   ocor/     OCOR baseline priority policy
+ *   sync/     lock primitives (TAS/TTL/ABQL/MCS/QSL) + thread contexts
+ *   workload/ PARSEC / SPEC OMP2012 benchmark profiles
+ *   harness/  system builder, mechanisms, experiment runner
+ */
+
+#ifndef INPG_INPG_HH
+#define INPG_INPG_HH
+
+#include "coh/coherent_system.hh"
+#include "coh/golden_memory.hh"
+#include "common/config.hh"
+#include "common/histogram.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "harness/experiment.hh"
+#include "harness/system.hh"
+#include "harness/table_printer.hh"
+#include "inpg/big_router.hh"
+#include "inpg/lock_barrier_table.hh"
+#include "inpg/synthesis_model.hh"
+#include "noc/network.hh"
+#include "ocor/ocor_policy.hh"
+#include "sim/simulator.hh"
+#include "sync/lock_manager.hh"
+#include "sync/thread_context.hh"
+#include "workload/benchmark_profile.hh"
+#include "workload/workload.hh"
+
+#endif // INPG_INPG_HH

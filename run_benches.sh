@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerate every paper table/figure (see README).
+for b in build/bench/bench_*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "################################################################"
+    echo "### $b"
+    echo "################################################################"
+    "$b" "$@"
+    echo
+done

@@ -1,0 +1,71 @@
+#include "coh/coherence_msg.hh"
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+const char *
+cohMsgKindName(CohMsgKind kind)
+{
+    switch (kind) {
+      case CohMsgKind::GetS:
+        return "GetS";
+      case CohMsgKind::GetX:
+        return "GetX";
+      case CohMsgKind::FwdGetS:
+        return "FwdGetS";
+      case CohMsgKind::FwdGetX:
+        return "FwdGetX";
+      case CohMsgKind::Inv:
+        return "Inv";
+      case CohMsgKind::Data:
+        return "Data";
+      case CohMsgKind::DataExcl:
+        return "DataExcl";
+      case CohMsgKind::AckCount:
+        return "AckCount";
+      case CohMsgKind::InvAck:
+        return "InvAck";
+    }
+    return "?";
+}
+
+VnetId
+vnetForKind(CohMsgKind kind)
+{
+    switch (kind) {
+      case CohMsgKind::GetS:
+      case CohMsgKind::GetX:
+        return VNET_REQUEST;
+      case CohMsgKind::FwdGetS:
+      case CohMsgKind::FwdGetX:
+      case CohMsgKind::Inv:
+        return VNET_FORWARD;
+      case CohMsgKind::Data:
+      case CohMsgKind::DataExcl:
+      case CohMsgKind::AckCount:
+      case CohMsgKind::InvAck:
+        return VNET_RESPONSE;
+    }
+    panic("bad message kind");
+}
+
+bool
+carriesData(CohMsgKind kind)
+{
+    return kind == CohMsgKind::Data || kind == CohMsgKind::DataExcl;
+}
+
+std::string
+CoherenceMsg::toString() const
+{
+    return format("%s addr=0x%llx req=%d coll=%d val=%llu acks=%d%s%s%s",
+                  cohMsgKindName(kind),
+                  static_cast<unsigned long long>(addr), requester,
+                  collector, static_cast<unsigned long long>(value),
+                  ackCount, isLock ? " lock" : "",
+                  earlyInvalidated ? " early" : "",
+                  fromBigRouter ? " viaBR" : "");
+}
+
+} // namespace inpg

@@ -1,0 +1,304 @@
+#include "coh/directory.hh"
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+namespace inpg {
+
+Directory::Directory(NodeId node_id, const CohConfig &config,
+                     Network &network, Simulator &simulator,
+                     MemoryController *memory, CohStats *coh_stats)
+    : node(node_id), cfg(config), net(network), sim(simulator),
+      mem(memory), cohStats(coh_stats)
+{
+    stats = StatGroup(format("dir%d", node_id));
+}
+
+std::string
+Directory::tickName() const
+{
+    return format("dir%d", node);
+}
+
+const Directory::DirEntry *
+Directory::entry(Addr addr) const
+{
+    auto it = entries.find(cfg.lineBase(addr));
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+void
+Directory::initValue(Addr addr, std::uint64_t value)
+{
+    DirEntry &e = entries[cfg.lineBase(addr)];
+    INPG_ASSERT(e.cold, "initValue on an already active line");
+    e.value = value;
+}
+
+void
+Directory::receiveMessage(const CohMsgPtr &msg, Cycle now)
+{
+    INPG_ASSERT(cfg.homeOf(msg->addr) == node,
+                "message homed at %d delivered to directory %d",
+                cfg.homeOf(msg->addr), node);
+    (void)now;
+    queue.push_back(msg);
+    ++stats.counter("msgs_received");
+}
+
+void
+Directory::tick(Cycle now)
+{
+    if (blockedOnFetch || queue.empty() || now < busyUntil)
+        return;
+
+    CohMsgPtr msg = queue.front();
+    queue.pop_front();
+    stats.sample("queue_depth_at_dequeue").add(
+        static_cast<double>(queue.size()));
+
+    const Cycle cost = msg->kind == CohMsgKind::InvAck ? cfg.dirAckLatency
+                                                       : cfg.l2Latency;
+    busyUntil = now + cost;
+
+    DirEntry &e = entries[cfg.lineBase(msg->addr)];
+    if (e.cold &&
+        (msg->kind == CohMsgKind::GetS || msg->kind == CohMsgKind::GetX)) {
+        // First touch: block the bank on the DRAM fetch, then service.
+        e.cold = false;
+        blockedOnFetch = true;
+        ++stats.counter("cold_misses");
+        mem->fetch(msg->addr, [this, msg] {
+            blockedOnFetch = false;
+            busyUntil = sim.now();
+            process(msg, sim.now());
+        });
+        return;
+    }
+
+    // Responses leave when the L2 access completes.
+    sim.events().schedule(busyUntil,
+                          [this, msg] { process(msg, sim.now()); });
+}
+
+void
+Directory::process(const CohMsgPtr &msg, Cycle now)
+{
+    INPG_TRACE_LINE("dir", now, "DIR %d PROC %s", node,
+                    msg->toString().c_str());
+    DirEntry &e = entries[cfg.lineBase(msg->addr)];
+    switch (msg->kind) {
+      case CohMsgKind::GetS:
+        processGetS(msg, e, now);
+        return;
+      case CohMsgKind::GetX:
+        processGetX(msg, e, now);
+        return;
+      case CohMsgKind::InvAck:
+        processEarlyInvAck(msg, e, now);
+        return;
+      default:
+        panic("directory %d cannot process %s", node,
+              msg->toString().c_str());
+    }
+}
+
+void
+Directory::processGetS(const CohMsgPtr &msg, DirEntry &e, Cycle now)
+{
+    ++stats.counter("gets");
+    const CoreId req = msg->requester;
+
+    if (e.owner != INVALID_NODE) {
+        // Owner supplies the data; it transitions M/E/O -> O.
+        auto fwd = std::make_shared<CoherenceMsg>();
+        fwd->kind = CohMsgKind::FwdGetS;
+        fwd->addr = msg->addr;
+        fwd->requester = req;
+        fwd->isLock = msg->isLock;
+        fwd->epoch = epochCounter;
+        e.sharers.insert(req);
+        send(fwd, e.owner, now);
+        ++stats.counter("fwd_gets");
+        return;
+    }
+
+    if (!e.sharers.empty()) {
+        e.sharers.insert(req);
+        auto data = std::make_shared<CoherenceMsg>();
+        data->kind = CohMsgKind::Data;
+        data->addr = msg->addr;
+        data->requester = req;
+        data->value = e.value;
+        data->isLock = msg->isLock;
+        send(data, req, now);
+        return;
+    }
+
+    // Uncached: grant exclusivity (MOESI E state).
+    e.owner = req;
+    auto data = std::make_shared<CoherenceMsg>();
+    data->kind = CohMsgKind::DataExcl;
+    data->addr = msg->addr;
+    data->requester = req;
+    data->value = e.value;
+    data->ackCount = 0;
+    data->isLock = msg->isLock;
+    send(data, req, now);
+    ++stats.counter("excl_grants");
+}
+
+void
+Directory::processGetX(const CohMsgPtr &msg, DirEntry &e, Cycle now)
+{
+    ++stats.counter("getx");
+    if (msg->earlyInvalidated)
+        ++stats.counter("getx_early_invalidated");
+    const CoreId req = msg->requester;
+
+    // Demotable lock acquires are answered with a shared copy while the
+    // lock is held (paper Fig. 4 Step 4): the requester becomes a
+    // sharer; no ownership transfer, no invalidations, no ack storm.
+    if (msg->demotable) {
+        if (e.owner != INVALID_NODE && e.owner != req) {
+            ++stats.counter("getx_demoted_via_owner");
+            e.sharers.insert(req);
+            auto fwd = std::make_shared<CoherenceMsg>();
+            fwd->kind = CohMsgKind::FwdGetS;
+            fwd->addr = msg->addr;
+            fwd->requester = req;
+            fwd->isLock = msg->isLock;
+            fwd->demoted = true;
+            fwd->epoch = epochCounter;
+            send(fwd, e.owner, now);
+            return;
+        }
+        if (e.owner == INVALID_NODE && e.value != 0) {
+            // The home holds the (locked) value: answer directly.
+            ++stats.counter("getx_demoted_at_home");
+            e.sharers.insert(req);
+            auto data = std::make_shared<CoherenceMsg>();
+            data->kind = CohMsgKind::Data;
+            data->addr = msg->addr;
+            data->requester = req;
+            data->value = e.value;
+            data->isLock = msg->isLock;
+            data->demoted = true;
+            send(data, req, now);
+            return;
+        }
+        // Lock appears free (or we already own it): fall through to the
+        // full exclusive path so the acquire can actually write.
+    }
+
+    const std::uint64_t epoch = ++epochCounter;
+
+    if (e.owner != INVALID_NODE) {
+        std::set<CoreId> to_inv = e.sharers;
+        to_inv.erase(req);
+        if (e.owner == req) {
+            // Upgrade from O: the requester already holds the data.
+            auto ack = std::make_shared<CoherenceMsg>();
+            ack->kind = CohMsgKind::AckCount;
+            ack->addr = msg->addr;
+            ack->requester = req;
+            ack->ackCount = static_cast<int>(to_inv.size());
+            ack->isLock = msg->isLock;
+            ack->epoch = epoch;
+            ack->ownerUpgrade = true;
+            send(ack, req, now);
+            ++stats.counter("upgrades");
+        } else {
+            to_inv.erase(e.owner);
+            auto fwd = std::make_shared<CoherenceMsg>();
+            fwd->kind = CohMsgKind::FwdGetX;
+            fwd->addr = msg->addr;
+            fwd->requester = req;
+            fwd->isLock = msg->isLock;
+            fwd->epoch = epoch;
+            send(fwd, e.owner, now);
+            ++stats.counter("fwd_getx");
+
+            auto ack = std::make_shared<CoherenceMsg>();
+            ack->kind = CohMsgKind::AckCount;
+            ack->addr = msg->addr;
+            ack->requester = req;
+            ack->ackCount = static_cast<int>(to_inv.size());
+            ack->isLock = msg->isLock;
+            ack->epoch = epoch;
+            send(ack, req, now);
+        }
+        sendInvalidations(to_inv, msg->addr, req, msg->isLock, epoch, now);
+        e.owner = req;
+        e.sharers.clear();
+        return;
+    }
+
+    // No owner: the home supplies data; invalidate all other sharers.
+    std::set<CoreId> to_inv = e.sharers;
+    to_inv.erase(req);
+    sendInvalidations(to_inv, msg->addr, req, msg->isLock, epoch, now);
+
+    auto data = std::make_shared<CoherenceMsg>();
+    data->kind = CohMsgKind::DataExcl;
+    data->addr = msg->addr;
+    data->requester = req;
+    data->value = e.value;
+    data->ackCount = static_cast<int>(to_inv.size());
+    data->isLock = msg->isLock;
+    data->epoch = epoch;
+    send(data, req, now);
+
+    e.owner = req;
+    e.sharers.clear();
+}
+
+void
+Directory::processEarlyInvAck(const CohMsgPtr &msg, DirEntry &e, Cycle now)
+{
+    INPG_ASSERT(msg->fromBigRouter,
+                "directory %d got a non-early InvAck: %s", node,
+                msg->toString().c_str());
+    (void)now;
+    ++stats.counter("early_acks");
+    // (The early Inv-Ack round trip was recorded at the relaying big
+    // router; here only the sharer list is trimmed.)
+    // The acking core's shared copy is gone; if it was still recorded
+    // as a sharer, the next GetX no longer needs to invalidate it.
+    if (e.sharers.erase(msg->requester))
+        ++stats.counter("early_acks_applied");
+    else
+        ++stats.counter("early_acks_stale");
+}
+
+void
+Directory::sendInvalidations(const std::set<CoreId> &targets, Addr addr,
+                             NodeId collector, bool is_lock,
+                             std::uint64_t epoch, Cycle now)
+{
+    for (CoreId c : targets) {
+        auto inv = std::make_shared<CoherenceMsg>();
+        inv->kind = CohMsgKind::Inv;
+        inv->addr = addr;
+        inv->requester = c;
+        inv->collector = collector;
+        inv->isLock = is_lock;
+        inv->epoch = epoch;
+        inv->invGeneratedAt = now;
+        send(inv, c, now);
+        ++stats.counter("invalidations_sent");
+    }
+}
+
+void
+Directory::send(const CohMsgPtr &msg, NodeId dst, Cycle now)
+{
+    const int flits = carriesData(msg->kind) ? net.config().dataPacketFlits
+                                             : net.config().ctrlPacketFlits;
+    PacketPtr pkt =
+        net.makePacket(node, dst, vnetForKind(msg->kind), flits, msg);
+    net.inject(pkt, now);
+    ++stats.counter("msgs_sent");
+}
+
+} // namespace inpg

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Directory controller: one shared-L2 bank with its coherence directory
+ * (the "home node" of the paper).
+ *
+ * The directory is the serialization point of the protocol: it services
+ * its input queue one message at a time, occupying the bank for the L2
+ * access latency per request. This explicit occupancy is what produces
+ * the home-node queueing delay ("long tail" of Figure 10b) that iNPG's
+ * distributed early invalidation removes.
+ */
+
+#ifndef INPG_COH_DIRECTORY_HH
+#define INPG_COH_DIRECTORY_HH
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "coh/coh_config.hh"
+#include "coh/coh_stats.hh"
+#include "coh/coherence_msg.hh"
+#include "coh/memory_controller.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "noc/network.hh"
+#include "sim/simulator.hh"
+#include "sim/ticking.hh"
+
+namespace inpg {
+
+/** Home-node directory + L2 bank controller for one tile. */
+class Directory : public Ticking
+{
+  public:
+    /** Directory knowledge about one line. */
+    struct DirEntry {
+        std::uint64_t value = 0;
+        /** Exclusive/owned holder; INVALID_NODE when none. */
+        NodeId owner = INVALID_NODE;
+        /** Cores holding shared copies. */
+        std::set<CoreId> sharers;
+        /** Line never fetched from memory yet. */
+        bool cold = true;
+    };
+
+    Directory(NodeId node_id, const CohConfig &cfg, Network &network,
+              Simulator &sim, MemoryController *memory,
+              CohStats *coh_stats = nullptr);
+
+    /** Enqueue a protocol message for serialized processing. */
+    void receiveMessage(const CohMsgPtr &msg, Cycle now);
+
+    void tick(Cycle now) override;
+
+    std::string tickName() const override;
+
+    NodeId nodeId() const { return node; }
+
+    /** Directory entry for a line; nullptr if never touched. */
+    const DirEntry *entry(Addr addr) const;
+
+    /** Pre-set a line's initial memory value (before first access). */
+    void initValue(Addr addr, std::uint64_t value);
+
+    /** True when no message is queued or being processed. */
+    bool idle() const { return queue.empty() && !blockedOnFetch; }
+
+    StatGroup stats;
+
+  private:
+    void process(const CohMsgPtr &msg, Cycle now);
+    void processGetS(const CohMsgPtr &msg, DirEntry &e, Cycle now);
+    void processGetX(const CohMsgPtr &msg, DirEntry &e, Cycle now);
+    void processEarlyInvAck(const CohMsgPtr &msg, DirEntry &e, Cycle now);
+
+    void sendInvalidations(const std::set<CoreId> &targets, Addr addr,
+                           NodeId collector, bool is_lock,
+                           std::uint64_t epoch, Cycle now);
+    void send(const CohMsgPtr &msg, NodeId dst, Cycle now);
+
+    NodeId node;
+    CohConfig cfg;
+    Network &net;
+    Simulator &sim;
+    MemoryController *mem;
+    CohStats *cohStats;
+
+    std::map<Addr, DirEntry> entries;
+    std::deque<CohMsgPtr> queue;
+    Cycle busyUntil = 0;
+    bool blockedOnFetch = false;
+    std::uint64_t epochCounter = 0;
+};
+
+} // namespace inpg
+
+#endif // INPG_COH_DIRECTORY_HH

@@ -1,0 +1,105 @@
+#include "common/config.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace inpg {
+
+void
+Config::loadString(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("config line without '=': '%s'", line.c_str());
+        set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+    }
+}
+
+void
+Config::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open config file '%s'", path.c_str());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    loadString(buffer.str());
+}
+
+void
+Config::loadArgs(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string token = argv[i];
+        auto eq = token.find('=');
+        if (eq == std::string::npos)
+            continue;
+        set(trim(token.substr(0, eq)), trim(token.substr(eq + 1)));
+    }
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    if (key.empty())
+        fatal("empty config key");
+    values[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values.count(key) > 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &fallback) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+}
+
+long long
+Config::getInt(const std::string &key, long long fallback) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? fallback : parseInt(it->second);
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? fallback : parseDouble(it->second);
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? fallback : parseBool(it->second);
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values.size());
+    for (const auto &kv : values)
+        out.push_back(kv.first);
+    return out;
+}
+
+} // namespace inpg

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Flat key=value configuration store.
+ *
+ * Examples and benches accept "key=value" command line overrides and
+ * optional config files with one "key = value" pair per line ('#' starts
+ * a comment). The harness maps keys onto SystemConfig fields.
+ */
+
+#ifndef INPG_COMMON_CONFIG_HH
+#define INPG_COMMON_CONFIG_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace inpg {
+
+/** String-keyed configuration with typed, defaulted getters. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse "key = value" lines from a string; later keys win. */
+    void loadString(const std::string &text);
+
+    /** Parse a config file; throws FatalError if unreadable. */
+    void loadFile(const std::string &path);
+
+    /** Apply argv-style "key=value" overrides; ignores other tokens. */
+    void loadArgs(int argc, const char *const *argv);
+
+    /** Set a single key. */
+    void set(const std::string &key, const std::string &value);
+
+    /** True if the key is present. */
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &fallback = "") const;
+    long long getInt(const std::string &key, long long fallback = 0) const;
+    double getDouble(const std::string &key, double fallback = 0.0) const;
+    bool getBool(const std::string &key, bool fallback = false) const;
+
+    /** All keys in sorted order (for dumps). */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::map<std::string, std::string> values;
+};
+
+} // namespace inpg
+
+#endif // INPG_COMMON_CONFIG_HH

@@ -1,0 +1,92 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace inpg {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t s)
+{
+    seed(s);
+}
+
+void
+Rng::seed(std::uint64_t s)
+{
+    // splitmix64 expansion guarantees a non-zero state even for seed 0.
+    for (auto &word : state)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    INPG_ASSERT(bound > 0, "nextBounded(0)");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high-quality bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::nextGeometric(double mean)
+{
+    INPG_ASSERT(mean >= 1.0, "geometric mean %f < 1", mean);
+    if (mean == 1.0)
+        return 1;
+    // Inverse-CDF sampling of an exponential, shifted so the minimum is 1
+    // and the mean is preserved.
+    double u = nextDouble();
+    // Guard against log(0).
+    if (u >= 1.0)
+        u = std::nextafter(1.0, 0.0);
+    double draw = 1.0 - (mean - 1.0) * std::log(1.0 - u);
+    return static_cast<std::uint64_t>(draw);
+}
+
+} // namespace inpg

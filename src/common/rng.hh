@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Every stochastic element of the model (workload phase lengths, tie
+ * breaking in tests) draws from an Rng seeded from the system
+ * configuration, so a run is exactly reproducible from its seed.
+ */
+
+#ifndef INPG_COMMON_RNG_HH
+#define INPG_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+/**
+ * Small, fast, seedable PRNG (xoshiro256** core, splitmix64 seeding).
+ *
+ * Not cryptographic; chosen for speed and reproducibility across
+ * platforms (unlike std::default_random_engine, the output sequence is
+ * pinned by this implementation).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; any value (including 0) is valid. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Re-seed, resetting the stream. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) with rejection (bound > 0). */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive (lo <= hi). */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        INPG_ASSERT(lo <= hi, "bad range [%lld, %lld]",
+                    static_cast<long long>(lo), static_cast<long long>(hi));
+        return lo + static_cast<std::int64_t>(
+            nextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability p of true. */
+    bool chance(double p) { return nextDouble() < p; }
+
+    /**
+     * Geometric-ish positive integer with the given mean (>= 1).
+     * Used for phase-length draws; always returns at least 1.
+     */
+    std::uint64_t nextGeometric(double mean);
+
+  private:
+    std::uint64_t state[4];
+};
+
+} // namespace inpg
+
+#endif // INPG_COMMON_RNG_HH

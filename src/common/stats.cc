@@ -1,0 +1,48 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+namespace inpg {
+
+namespace {
+const SampleStat EMPTY_SAMPLE;
+} // namespace
+
+std::uint64_t
+StatGroup::value(const std::string &key) const
+{
+    auto it = counters.find(key);
+    return it == counters.end() ? 0 : it->second;
+}
+
+const SampleStat &
+StatGroup::sampleValue(const std::string &key) const
+{
+    auto it = samples.find(key);
+    return it == samples.end() ? EMPTY_SAMPLE : it->second;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters)
+        kv.second = 0;
+    for (auto &kv : samples)
+        kv.second.reset();
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters)
+        os << name << "." << kv.first << " = " << kv.second << "\n";
+    for (const auto &kv : samples) {
+        os << name << "." << kv.first << " = mean " << kv.second.mean()
+           << " min " << kv.second.min() << " max " << kv.second.max()
+           << " n " << kv.second.count() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace inpg

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Lightweight statistics primitives: named scalar counters and sample
+ * averages, grouped per component, dumpable as text.
+ *
+ * A much-reduced analogue of gem5's Stats package: enough to account for
+ * every event the paper's evaluation section reports.
+ */
+
+#ifndef INPG_COMMON_STATS_HH
+#define INPG_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace inpg {
+
+/** Running mean/min/max over double samples. */
+class SampleStat
+{
+  public:
+    void
+    add(double v)
+    {
+        ++n;
+        total += v;
+        if (n == 1 || v < lo)
+            lo = v;
+        if (n == 1 || v > hi)
+            hi = v;
+    }
+
+    void
+    reset()
+    {
+        n = 0;
+        total = 0;
+        lo = 0;
+        hi = 0;
+    }
+
+    std::uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const { return n ? total / static_cast<double>(n) : 0; }
+    double min() const { return lo; }
+    double max() const { return hi; }
+
+  private:
+    std::uint64_t n = 0;
+    double total = 0;
+    double lo = 0;
+    double hi = 0;
+};
+
+/**
+ * A named group of counters and sample statistics.
+ *
+ * Components own a StatGroup and bump counters by name; the harness
+ * aggregates groups into report tables. Name lookup is map-based --
+ * hot paths should cache references via counter()/sample().
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string group_name = "")
+        : name(std::move(group_name))
+    {}
+
+    /** Reference to (and lazy creation of) a named counter. */
+    std::uint64_t &counter(const std::string &key) { return counters[key]; }
+
+    /** Counter value; 0 if never touched. */
+    std::uint64_t value(const std::string &key) const;
+
+    /** Reference to (and lazy creation of) a named sample stat. */
+    SampleStat &sample(const std::string &key) { return samples[key]; }
+
+    /** Const access; returns empty stat if never touched. */
+    const SampleStat &sampleValue(const std::string &key) const;
+
+    /** Zero every counter and sample. */
+    void reset();
+
+    /** Group name used as a dump prefix. */
+    const std::string &groupName() const { return name; }
+
+    /** Multi-line "group.key = value" dump. */
+    std::string dump() const;
+
+    const std::map<std::string, std::uint64_t> &allCounters() const
+    {
+        return counters;
+    }
+
+    const std::map<std::string, SampleStat> &allSamples() const
+    {
+        return samples;
+    }
+
+  private:
+    std::string name;
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, SampleStat> samples;
+};
+
+} // namespace inpg
+
+#endif // INPG_COMMON_STATS_HH

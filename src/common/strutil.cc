@@ -1,0 +1,111 @@
+#include "common/strutil.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return s.substr(begin, end - begin);
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == delim) {
+            out.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    for (auto &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+padRight(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s.substr(0, width);
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::string
+padLeft(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s.substr(0, width);
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+fixed(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+bool
+parseBool(const std::string &s)
+{
+    std::string t = toLower(trim(s));
+    if (t == "true" || t == "1" || t == "yes" || t == "on")
+        return true;
+    if (t == "false" || t == "0" || t == "no" || t == "off")
+        return false;
+    fatal("cannot parse '%s' as bool", s.c_str());
+}
+
+long long
+parseInt(const std::string &s)
+{
+    std::string t = trim(s);
+    char *end = nullptr;
+    long long v = std::strtoll(t.c_str(), &end, 0);
+    if (t.empty() || end != t.c_str() + t.size())
+        fatal("cannot parse '%s' as integer", s.c_str());
+    return v;
+}
+
+double
+parseDouble(const std::string &s)
+{
+    std::string t = trim(s);
+    char *end = nullptr;
+    double v = std::strtod(t.c_str(), &end);
+    if (t.empty() || end != t.c_str() + t.size())
+        fatal("cannot parse '%s' as double", s.c_str());
+    return v;
+}
+
+} // namespace inpg

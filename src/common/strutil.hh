@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Small string helpers used by configuration parsing and table printing.
+ */
+
+#ifndef INPG_COMMON_STRUTIL_HH
+#define INPG_COMMON_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace inpg {
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Split on a delimiter character; empty fields are preserved. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Lower-case ASCII copy. */
+std::string toLower(const std::string &s);
+
+/** True if s begins with the given prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Fixed-width left-aligned cell padding (truncates if too long). */
+std::string padRight(const std::string &s, std::size_t width);
+
+/** Fixed-width right-aligned cell padding (truncates if too long). */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Format a double with the given number of decimals. */
+std::string fixed(double v, int decimals);
+
+/** Parse a boolean from "true/false/1/0/yes/no"; throws FatalError. */
+bool parseBool(const std::string &s);
+
+/** Parse a signed 64-bit integer; throws FatalError on garbage. */
+long long parseInt(const std::string &s);
+
+/** Parse a double; throws FatalError on garbage. */
+double parseDouble(const std::string &s);
+
+} // namespace inpg
+
+#endif // INPG_COMMON_STRUTIL_HH

@@ -1,0 +1,110 @@
+#include "common/trace.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace inpg {
+
+namespace {
+
+struct TraceState {
+    bool envChecked = false;
+    bool allEnabled = false;
+    std::set<std::string> channels;
+    Trace::Sink sink;
+};
+
+TraceState &
+state()
+{
+    static TraceState s;
+    return s;
+}
+
+void
+lazyInit()
+{
+    if (!state().envChecked)
+        Trace::initFromEnvironment();
+}
+
+} // namespace
+
+void
+Trace::initFromEnvironment()
+{
+    TraceState &s = state();
+    s.envChecked = true;
+    const char *env = std::getenv("INPG_TRACE");
+    if (!env)
+        return;
+    std::string spec = trim(env);
+    if (spec.empty())
+        return;
+    // Backwards compatible: INPG_TRACE=1 means everything.
+    if (spec == "1" || toLower(spec) == "all") {
+        s.allEnabled = true;
+        return;
+    }
+    for (const auto &ch : split(spec, ','))
+        if (!trim(ch).empty())
+            s.channels.insert(toLower(trim(ch)));
+}
+
+void
+Trace::enable(const std::string &channel)
+{
+    lazyInit();
+    if (toLower(channel) == "all")
+        state().allEnabled = true;
+    else
+        state().channels.insert(toLower(channel));
+}
+
+void
+Trace::disable(const std::string &channel)
+{
+    lazyInit();
+    if (toLower(channel) == "all") {
+        state().allEnabled = false;
+        state().channels.clear();
+    } else {
+        state().channels.erase(toLower(channel));
+    }
+}
+
+bool
+Trace::enabled(const std::string &channel)
+{
+    lazyInit();
+    const TraceState &s = state();
+    return s.allEnabled || s.channels.count(toLower(channel)) > 0;
+}
+
+Trace::Sink
+Trace::setSink(Sink sink)
+{
+    lazyInit();
+    Sink previous = state().sink;
+    state().sink = std::move(sink);
+    return previous;
+}
+
+void
+Trace::emit(const std::string &channel, Cycle now,
+            const std::string &message)
+{
+    std::string line = format("[%llu] %s: %s",
+                              static_cast<unsigned long long>(now),
+                              channel.c_str(), message.c_str());
+    if (state().sink)
+        state().sink(line);
+    else
+        std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+} // namespace inpg

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Lightweight per-channel execution tracing (gem5's DPRINTF in spirit).
+ *
+ * Channels are named ("l1", "dir", "br", "noc", ...). Tracing is off
+ * unless enabled programmatically (Trace::enable) or via the
+ * INPG_TRACE environment variable, which holds a comma-separated
+ * channel list or "all":
+ *
+ *     INPG_TRACE=dir,br ./build/examples/quickstart
+ *
+ * Emission goes to stderr by default; tests can capture it by
+ * installing a sink. The INPG_TRACE_LINE macro stays cheap when the
+ * channel is disabled (single branch, no formatting).
+ */
+
+#ifndef INPG_COMMON_TRACE_HH
+#define INPG_COMMON_TRACE_HH
+
+#include <functional>
+#include <string>
+
+#include "common/types.hh"
+
+namespace inpg {
+
+/** Global trace facility (process-wide, like the log level). */
+class Trace
+{
+  public:
+    /** Sink receiving complete trace lines (without newline). */
+    using Sink = std::function<void(const std::string &line)>;
+
+    /** Enable a channel ("all" enables everything). */
+    static void enable(const std::string &channel);
+
+    /** Disable a channel ("all" clears everything). */
+    static void disable(const std::string &channel);
+
+    /** True when the channel (or "all") is enabled. */
+    static bool enabled(const std::string &channel);
+
+    /**
+     * Install a sink; nullptr restores the default (stderr).
+     * Returns the previous sink.
+     */
+    static Sink setSink(Sink sink);
+
+    /** Emit one line: "[cycle] channel: message". */
+    static void emit(const std::string &channel, Cycle now,
+                     const std::string &message);
+
+    /**
+     * Read INPG_TRACE from the environment (called lazily on first
+     * use; exposed for tests).
+     */
+    static void initFromEnvironment();
+};
+
+} // namespace inpg
+
+/** Trace a printf-formatted line if `channel` is enabled. */
+#define INPG_TRACE_LINE(channel, now, ...)                                  \
+    do {                                                                    \
+        if (::inpg::Trace::enabled(channel))                                \
+            ::inpg::Trace::emit(channel, now,                               \
+                                ::inpg::format(__VA_ARGS__));               \
+    } while (0)
+
+#endif // INPG_COMMON_TRACE_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the iNPG simulator.
+ */
+
+#ifndef INPG_COMMON_TYPES_HH
+#define INPG_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace inpg {
+
+/** Simulation time expressed in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a mesh node (router / NI / tile). Row-major order. */
+using NodeId = int;
+
+/** Identifier of a core (one core per tile in the target architecture). */
+using CoreId = int;
+
+/** Identifier of a thread (one thread per core in the paper's setup). */
+using ThreadId = int;
+
+/** Virtual-network index (message class). */
+using VnetId = int;
+
+/** Virtual-channel index within an input/output port. */
+using VcId = int;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId INVALID_NODE = -1;
+
+/** Sentinel for "no core". */
+inline constexpr CoreId INVALID_CORE = -1;
+
+/** Sentinel for "no VC". */
+inline constexpr VcId INVALID_VC = -1;
+
+/** Sentinel address (never allocated by the simulator). */
+inline constexpr Addr INVALID_ADDR = std::numeric_limits<Addr>::max();
+
+/** Largest representable cycle; used as "never". */
+inline constexpr Cycle CYCLE_NEVER = std::numeric_limits<Cycle>::max();
+
+} // namespace inpg
+
+#endif // INPG_COMMON_TYPES_HH

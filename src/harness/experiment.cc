@@ -1,0 +1,71 @@
+#include "harness/experiment.hh"
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+RunResult
+runBenchmark(const RunConfig &run_cfg)
+{
+    SystemConfig sys_cfg = run_cfg.system;
+    sys_cfg.finalize();
+    System system(sys_cfg);
+
+    Workload::Params wp;
+    wp.profile = run_cfg.profile;
+    wp.threads = sys_cfg.numCores();
+    wp.csScale = run_cfg.csScale;
+    wp.lockHome = run_cfg.lockHome;
+    wp.lockKind = sys_cfg.lockKind;
+    wp.seed = sys_cfg.seed;
+    Workload workload(wp, system.coherent(), system.locks(),
+                      system.sim());
+
+    workload.start();
+    system.runUntil([&] { return workload.done(); }, run_cfg.maxCycles);
+
+    RunResult r;
+    r.benchmark = run_cfg.profile.name;
+    r.mechanism = sys_cfg.mechanism;
+    r.lockKind = sys_cfg.lockKind;
+    r.roiCycles = workload.roiFinish();
+    r.csCompleted = workload.csCompleted();
+    r.parallelCycles = workload.totalCycles(ThreadPhase::Parallel);
+    r.cohCycles = workload.totalCycles(ThreadPhase::Coh) +
+                  workload.totalCycles(ThreadPhase::Sleep);
+    r.sleepCycles = workload.totalCycles(ThreadPhase::Sleep);
+    r.cseCycles = workload.totalCycles(ThreadPhase::Cse);
+
+    const CohStats &cs = system.coherent().cohStats();
+    r.rttMean = cs.rttHistogram.mean();
+    r.rttMax = cs.rttHistogram.max();
+    r.rttCount = cs.rttHistogram.count();
+    r.rttHistogram = cs.rttHistogram;
+    r.rttPerCoreMean.reserve(cs.rttPerCore.size());
+    for (const auto &s : cs.rttPerCore)
+        r.rttPerCoreMean.push_back(s.mean());
+
+    for (int c = 0; c < sys_cfg.numCores(); ++c)
+        r.lockCohCycles +=
+            system.coherent().l1(c).stats.value("lock_coh_cycles");
+
+    r.earlyInvs = system.totalEarlyInvs();
+    for (const auto &lock : system.locks().locks()) {
+        r.sleeps += lock->stats.value("sleeps");
+        r.wakeups += lock->stats.value("wakeups");
+    }
+    return r;
+}
+
+std::vector<RunResult>
+runAllMechanisms(RunConfig cfg)
+{
+    std::vector<RunResult> out;
+    for (Mechanism m : ALL_MECHANISMS) {
+        cfg.system.mechanism = m;
+        out.push_back(runBenchmark(cfg));
+    }
+    return out;
+}
+
+} // namespace inpg

@@ -1,0 +1,33 @@
+#include "harness/mechanism.hh"
+
+namespace inpg {
+
+const char *
+mechanismName(Mechanism m)
+{
+    switch (m) {
+      case Mechanism::Original:
+        return "Original";
+      case Mechanism::Ocor:
+        return "OCOR";
+      case Mechanism::Inpg:
+        return "iNPG";
+      case Mechanism::InpgOcor:
+        return "iNPG+OCOR";
+    }
+    return "?";
+}
+
+bool
+usesInpg(Mechanism m)
+{
+    return m == Mechanism::Inpg || m == Mechanism::InpgOcor;
+}
+
+bool
+usesOcor(Mechanism m)
+{
+    return m == Mechanism::Ocor || m == Mechanism::InpgOcor;
+}
+
+} // namespace inpg

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The four comparative mechanisms of the paper's evaluation (Sec. 5.1).
+ */
+
+#ifndef INPG_HARNESS_MECHANISM_HH
+#define INPG_HARNESS_MECHANISM_HH
+
+#include <string>
+
+namespace inpg {
+
+/** Evaluation case selector. */
+enum class Mechanism {
+    Original, ///< Case 1: the baseline architecture (Table 1)
+    Ocor,     ///< Case 2: OCOR priority arbitration [40]
+    Inpg,     ///< Case 3: big routers with in-network packet generation
+    InpgOcor, ///< Case 4: iNPG + OCOR combined
+};
+
+/** All four mechanisms in paper order. */
+inline constexpr Mechanism ALL_MECHANISMS[] = {
+    Mechanism::Original,
+    Mechanism::Ocor,
+    Mechanism::Inpg,
+    Mechanism::InpgOcor,
+};
+
+/** Display name ("Original", "OCOR", "iNPG", "iNPG+OCOR"). */
+const char *mechanismName(Mechanism m);
+
+/** True when the mechanism deploys big routers. */
+bool usesInpg(Mechanism m);
+
+/** True when the mechanism uses OCOR priorities. */
+bool usesOcor(Mechanism m);
+
+} // namespace inpg
+
+#endif // INPG_HARNESS_MECHANISM_HH

@@ -1,0 +1,52 @@
+#include "harness/system.hh"
+
+#include "common/logging.hh"
+#include "inpg/big_router.hh"
+
+namespace inpg {
+
+System::System(SystemConfig config) : cfg(std::move(config))
+{
+    cfg.finalize();
+    RouterFactory factory = nullptr;
+    if (usesInpg(cfg.mechanism) && cfg.inpg.numBigRouters > 0)
+        factory = makeInpgRouterFactory(cfg.inpg, cfg.coh);
+    memSys = std::make_unique<CoherentSystem>(cfg.noc, cfg.coh, kernel,
+                                              std::move(factory));
+    lockMgr = std::make_unique<LockManager>(*memSys, kernel, cfg.sync);
+}
+
+void
+System::runUntil(const std::function<bool()> &done, Cycle max_cycles)
+{
+    if (!kernel.runUntil(done, max_cycles)) {
+        fatal("simulation did not converge within %llu cycles "
+              "(mechanism %s, lock %s)",
+              static_cast<unsigned long long>(max_cycles),
+              mechanismName(cfg.mechanism),
+              lockKindName(cfg.lockKind));
+    }
+}
+
+int
+System::deployedBigRouters() const
+{
+    int n = 0;
+    for (NodeId id = 0; id < memSys->network().numNodes(); ++id)
+        n += memSys->network().router(id).isBigRouter() ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+System::totalEarlyInvs() const
+{
+    std::uint64_t total = 0;
+    for (NodeId id = 0; id < memSys->network().numNodes(); ++id) {
+        auto *br = dynamic_cast<BigRouter *>(&memSys->network().router(id));
+        if (br)
+            total += br->generator().stats.value("early_invs_generated");
+    }
+    return total;
+}
+
+} // namespace inpg

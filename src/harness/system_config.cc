@@ -1,0 +1,145 @@
+#include "harness/system_config.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace inpg {
+
+Mechanism
+parseMechanism(const std::string &name)
+{
+    std::string n = toLower(trim(name));
+    if (n == "original" || n == "base" || n == "baseline")
+        return Mechanism::Original;
+    if (n == "ocor")
+        return Mechanism::Ocor;
+    if (n == "inpg")
+        return Mechanism::Inpg;
+    if (n == "inpg+ocor" || n == "inpg_ocor" || n == "both")
+        return Mechanism::InpgOcor;
+    fatal("unknown mechanism '%s'", name.c_str());
+}
+
+LockKind
+parseLockKind(const std::string &name)
+{
+    std::string n = toLower(trim(name));
+    if (n == "tas")
+        return LockKind::Tas;
+    if (n == "ttl" || n == "ticket")
+        return LockKind::Ticket;
+    if (n == "abql")
+        return LockKind::Abql;
+    if (n == "mcs")
+        return LockKind::Mcs;
+    if (n == "qsl")
+        return LockKind::Qsl;
+    fatal("unknown lock kind '%s'", name.c_str());
+}
+
+void
+SystemConfig::finalize()
+{
+    coh.numNodes = noc.numNodes();
+    noc.switchPolicy = usesOcor(mechanism) ? SwitchPolicy::Priority
+                                           : SwitchPolicy::RoundRobin;
+    noc.agingQuantum = sync.ocor.agingQuantum;
+    sync.ocorEnabled = usesOcor(mechanism);
+    // NB: inpg.numBigRouters is NOT zeroed for non-iNPG mechanisms --
+    // the same config is reused across mechanism sweeps; System gates
+    // deployment on usesInpg(mechanism) instead.
+    if (inpg.numBigRouters > noc.numNodes())
+        inpg.numBigRouters = noc.numNodes();
+}
+
+void
+SystemConfig::applyOverrides(const Config &cfg)
+{
+    noc.meshWidth = static_cast<int>(
+        cfg.getInt("mesh_width", noc.meshWidth));
+    noc.meshHeight = static_cast<int>(
+        cfg.getInt("mesh_height", noc.meshHeight));
+    noc.vcsPerVnet = static_cast<int>(
+        cfg.getInt("vcs_per_vnet", noc.vcsPerVnet));
+    noc.vcDepth = static_cast<int>(cfg.getInt("vc_depth", noc.vcDepth));
+    coh.l1Latency = static_cast<Cycle>(
+        cfg.getInt("l1_latency", static_cast<long long>(coh.l1Latency)));
+    coh.l2Latency = static_cast<Cycle>(
+        cfg.getInt("l2_latency", static_cast<long long>(coh.l2Latency)));
+    coh.memLatency = static_cast<Cycle>(
+        cfg.getInt("mem_latency",
+                   static_cast<long long>(coh.memLatency)));
+    inpg.numBigRouters = static_cast<int>(
+        cfg.getInt("big_routers", inpg.numBigRouters));
+    inpg.barrierEntries = static_cast<std::size_t>(
+        cfg.getInt("barrier_entries",
+                   static_cast<long long>(inpg.barrierEntries)));
+    inpg.eiEntries = static_cast<std::size_t>(cfg.getInt(
+        "ei_entries", static_cast<long long>(inpg.eiEntries)));
+    inpg.barrierTtl = static_cast<Cycle>(cfg.getInt(
+        "barrier_ttl", static_cast<long long>(inpg.barrierTtl)));
+    sync.spinInterval = static_cast<Cycle>(cfg.getInt(
+        "spin_interval", static_cast<long long>(sync.spinInterval)));
+    sync.qslRetryLimit = static_cast<int>(
+        cfg.getInt("qsl_retry_limit", sync.qslRetryLimit));
+    sync.contextSwitchCost = static_cast<Cycle>(
+        cfg.getInt("context_switch_cost",
+                   static_cast<long long>(sync.contextSwitchCost)));
+    sync.wakeupCost = static_cast<Cycle>(cfg.getInt(
+        "wakeup_cost", static_cast<long long>(sync.wakeupCost)));
+    seed = static_cast<std::uint64_t>(cfg.getInt(
+        "seed", static_cast<long long>(seed)));
+    if (cfg.has("routing")) {
+        std::string r = toLower(cfg.getString("routing"));
+        if (r == "xy")
+            noc.routing = RoutingKind::XY;
+        else if (r == "yx")
+            noc.routing = RoutingKind::YX;
+        else
+            fatal("unknown routing '%s' (xy|yx)", r.c_str());
+    }
+    if (cfg.has("mechanism"))
+        mechanism = parseMechanism(cfg.getString("mechanism"));
+    if (cfg.has("lock"))
+        lockKind = parseLockKind(cfg.getString("lock"));
+    finalize();
+}
+
+std::string
+SystemConfig::describe() const
+{
+    std::ostringstream os;
+    os << "Cores      : " << numCores() << " (" << noc.meshWidth << "x"
+       << noc.meshHeight << " mesh, XY routing, 2-stage router, "
+       << noc.vcsPerVnet << " VCs/vnet x " << noc.numVnets
+       << " vnets, " << noc.vcDepth << "-flit VCs)\n";
+    os << "L1 cache   : private, " << coh.l1Latency
+       << "-cycle latency, " << coh.lineSize << " B blocks\n";
+    os << "L2 cache   : shared, 1 bank/tile, " << coh.l2Latency
+       << "-cycle latency, directory MOESI\n";
+    os << "Memory     : " << coh.memLatency
+       << "-cycle DRAM, 8 controllers\n";
+    os << "Mechanism  : " << mechanismName(mechanism) << "\n";
+    os << "Lock       : " << lockKindName(lockKind) << " (spin interval "
+       << sync.spinInterval << ", QSL retry limit "
+       << sync.qslRetryLimit << ", ctx-switch "
+       << sync.contextSwitchCost << " + wakeup " << sync.wakeupCost
+       << " cycles)\n";
+    if (usesInpg(mechanism)) {
+        os << "iNPG       : " << inpg.numBigRouters << " big routers, "
+           << inpg.barrierEntries << "-entry barrier table, "
+           << inpg.eiEntries << " EI entries, TTL " << inpg.barrierTtl
+           << "\n";
+    }
+    if (usesOcor(mechanism)) {
+        os << "OCOR       : " << sync.ocor.priorityLevels << " levels, "
+           << sync.ocor.retriesPerLevel
+           << " retries/level, aging quantum " << sync.ocor.agingQuantum
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace inpg

@@ -1,0 +1,96 @@
+#include "inpg/big_router.hh"
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+namespace inpg {
+
+BigRouter::BigRouter(NodeId node_id, const NocConfig &noc_cfg,
+                     const RoutingAlgorithm *routing,
+                     const InpgConfig &inpg_cfg, const CohConfig &coh_cfg)
+    : Router(node_id, noc_cfg, routing),
+      gen(node_id, inpg_cfg, coh_cfg), cohCfg(coh_cfg),
+      // Generated packets need ids that cannot collide with the
+      // Network's allocator; tag them with the node in the top bits.
+      nextGenPacketId((static_cast<PacketId>(node_id) << 40) |
+                      (1ULL << 63))
+{
+    addGeneratorPort();
+}
+
+void
+BigRouter::onHeadFlitArrived(const FlitPtr &flit, int inport, Cycle now)
+{
+    (void)inport;
+    auto msg = std::dynamic_pointer_cast<CoherenceMsg>(
+        flit->packet->payload);
+    if (!msg)
+        return;
+
+    // Relay InvAcks answering our early invalidations toward the home
+    // node (header rewrite before route computation).
+    if (flit->packet->dst == nodeId() &&
+        msg->kind == CohMsgKind::InvAck && msg->fromBigRouter) {
+        NodeId home = gen.onInvAckArrival(msg, now);
+        INPG_TRACE_LINE("br", now, "BR %d ACK-RELAY %s", nodeId(),
+                        msg->toString().c_str());
+        if (home != INVALID_NODE) {
+            flit->packet->dst = home;
+            msg->toDirectory = true;
+            ++stats.counter("inv_acks_relayed");
+        }
+        return;
+    }
+
+    // Stop later GetX[lock] arrivals under an existing barrier.
+    CohMsgPtr inv = gen.onGetXArrival(msg, now);
+    if (inv) {
+        INPG_TRACE_LINE("br", now, "BR %d STOP %s", nodeId(),
+                        msg->toString().c_str());
+        auto pkt = std::make_shared<Packet>(nextGenPacketId++, nodeId(),
+                                            static_cast<NodeId>(
+                                                inv->requester),
+                                            vnetForKind(inv->kind),
+                                            /*num_flits=*/1, inv);
+        injectGenerated(pkt, now);
+        ++stats.counter("early_invs_injected");
+    }
+}
+
+void
+BigRouter::onHeadFlitGranted(const FlitPtr &flit, int inport,
+                             Direction outport, Cycle now)
+{
+    (void)inport;
+    (void)outport;
+    auto msg = std::dynamic_pointer_cast<CoherenceMsg>(
+        flit->packet->payload);
+    if (!msg)
+        return;
+    gen.onGetXTransfer(msg, now);
+}
+
+void
+BigRouter::generatorPhase(Cycle now)
+{
+    gen.maintain(now);
+}
+
+RouterFactory
+makeInpgRouterFactory(const InpgConfig &inpg_cfg, const CohConfig &coh_cfg)
+{
+    return [inpg_cfg, coh_cfg](NodeId id, const NocConfig &noc_cfg,
+                               const RoutingAlgorithm *routing)
+               -> std::unique_ptr<Router> {
+        CohConfig coh = coh_cfg;
+        coh.numNodes = noc_cfg.numNodes();
+        if (isBigRouterNode(id, noc_cfg.meshWidth, noc_cfg.meshHeight,
+                            inpg_cfg.numBigRouters)) {
+            return std::make_unique<BigRouter>(id, noc_cfg, routing,
+                                               inpg_cfg, coh);
+        }
+        return std::make_unique<Router>(id, noc_cfg, routing);
+    };
+}
+
+} // namespace inpg

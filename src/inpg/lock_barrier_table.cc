@@ -1,0 +1,118 @@
+#include "inpg/lock_barrier_table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+LockBarrierTable::LockBarrierTable(std::size_t max_barriers,
+                                   std::size_t max_eis, Cycle ttl_cycles)
+    : barrierCapacity(max_barriers), eiCapacity(max_eis), ttl(ttl_cycles)
+{
+    INPG_ASSERT(max_barriers >= 1 && max_eis >= 1,
+                "locking barrier table needs capacity");
+    stats = StatGroup("barrier_table");
+}
+
+LockBarrierTable::Barrier *
+LockBarrierTable::find(Addr addr)
+{
+    for (auto &b : barriers)
+        if (b.addr == addr)
+            return &b;
+    return nullptr;
+}
+
+bool
+LockBarrierTable::hasBarrier(Addr addr, Cycle now)
+{
+    expire(now);
+    return find(addr) != nullptr;
+}
+
+bool
+LockBarrierTable::createBarrier(Addr addr, Cycle now)
+{
+    expire(now);
+    if (find(addr))
+        return true;
+    if (barriers.size() >= barrierCapacity) {
+        ++stats.counter("barrier_table_full");
+        return false;
+    }
+    Barrier b;
+    b.addr = addr;
+    b.idleSince = now;
+    barriers.push_back(std::move(b));
+    ++stats.counter("barriers_created");
+    return true;
+}
+
+bool
+LockBarrierTable::addEi(Addr addr, CoreId core, Cycle now)
+{
+    Barrier *b = find(addr);
+    if (!b)
+        return false;
+    if (b->eis.size() >= eiCapacity) {
+        ++stats.counter("ei_list_full");
+        return false;
+    }
+    // One live EI per core per barrier: a core has at most one GetX in
+    // flight, so a duplicate means a stale entry -- refuse.
+    for (const auto &e : b->eis)
+        if (e.core == core)
+            return false;
+    EiEntry e;
+    e.core = core;
+    e.phase = EiPhase::GetXFwd; // Inv generated + GetX forwarded at ST
+    e.openedAt = now;
+    b->eis.push_back(e);
+    ++stats.counter("eis_opened");
+    return true;
+}
+
+bool
+LockBarrierTable::completeEi(Addr addr, CoreId core, Cycle now)
+{
+    Barrier *b = find(addr);
+    if (!b)
+        return false;
+    auto it = std::find_if(b->eis.begin(), b->eis.end(),
+                           [core](const EiEntry &e) {
+                               return e.core == core;
+                           });
+    if (it == b->eis.end())
+        return false;
+    stats.sample("ei_lifetime").add(static_cast<double>(now - it->openedAt));
+    b->eis.erase(it);
+    ++stats.counter("eis_completed");
+    if (b->eis.empty())
+        b->idleSince = now; // TTL countdown restarts from full value
+    return true;
+}
+
+void
+LockBarrierTable::expire(Cycle now)
+{
+    for (auto it = barriers.begin(); it != barriers.end();) {
+        if (it->eis.empty() && now >= it->idleSince + ttl) {
+            ++stats.counter("barriers_expired");
+            it = barriers.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::size_t
+LockBarrierTable::numEis(Addr addr) const
+{
+    for (const auto &b : barriers)
+        if (b.addr == addr)
+            return b.eis.size();
+    return 0;
+}
+
+} // namespace inpg

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Locking barrier table of a big router (paper Section 4.1, Figure 6).
+ *
+ * Each barrier tracks one lock address. Under a barrier, one early
+ * invalidation (EI) entry exists per stopped GetX and walks four
+ * phases: Inv generated, GetX forwarded, InvAck received, InvAck
+ * forwarded. A barrier's TTL (default 128 cycles) counts down only
+ * while the barrier has no EI entries and resets whenever one is
+ * created; at zero the barrier is reclaimed.
+ */
+
+#ifndef INPG_INPG_LOCK_BARRIER_TABLE_HH
+#define INPG_INPG_LOCK_BARRIER_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace inpg {
+
+/** Lifecycle phase of an early-invalidation entry. */
+enum class EiPhase {
+    InvGenerated, ///< early Inv sent to the failing core
+    GetXFwd,      ///< the stopped GetX was forwarded to the home node
+    InvAckRecv,   ///< InvAck for the early Inv returned to this router
+    AckFwd,       ///< InvAck relayed to the home node (entry frees)
+};
+
+/** The locking barrier table of one big router. */
+class LockBarrierTable
+{
+  public:
+    /**
+     * @param max_barriers lock barrier entries (paper default 16)
+     * @param max_eis      EI entries per barrier (paper default 16)
+     * @param ttl          barrier time-to-live in cycles (default 128)
+     */
+    LockBarrierTable(std::size_t max_barriers, std::size_t max_eis,
+                     Cycle ttl);
+
+    /** True if a (live) barrier exists for the lock address. */
+    bool hasBarrier(Addr addr, Cycle now);
+
+    /**
+     * Install a barrier when the first GetX for the lock traverses.
+     * @return false when the table is full (requests pass through).
+     */
+    bool createBarrier(Addr addr, Cycle now);
+
+    /**
+     * Open an EI entry for a stopped GetX (phases InvGenerated+GetXFwd
+     * happen in the same ST cycle in this design).
+     * @return false when the barrier is missing or its EI list is full.
+     */
+    bool addEi(Addr addr, CoreId core, Cycle now);
+
+    /**
+     * Advance the EI entry of (addr, core) to InvAckRecv + AckFwd and
+     * free it; restarts the barrier's TTL countdown when it was the
+     * last live entry.
+     * @return false when no such EI entry exists (stale ack).
+     */
+    bool completeEi(Addr addr, CoreId core, Cycle now);
+
+    /** Reclaim barriers whose TTL elapsed. Call once per cycle. */
+    void expire(Cycle now);
+
+    std::size_t numBarriers() const { return barriers.size(); }
+
+    /** Live EI entries under a barrier (0 when absent). */
+    std::size_t numEis(Addr addr) const;
+
+    std::size_t maxBarriers() const { return barrierCapacity; }
+    std::size_t maxEis() const { return eiCapacity; }
+
+    StatGroup stats;
+
+  private:
+    struct EiEntry {
+        CoreId core = INVALID_CORE;
+        EiPhase phase = EiPhase::InvGenerated;
+        Cycle openedAt = 0;
+    };
+
+    struct Barrier {
+        Addr addr = INVALID_ADDR;
+        std::vector<EiEntry> eis;
+        /** Cycle the TTL countdown (re)started; live while eis busy. */
+        Cycle idleSince = 0;
+    };
+
+    Barrier *find(Addr addr);
+
+    std::size_t barrierCapacity;
+    std::size_t eiCapacity;
+    Cycle ttl;
+    std::vector<Barrier> barriers;
+};
+
+} // namespace inpg
+
+#endif // INPG_INPG_LOCK_BARRIER_TABLE_HH

@@ -1,0 +1,98 @@
+#include "inpg/packet_generator.hh"
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+/**
+ * Even big-router placement: count = n/2 yields the interleaved
+ * checkerboard of paper Figure 3; other counts spread marks evenly with
+ * a Bresenham-style accumulator.
+ */
+bool
+isBigRouterNode(NodeId node, int mesh_w, int mesh_h, int count)
+{
+    const int n = mesh_w * mesh_h;
+    if (count <= 0)
+        return false;
+    if (count >= n)
+        return true;
+    // Checkerboard interleave for the half-populated case; otherwise
+    // evenly strided marks.
+    if (count * 2 == n) {
+        int x = node % mesh_w;
+        int y = node / mesh_w;
+        return (x + y) % 2 == 1;
+    }
+    // node k is big iff floor((k+1)*count/n) > floor(k*count/n)
+    long long prev = static_cast<long long>(node) * count / n;
+    long long cur = (static_cast<long long>(node) + 1) * count / n;
+    return cur > prev;
+}
+
+PacketGenerator::PacketGenerator(NodeId node_id, const InpgConfig &config,
+                                 const CohConfig &coh_config)
+    : node(node_id), cfg(config), cohCfg(coh_config),
+      table(config.barrierEntries, config.eiEntries, config.barrierTtl)
+{
+    stats = StatGroup(format("pktgen%d", node_id));
+}
+
+CohMsgPtr
+PacketGenerator::onGetXArrival(const CohMsgPtr &msg, Cycle now)
+{
+    if (msg->kind != CohMsgKind::GetX || !msg->isLock ||
+        !msg->isAtomicOp || msg->earlyInvalidated)
+        return nullptr;
+    if (!table.hasBarrier(msg->addr, now))
+        return nullptr;
+    if (!table.addEi(msg->addr, msg->requester, now))
+        return nullptr; // EI list full or duplicate: pass through
+
+    // Stop the request: it continues to the home node as an
+    // early-invalidated request (the paper's GetX -> FwdGetX
+    // conversion) while we invalidate the failing core right here.
+    msg->earlyInvalidated = true;
+    msg->fromBigRouter = true;
+    ++stats.counter("getx_stopped");
+
+    auto inv = std::make_shared<CoherenceMsg>();
+    inv->kind = CohMsgKind::Inv;
+    inv->addr = msg->addr;
+    inv->requester = msg->requester;
+    inv->collector = node;
+    inv->isLock = true;
+    inv->fromBigRouter = true;
+    inv->invGeneratedAt = now;
+    ++stats.counter("early_invs_generated");
+    return inv;
+}
+
+void
+PacketGenerator::onGetXTransfer(const CohMsgPtr &msg, Cycle now)
+{
+    if (msg->kind != CohMsgKind::GetX || !msg->isLock ||
+        !msg->isAtomicOp)
+        return;
+    if (table.createBarrier(msg->addr, now))
+        ++stats.counter("barrier_refreshed");
+}
+
+NodeId
+PacketGenerator::onInvAckArrival(const CohMsgPtr &msg, Cycle now)
+{
+    if (msg->kind != CohMsgKind::InvAck || !msg->fromBigRouter)
+        return INVALID_NODE;
+    if (table.completeEi(msg->addr, msg->requester, now))
+        ++stats.counter("acks_relayed");
+    else
+        ++stats.counter("acks_relayed_stale");
+    // The early Inv-Ack round trip closes here, at the generating
+    // router; the onward relay to the home only trims the sharer list.
+    if (cohStats)
+        cohStats->recordInvAckRtt(msg->requester,
+                                  now - msg->invGeneratedAt, true);
+    return cohCfg.homeOf(msg->addr);
+}
+
+} // namespace inpg

@@ -1,0 +1,152 @@
+#include "inpg/synthesis_model.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace inpg {
+
+SynthesisModel::SynthesisModel(SynthesisSeeds seed_values)
+    : seed(seed_values)
+{}
+
+ModuleSynthesis
+SynthesisModel::normalRouter() const
+{
+    ModuleSynthesis m;
+    m.name = "router";
+    m.gatesK = seed.routerGatesK;
+    m.standardCellsK = seed.routerCellsK;
+    m.netsK = seed.routerNetsK;
+    m.cellAreaMm2 = seed.routerAreaMm2;
+    m.cellDensity = seed.routerDensity;
+    m.wireLengthM = seed.routerWireM;
+    m.chipAreaMm2 = seed.tileChipAreaMm2;
+    m.dynamicPowerMw = seed.routerPowerMw;
+    return m;
+}
+
+ModuleSynthesis
+SynthesisModel::packetGenerator(std::size_t table_entries) const
+{
+    // The locking barrier table dominates the generator (CAM-style
+    // storage); cost scales linearly in the entry count around the
+    // paper's 16-entry seed point, with a fixed control-logic floor.
+    const double entry_fraction =
+        static_cast<double>(table_entries) /
+        static_cast<double>(seed.pktgenSeedEntries);
+    const double storage_share = 0.8; // table share of the seed cost
+
+    ModuleSynthesis m;
+    m.name = format("pktgen%zu", table_entries);
+    m.gatesK = seed.pktgenGatesK *
+        ((1.0 - storage_share) + storage_share * entry_fraction);
+    m.dynamicPowerMw = seed.pktgenPowerMw *
+        ((1.0 - storage_share) + storage_share * entry_fraction);
+    // Scale cells/nets/area/wire with gates using the router's ratios.
+    const double per_gate_cells = seed.routerCellsK / seed.routerGatesK;
+    const double per_gate_nets = seed.routerNetsK / seed.routerGatesK;
+    const double per_gate_area = seed.routerAreaMm2 / seed.routerGatesK;
+    const double per_gate_wire = seed.routerWireM / seed.routerGatesK;
+    m.standardCellsK = m.gatesK * per_gate_cells;
+    m.netsK = m.gatesK * per_gate_nets;
+    m.cellAreaMm2 = m.gatesK * per_gate_area;
+    m.wireLengthM = m.gatesK * per_gate_wire;
+    return m;
+}
+
+ModuleSynthesis
+SynthesisModel::bigRouter(std::size_t table_entries) const
+{
+    ModuleSynthesis r = normalRouter();
+    ModuleSynthesis g = packetGenerator(table_entries);
+    ModuleSynthesis m;
+    m.name = "big_router";
+    m.gatesK = r.gatesK + g.gatesK;
+    m.standardCellsK = r.standardCellsK + g.standardCellsK;
+    m.netsK = r.netsK + g.netsK;
+    m.cellAreaMm2 = r.cellAreaMm2 + g.cellAreaMm2;
+    // Same tile dimension as a normal router (the paper accommodates
+    // the generator by raising standard-cell density, Fig. 7a).
+    m.chipAreaMm2 = seed.tileChipAreaMm2;
+    m.cellDensity = r.cellDensity * (m.cellAreaMm2 / r.cellAreaMm2);
+    m.wireLengthM = r.wireLengthM + g.wireLengthM;
+    m.dynamicPowerMw = r.dynamicPowerMw + g.dynamicPowerMw;
+    return m;
+}
+
+ModuleSynthesis
+SynthesisModel::core() const
+{
+    ModuleSynthesis m;
+    m.name = "core";
+    m.gatesK = seed.coreGatesK;
+    m.standardCellsK = seed.coreCellsK;
+    m.netsK = seed.coreNetsK;
+    m.cellAreaMm2 = seed.coreAreaMm2;
+    m.cellDensity = seed.coreDensity;
+    m.wireLengthM = seed.coreWireM;
+    m.chipAreaMm2 = seed.coreChipAreaMm2;
+    m.dynamicPowerMw = seed.corePowerMw;
+    return m;
+}
+
+double
+SynthesisModel::tilePowerMw(bool big, std::size_t table_entries) const
+{
+    const double router_power = big
+        ? bigRouter(table_entries).dynamicPowerMw
+        : normalRouter().dynamicPowerMw;
+    return seed.corePowerMw + router_power;
+}
+
+double
+SynthesisModel::chipPowerMw(int num_nodes, int num_big_routers,
+                            std::size_t table_entries) const
+{
+    if (num_big_routers < 0 || num_big_routers > num_nodes)
+        fatal("bad deployment: %d big routers of %d nodes",
+              num_big_routers, num_nodes);
+    return static_cast<double>(num_nodes - num_big_routers) *
+               tilePowerMw(false, table_entries) +
+           static_cast<double>(num_big_routers) *
+               tilePowerMw(true, table_entries);
+}
+
+std::string
+SynthesisModel::renderTable(std::size_t table_entries) const
+{
+    const ModuleSynthesis cols[] = {core(), bigRouter(table_entries),
+                                    normalRouter()};
+    std::ostringstream os;
+    auto row = [&](const std::string &label, auto get, int decimals) {
+        os << padRight(label, 18);
+        for (const auto &c : cols)
+            os << padLeft(fixed(get(c), decimals), 12);
+        os << "\n";
+    };
+    os << padRight("", 18) << padLeft("Core", 12) << padLeft("BigRouter", 12)
+       << padLeft("Router", 12) << "\n";
+    row("Gate count (K)", [](const ModuleSynthesis &m) { return m.gatesK; },
+        1);
+    row("SC count (K)",
+        [](const ModuleSynthesis &m) { return m.standardCellsK; }, 1);
+    row("Net count (K)", [](const ModuleSynthesis &m) { return m.netsK; },
+        1);
+    row("SC area (mm2)",
+        [](const ModuleSynthesis &m) { return m.cellAreaMm2; }, 2);
+    row("Cell density (%)",
+        [](const ModuleSynthesis &m) { return m.cellDensity * 100.0; }, 2);
+    row("Wire length (m)",
+        [](const ModuleSynthesis &m) { return m.wireLengthM; }, 2);
+    row("Chip area (mm2)",
+        [](const ModuleSynthesis &m) { return m.chipAreaMm2; }, 2);
+    row("Dyn. power (mW)",
+        [](const ModuleSynthesis &m) { return m.dynamicPowerMw; }, 1);
+    os << "Floorplan layers: " << seed.floorplanLayers
+       << " (metal " << seed.metalLayers << ", top 2 power mesh)\n";
+    return os.str();
+}
+
+} // namespace inpg

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Analytical synthesis/floorplan model reproducing paper Figure 7a.
+ *
+ * Substitution note (see DESIGN.md): the paper synthesizes RTL with
+ * Synopsys DC + Cadence SoC Encounter on TSMC 40nm LP. Without EDA
+ * tools we provide a parametric model seeded with the paper's reported
+ * constants; the packet-generator cost scales with the locking barrier
+ * table size so the Fig. 15 design-space sweep can also report hardware
+ * cost.
+ */
+
+#ifndef INPG_INPG_SYNTHESIS_MODEL_HH
+#define INPG_INPG_SYNTHESIS_MODEL_HH
+
+#include <cstddef>
+#include <string>
+
+namespace inpg {
+
+/** Synthesis figures for one module (gate counts in kilo-gates). */
+struct ModuleSynthesis {
+    std::string name;
+    double gatesK = 0;        ///< equivalent NAND gates, thousands
+    double standardCellsK = 0;///< standard cells, thousands
+    double netsK = 0;         ///< nets, thousands
+    double cellAreaMm2 = 0;   ///< total SC area
+    double cellDensity = 0;   ///< pre-filler density, 0..1
+    double wireLengthM = 0;   ///< total wire length, meters
+    double chipAreaMm2 = 0;   ///< floorplanned area
+    double dynamicPowerMw = 0;///< at 1.1 V, 2.0 GHz
+};
+
+/** Technology/seed constants (paper-reported values, TSMC 40nm LP). */
+struct SynthesisSeeds {
+    // Normal 2-stage speculative router.
+    double routerGatesK = 19.9;
+    double routerCellsK = 3.6;
+    double routerNetsK = 10.0;
+    double routerAreaMm2 = 0.13;
+    double routerDensity = 0.6190;
+    double routerWireM = 1.28;
+    double routerPowerMw = 84.2;
+
+    // Packet generator at the default 16-barrier/16-EI table.
+    double pktgenGatesK = 2.5;
+    double pktgenPowerMw = 8.4;
+    std::size_t pktgenSeedEntries = 16;
+
+    // OpenRISC 1200 core (adjusted per Table 1).
+    double coreGatesK = 152.5;
+    double coreCellsK = 23.2;
+    double coreNetsK = 60.9;
+    double coreAreaMm2 = 0.97;
+    double coreDensity = 0.4826;
+    double coreWireM = 8.81;
+    double corePowerMw = 623.5;
+    double coreChipAreaMm2 = 2.03;
+
+    // Shared tile geometry.
+    double tileChipAreaMm2 = 0.21; ///< router floorplan tile (460x460 um)
+    int floorplanLayers = 28;
+    int metalLayers = 10;
+};
+
+/** Analytical synthesis model of routers, big routers and tiles. */
+class SynthesisModel
+{
+  public:
+    explicit SynthesisModel(SynthesisSeeds seed_values = SynthesisSeeds{});
+
+    /** The baseline router (paper "Router" column). */
+    ModuleSynthesis normalRouter() const;
+
+    /**
+     * The packet generator alone, for a given locking-barrier-table
+     * size (barriers == EI entries, the paper's coupled knob).
+     */
+    ModuleSynthesis packetGenerator(std::size_t table_entries) const;
+
+    /** The big router = normal router + packet generator. */
+    ModuleSynthesis bigRouter(std::size_t table_entries) const;
+
+    /** The core (paper "Core" column). */
+    ModuleSynthesis core() const;
+
+    /** Dynamic power of one tile: core + (big or normal) router. */
+    double tilePowerMw(bool big, std::size_t table_entries) const;
+
+    /**
+     * Full-chip dynamic power for a deployment of big routers.
+     * @param num_nodes       tiles on the chip
+     * @param num_big_routers tiles upgraded to big routers
+     */
+    double chipPowerMw(int num_nodes, int num_big_routers,
+                       std::size_t table_entries) const;
+
+    /** Fig. 7a-style text table. */
+    std::string renderTable(std::size_t table_entries = 16) const;
+
+    const SynthesisSeeds &seeds() const { return seed; }
+
+  private:
+    SynthesisSeeds seed;
+};
+
+} // namespace inpg
+
+#endif // INPG_INPG_SYNTHESIS_MODEL_HH

@@ -1,0 +1,69 @@
+#include "noc/arbiter.hh"
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+RoundRobinArbiter::RoundRobinArbiter(std::size_t size) : numInputs(size)
+{
+    INPG_ASSERT(size > 0, "arbiter needs at least one input");
+}
+
+int
+RoundRobinArbiter::grant(const std::vector<bool> &requests)
+{
+    INPG_ASSERT(requests.size() == numInputs,
+                "request vector size %zu != arbiter size %zu",
+                requests.size(), numInputs);
+    for (std::size_t i = 0; i < numInputs; ++i) {
+        std::size_t idx = (pointer + i) % numInputs;
+        if (requests[idx]) {
+            // Granted input becomes lowest priority next time.
+            pointer = (idx + 1) % numInputs;
+            return static_cast<int>(idx);
+        }
+    }
+    return -1;
+}
+
+PriorityArbiter::PriorityArbiter(std::size_t size, Cycle aging_quantum)
+    : tieBreak(size), agingQuantum(aging_quantum), scratchMask(size, false)
+{}
+
+std::int64_t
+PriorityArbiter::effectivePriority(const Request &req) const
+{
+    std::int64_t boost = agingQuantum
+        ? static_cast<std::int64_t>(req.age / agingQuantum)
+        : 0;
+    return static_cast<std::int64_t>(req.priority) + boost;
+}
+
+int
+PriorityArbiter::grant(const std::vector<Request> &requests)
+{
+    INPG_ASSERT(requests.size() == tieBreak.size(),
+                "request vector size %zu != arbiter size %zu",
+                requests.size(), tieBreak.size());
+    // Find the maximum effective priority among valid requests.
+    bool any = false;
+    std::int64_t best = 0;
+    for (const auto &r : requests) {
+        if (!r.valid)
+            continue;
+        std::int64_t p = effectivePriority(r);
+        if (!any || p > best) {
+            best = p;
+            any = true;
+        }
+    }
+    if (!any)
+        return -1;
+    // Round-robin only among the winners of the priority comparison.
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        scratchMask[i] =
+            requests[i].valid && effectivePriority(requests[i]) == best;
+    return tieBreak.grant(scratchMask);
+}
+
+} // namespace inpg

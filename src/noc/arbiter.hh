@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Arbiters used in VC and switch allocation.
+ *
+ * RoundRobinArbiter is the baseline policy. The OCOR mechanism supplies
+ * priorities; PriorityArbiter picks the highest-priority requester and
+ * breaks ties round-robin, with an aging escape hatch against
+ * starvation (paper Section 5.1, Case 2).
+ */
+
+#ifndef INPG_NOC_ARBITER_HH
+#define INPG_NOC_ARBITER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace inpg {
+
+/** Work-conserving round-robin arbiter over `size` requesters. */
+class RoundRobinArbiter
+{
+  public:
+    explicit RoundRobinArbiter(std::size_t size);
+
+    /**
+     * Grant one of the requesting inputs.
+     *
+     * @param requests one bool per input; at least one must be true for
+     *                 a grant to happen.
+     * @return granted index, or -1 if nothing requested.
+     */
+    int grant(const std::vector<bool> &requests);
+
+    std::size_t size() const { return numInputs; }
+
+  private:
+    std::size_t numInputs;
+    std::size_t pointer = 0;
+};
+
+/**
+ * Priority arbiter: maximum priority wins; ties resolved round-robin.
+ * Each requester may carry an age (cycles waited); `age / agingQuantum`
+ * is added to its priority so old requests cannot starve.
+ */
+class PriorityArbiter
+{
+  public:
+    /**
+     * @param size          number of requesters
+     * @param aging_quantum cycles of waiting per +1 effective priority;
+     *                      0 disables aging.
+     */
+    PriorityArbiter(std::size_t size, Cycle aging_quantum);
+
+    struct Request {
+        bool valid = false;
+        int priority = 0;
+        Cycle age = 0;
+    };
+
+    /** Grant the best request; -1 if none valid. */
+    int grant(const std::vector<Request> &requests);
+
+    /** Effective priority including the aging boost. */
+    std::int64_t effectivePriority(const Request &req) const;
+
+  private:
+    RoundRobinArbiter tieBreak;
+    Cycle agingQuantum;
+    /** Scratch mask reused across grant() calls (no allocation). */
+    std::vector<bool> scratchMask;
+};
+
+} // namespace inpg
+
+#endif // INPG_NOC_ARBITER_HH

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Credit token for VC flow control.
+ *
+ * A credit is returned upstream whenever a flit leaves an input buffer,
+ * granting the upstream router/NI the right to send one more flit on
+ * that VC. `freeVc` additionally signals that the tail flit left, so
+ * the upstream output VC binding can be released.
+ */
+
+#ifndef INPG_NOC_CREDIT_HH
+#define INPG_NOC_CREDIT_HH
+
+#include "common/types.hh"
+
+namespace inpg {
+
+/** One buffer slot returned for a specific VC. */
+struct Credit {
+    VcId vc = INVALID_VC;
+    /** True when the tail flit vacated the VC (VC becomes reallocatable). */
+    bool freeVc = false;
+};
+
+} // namespace inpg
+
+#endif // INPG_NOC_CREDIT_HH

@@ -1,0 +1,28 @@
+#include "noc/flit.hh"
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+bool
+isHeadFlit(FlitType t)
+{
+    return t == FlitType::Head || t == FlitType::HeadTail;
+}
+
+bool
+isTailFlit(FlitType t)
+{
+    return t == FlitType::Tail || t == FlitType::HeadTail;
+}
+
+std::string
+Flit::toString() const
+{
+    const char *names[] = {"H", "B", "T", "HT"};
+    return format("flit[%s seq%d vc%d of %s]",
+                  names[static_cast<int>(type)], seq, vc,
+                  packet ? packet->toString().c_str() : "null");
+}
+
+} // namespace inpg

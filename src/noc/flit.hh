@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Flit: the unit of link transfer and buffer allocation.
+ */
+
+#ifndef INPG_NOC_FLIT_HH
+#define INPG_NOC_FLIT_HH
+
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+#include "noc/packet.hh"
+
+namespace inpg {
+
+/** Position of a flit inside its packet. */
+enum class FlitType {
+    Head,
+    Body,
+    Tail,
+    HeadTail, ///< single-flit packet
+};
+
+/** True for Head and HeadTail flits. */
+bool isHeadFlit(FlitType t);
+
+/** True for Tail and HeadTail flits. */
+bool isTailFlit(FlitType t);
+
+/** One flit of a packet in flight. */
+struct Flit {
+    Flit(PacketPtr pkt, FlitType flit_type, int sequence)
+        : packet(std::move(pkt)), type(flit_type), seq(sequence)
+    {}
+
+    PacketPtr packet;
+    FlitType type;
+    /** 0-based position within the packet. */
+    int seq;
+
+    /** VC the flit occupies at the current hop (set per hop). */
+    VcId vc = INVALID_VC;
+
+    /** Cycle the flit was written into the current input buffer. */
+    Cycle bufferedAt = 0;
+
+    std::string toString() const;
+};
+
+using FlitPtr = std::shared_ptr<Flit>;
+
+} // namespace inpg
+
+#endif // INPG_NOC_FLIT_HH

@@ -1,0 +1,62 @@
+#include "noc/input_unit.hh"
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+InputUnit::InputUnit(int num_vcs, int vc_depth) : depth(vc_depth)
+{
+    INPG_ASSERT(num_vcs > 0 && vc_depth > 0,
+                "bad input unit shape: %d VCs x %d flits", num_vcs,
+                vc_depth);
+    vcs.resize(static_cast<std::size_t>(num_vcs));
+}
+
+void
+InputUnit::receiveFlit(const FlitPtr &flit, Cycle now)
+{
+    INPG_ASSERT(flit->vc >= 0 && flit->vc < numVcs(),
+                "flit arrived on bad VC %d", flit->vc);
+    VirtualChannel &ch = vcs[static_cast<std::size_t>(flit->vc)];
+    INPG_ASSERT(ch.buffer.size() < static_cast<std::size_t>(depth),
+                "VC %d overflow (credit protocol violated)", flit->vc);
+    // Back-to-back packets may share a VC buffer (the upstream output VC
+    // is released when the tail is sent); only the front packet drives
+    // the VC state machine. A flit landing in an idle, empty VC must
+    // start a packet.
+    if (ch.state == VirtualChannel::State::Idle && ch.buffer.empty()) {
+        INPG_ASSERT(isHeadFlit(flit->type),
+                    "body flit into idle empty VC %d", flit->vc);
+    }
+    flit->bufferedAt = now;
+    ch.buffer.push_back(flit);
+    ++occupancy;
+}
+
+FlitPtr
+InputUnit::popFlit(VcId vc_id)
+{
+    VirtualChannel &ch = vc(vc_id);
+    INPG_ASSERT(ch.hasFlit(), "pop from empty VC %d", vc_id);
+    FlitPtr flit = ch.buffer.front();
+    ch.buffer.pop_front();
+    INPG_ASSERT(occupancy > 0, "occupancy underflow");
+    --occupancy;
+    return flit;
+}
+
+VirtualChannel &
+InputUnit::vc(VcId id)
+{
+    INPG_ASSERT(id >= 0 && id < numVcs(), "VC id %d out of range", id);
+    return vcs[static_cast<std::size_t>(id)];
+}
+
+const VirtualChannel &
+InputUnit::vc(VcId id) const
+{
+    INPG_ASSERT(id >= 0 && id < numVcs(), "VC id %d out of range", id);
+    return vcs[static_cast<std::size_t>(id)];
+}
+
+} // namespace inpg

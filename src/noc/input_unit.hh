@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Input unit of a router port: one buffered virtual channel set.
+ */
+
+#ifndef INPG_NOC_INPUT_UNIT_HH
+#define INPG_NOC_INPUT_UNIT_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "noc/flit.hh"
+#include "noc/routing.hh"
+
+namespace inpg {
+
+/** Per-VC state machine of an input port. */
+struct VirtualChannel {
+    enum class State {
+        Idle,   ///< no packet resident
+        WaitVc, ///< head buffered & routed; waiting for an output VC
+        Active, ///< output VC allocated; flits may traverse the switch
+    };
+
+    State state = State::Idle;
+    std::deque<FlitPtr> buffer;
+
+    /** Output port computed by route computation (valid in WaitVc+). */
+    Direction outPort = Direction::Local;
+
+    /** Downstream VC granted by VC allocation (valid in Active). */
+    VcId outVc = INVALID_VC;
+
+    /** Cycle the resident head flit was buffered (aging / eligibility). */
+    Cycle headEnqueuedAt = 0;
+
+    bool hasFlit() const { return !buffer.empty(); }
+};
+
+/**
+ * The input side of one router port: `numVcs` buffered VCs.
+ *
+ * The router drives all pipeline stages; InputUnit owns buffer space and
+ * per-VC state, and checks buffer-occupancy invariants.
+ */
+class InputUnit
+{
+  public:
+    InputUnit(int num_vcs, int vc_depth);
+
+    /** Buffer an arriving flit into its VC. */
+    void receiveFlit(const FlitPtr &flit, Cycle now);
+
+    /** Pop the head flit of a VC (switch traversal). */
+    FlitPtr popFlit(VcId vc);
+
+    VirtualChannel &vc(VcId id);
+    const VirtualChannel &vc(VcId id) const;
+
+    int numVcs() const { return static_cast<int>(vcs.size()); }
+    int vcDepth() const { return depth; }
+
+    /** Total buffered flits across VCs (for stats/invariants). */
+    std::size_t totalOccupancy() const { return occupancy; }
+
+  private:
+    std::vector<VirtualChannel> vcs;
+    int depth;
+    std::size_t occupancy = 0;
+};
+
+} // namespace inpg
+
+#endif // INPG_NOC_INPUT_UNIT_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fixed-latency point-to-point links for flits and credits.
+ *
+ * Links are the only channel between clocked NoC components; they latch
+ * items with a delivery cycle in the future, making intra-cycle tick
+ * order unobservable and hop timing explicit.
+ */
+
+#ifndef INPG_NOC_LINK_HH
+#define INPG_NOC_LINK_HH
+
+#include <deque>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "noc/credit.hh"
+#include "noc/flit.hh"
+
+namespace inpg {
+
+/**
+ * FIFO pipe delivering items `latency` cycles after push.
+ *
+ * Items pushed at cycle t become poppable at cycle t + latency. Pushes
+ * within one cycle stay ordered.
+ */
+template <typename T>
+class DelayLine
+{
+  public:
+    explicit DelayLine(Cycle link_latency) : latency(link_latency)
+    {
+        INPG_ASSERT(link_latency >= 1, "link latency must be >= 1");
+    }
+
+    /** Enqueue an item at cycle `now`. */
+    void
+    push(T item, Cycle now)
+    {
+        queue.emplace_back(now + latency, std::move(item));
+    }
+
+    /** True if an item is deliverable at cycle `now`. */
+    bool
+    ready(Cycle now) const
+    {
+        return !queue.empty() && queue.front().first <= now;
+    }
+
+    /** Pop the next deliverable item; ready(now) must be true. */
+    T
+    pop(Cycle now)
+    {
+        INPG_ASSERT(ready(now), "pop on non-ready link");
+        T item = std::move(queue.front().second);
+        queue.pop_front();
+        return item;
+    }
+
+    /** Items in flight (delivered or not). */
+    std::size_t size() const { return queue.size(); }
+
+    bool empty() const { return queue.empty(); }
+
+    Cycle linkLatency() const { return latency; }
+
+  private:
+    Cycle latency;
+    std::deque<std::pair<Cycle, T>> queue;
+};
+
+/**
+ * One direction of a router-to-router (or NI-to-router) channel:
+ * a flit pipe downstream and a credit pipe upstream.
+ *
+ * The flit delay is linkLatency + 1 to account for the sender's switch
+ * traversal stage (ST), completing the paper's 2-stage router + 1-cycle
+ * link hop timing; credits return in 1 cycle.
+ */
+class Channel
+{
+  public:
+    explicit Channel(Cycle link_latency = 1)
+        : flits(link_latency + 1), credits(1)
+    {}
+
+    DelayLine<FlitPtr> flits;
+    DelayLine<Credit> credits;
+};
+
+} // namespace inpg
+
+#endif // INPG_NOC_LINK_HH

@@ -1,0 +1,146 @@
+#include "noc/network.hh"
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+Network::Network(const NocConfig &config, Simulator &sim,
+                 RouterFactory factory)
+    : cfg(config), meshShape(config.meshWidth, config.meshHeight)
+{
+    if (cfg.routing == RoutingKind::YX)
+        routingAlgo = std::make_unique<YXRouting>(meshShape);
+    else
+        routingAlgo = std::make_unique<XYRouting>(meshShape);
+    const int n = cfg.numNodes();
+    routers.reserve(static_cast<std::size_t>(n));
+    nis.reserve(static_cast<std::size_t>(n));
+
+    for (NodeId id = 0; id < n; ++id) {
+        if (factory)
+            routers.push_back(factory(id, cfg, routingAlgo.get()));
+        else
+            routers.push_back(
+                std::make_unique<Router>(id, cfg, routingAlgo.get()));
+        nis.push_back(std::make_unique<NetworkInterface>(id, cfg));
+    }
+
+    // Local port wiring: NI <-> router.
+    for (NodeId id = 0; id < n; ++id) {
+        Channel *to_router = newChannel();
+        Channel *from_router = newChannel();
+        routers[static_cast<std::size_t>(id)]->connectInput(
+            Direction::Local, to_router);
+        routers[static_cast<std::size_t>(id)]->connectOutput(
+            Direction::Local, from_router);
+        nis[static_cast<std::size_t>(id)]->connect(to_router, from_router);
+    }
+
+    // Mesh wiring: one channel per direction per adjacent pair.
+    for (NodeId id = 0; id < n; ++id) {
+        for (Direction d : {Direction::East, Direction::South}) {
+            NodeId nb = meshShape.neighbor(id, d);
+            if (nb == INVALID_NODE)
+                continue;
+            Channel *fwd = newChannel();
+            Channel *rev = newChannel();
+            routers[static_cast<std::size_t>(id)]->connectOutput(d, fwd);
+            routers[static_cast<std::size_t>(nb)]->connectInput(
+                opposite(d), fwd);
+            routers[static_cast<std::size_t>(nb)]->connectOutput(
+                opposite(d), rev);
+            routers[static_cast<std::size_t>(id)]->connectInput(d, rev);
+        }
+    }
+
+    // Deterministic tick order: all routers, then all NIs.
+    for (auto &r : routers)
+        sim.addTicking(r.get());
+    for (auto &ni_ptr : nis)
+        sim.addTicking(ni_ptr.get());
+}
+
+Channel *
+Network::newChannel()
+{
+    channels.push_back(std::make_unique<Channel>(cfg.linkLatency));
+    return channels.back().get();
+}
+
+Router &
+Network::router(NodeId id)
+{
+    INPG_ASSERT(id >= 0 && id < numNodes(), "router id %d out of range",
+                id);
+    return *routers[static_cast<std::size_t>(id)];
+}
+
+NetworkInterface &
+Network::ni(NodeId id)
+{
+    INPG_ASSERT(id >= 0 && id < numNodes(), "NI id %d out of range", id);
+    return *nis[static_cast<std::size_t>(id)];
+}
+
+PacketPtr
+Network::makePacket(NodeId src, NodeId dst, VnetId vnet, int num_flits,
+                    std::shared_ptr<PacketData> payload)
+{
+    INPG_ASSERT(num_flits >= 1, "packet needs at least one flit");
+    return std::make_shared<Packet>(nextPacketId++, src, dst, vnet,
+                                    num_flits, std::move(payload));
+}
+
+void
+Network::inject(const PacketPtr &pkt, Cycle now)
+{
+    ni(pkt->src).sendPacket(pkt, now);
+}
+
+bool
+Network::quiescent() const
+{
+    for (const auto &r : routers)
+        if (r->bufferedFlits() != 0)
+            return false;
+    for (const auto &ni_ptr : nis)
+        if (!ni_ptr->idle())
+            return false;
+    for (const auto &ch : channels)
+        if (!ch->flits.empty())
+            return false;
+    return true;
+}
+
+std::uint64_t
+Network::routerCounterTotal(const std::string &key) const
+{
+    std::uint64_t total = 0;
+    for (const auto &r : routers)
+        total += r->stats.value(key);
+    return total;
+}
+
+std::uint64_t
+Network::niCounterTotal(const std::string &key) const
+{
+    std::uint64_t total = 0;
+    for (const auto &ni_ptr : nis)
+        total += ni_ptr->stats.value(key);
+    return total;
+}
+
+double
+Network::meanPacketLatency() const
+{
+    double sum = 0;
+    std::uint64_t n = 0;
+    for (const auto &ni_ptr : nis) {
+        const SampleStat &s = ni_ptr->stats.sampleValue("packet_latency");
+        sum += s.sum();
+        n += s.count();
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+} // namespace inpg

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Network: owns and wires the full mesh NoC (routers, NIs, channels)
+ * and provides the endpoint API used by the coherence controllers.
+ */
+
+#ifndef INPG_NOC_NETWORK_HH
+#define INPG_NOC_NETWORK_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "noc/link.hh"
+#include "noc/network_interface.hh"
+#include "noc/noc_config.hh"
+#include "noc/router.hh"
+#include "noc/routing.hh"
+#include "sim/simulator.hh"
+
+namespace inpg {
+
+/**
+ * Creates the router for a node; the harness substitutes BigRouter
+ * instances at iNPG deployment sites through this hook.
+ */
+using RouterFactory = std::function<std::unique_ptr<Router>(
+    NodeId, const NocConfig &, const RoutingAlgorithm *)>;
+
+/** The complete on-chip network of one simulated system. */
+class Network
+{
+  public:
+    /**
+     * Build a meshWidth x meshHeight mesh, register all components with
+     * the simulator, and wire every channel.
+     *
+     * @param cfg     NoC parameters
+     * @param sim     kernel the components register with
+     * @param factory optional per-node router factory
+     */
+    Network(const NocConfig &cfg, Simulator &sim,
+            RouterFactory factory = nullptr);
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    const NocConfig &config() const { return cfg; }
+    const MeshShape &shape() const { return meshShape; }
+    const RoutingAlgorithm &routing() const { return *routingAlgo; }
+
+    Router &router(NodeId id);
+    NetworkInterface &ni(NodeId id);
+
+    int numNodes() const { return cfg.numNodes(); }
+
+    /** Allocate a packet with a fresh network-unique id. */
+    PacketPtr makePacket(NodeId src, NodeId dst, VnetId vnet, int num_flits,
+                         std::shared_ptr<PacketData> payload = nullptr);
+
+    /** Inject a packet at its source NI. */
+    void inject(const PacketPtr &pkt, Cycle now);
+
+    /** True when no flit or packet is anywhere in the fabric. */
+    bool quiescent() const;
+
+    /** Sum a counter across all routers. */
+    std::uint64_t routerCounterTotal(const std::string &key) const;
+
+    /** Sum a counter across all NIs. */
+    std::uint64_t niCounterTotal(const std::string &key) const;
+
+    /** Mean end-to-end packet latency observed at the NIs. */
+    double meanPacketLatency() const;
+
+  private:
+    NocConfig cfg;
+    MeshShape meshShape;
+    std::unique_ptr<RoutingAlgorithm> routingAlgo;
+    std::vector<std::unique_ptr<Router>> routers;
+    std::vector<std::unique_ptr<NetworkInterface>> nis;
+    std::vector<std::unique_ptr<Channel>> channels;
+    PacketId nextPacketId = 0;
+
+    Channel *newChannel();
+};
+
+} // namespace inpg
+
+#endif // INPG_NOC_NETWORK_HH

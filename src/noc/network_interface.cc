@@ -1,0 +1,178 @@
+#include "noc/network_interface.hh"
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+NetworkInterface::NetworkInterface(NodeId node_id, const NocConfig &config)
+    : id(node_id), cfg(config), routerPort(cfg.totalVcs(), cfg.vcDepth)
+{
+    stats = StatGroup(format("ni%d", node_id));
+    injectQueues.resize(static_cast<std::size_t>(cfg.numVnets));
+    reassembly.resize(static_cast<std::size_t>(cfg.totalVcs()));
+}
+
+void
+NetworkInterface::connect(Channel *to_router, Channel *from_router)
+{
+    INPG_ASSERT(to_router && from_router, "NI %d: null channel", id);
+    txChannel = to_router;
+    rxChannel = from_router;
+    routerPort.connect(to_router);
+}
+
+void
+NetworkInterface::sendPacket(const PacketPtr &pkt, Cycle now)
+{
+    INPG_ASSERT(pkt->vnet >= 0 && pkt->vnet < cfg.numVnets,
+                "packet on invalid vnet %d", pkt->vnet);
+    INPG_ASSERT(pkt->src == id, "packet src %d injected at NI %d",
+                pkt->src, id);
+    INPG_ASSERT(pkt->dst >= 0 && pkt->dst < cfg.numNodes(),
+                "packet dst %d out of range", pkt->dst);
+    pkt->injectCycle = now;
+    injectQueues[static_cast<std::size_t>(pkt->vnet)].push_back(pkt);
+    ++stats.counter("packets_queued");
+}
+
+std::string
+NetworkInterface::tickName() const
+{
+    return format("ni%d", id);
+}
+
+bool
+NetworkInterface::idle() const
+{
+    for (const auto &q : injectQueues)
+        if (!q.empty())
+            return false;
+    if (!inflight.empty())
+        return false;
+    for (const auto &r : reassembly)
+        if (!r.empty())
+            return false;
+    return true;
+}
+
+void
+NetworkInterface::tick(Cycle now)
+{
+    drainCredits(now);
+    ejectFlits(now);
+    allocateInjectVcs(now);
+    injectOneFlit(now);
+}
+
+void
+NetworkInterface::drainCredits(Cycle now)
+{
+    if (!txChannel)
+        return;
+    while (txChannel->credits.ready(now))
+        routerPort.receiveCredit(txChannel->credits.pop(now));
+}
+
+void
+NetworkInterface::ejectFlits(Cycle now)
+{
+    if (!rxChannel)
+        return;
+    while (rxChannel->flits.ready(now)) {
+        FlitPtr flit = rxChannel->flits.pop(now);
+        INPG_ASSERT(flit->packet->dst == id,
+                    "NI %d ejected packet destined to %d", id,
+                    flit->packet->dst);
+        auto &buf = reassembly[static_cast<std::size_t>(flit->vc)];
+        buf.push_back(flit);
+        // The NI drains its buffers instantly; credit back every flit.
+        rxChannel->credits.push(Credit{flit->vc, isTailFlit(flit->type)},
+                                now);
+        if (isTailFlit(flit->type)) {
+            PacketPtr pkt = flit->packet;
+            INPG_ASSERT(static_cast<int>(buf.size()) == pkt->numFlits,
+                        "packet %llu reassembled with %zu of %d flits",
+                        static_cast<unsigned long long>(pkt->id),
+                        buf.size(), pkt->numFlits);
+            buf.clear();
+            ++stats.counter("packets_delivered");
+            stats.sample("packet_latency").add(
+                static_cast<double>(now - pkt->injectCycle));
+            if (deliver)
+                deliver(pkt, now);
+        }
+    }
+}
+
+void
+NetworkInterface::allocateInjectVcs(Cycle now)
+{
+    const std::size_t nvnets = injectQueues.size();
+    for (std::size_t k = 0; k < nvnets; ++k) {
+        std::size_t v = (vnetPointer + k) % nvnets;
+        auto &q = injectQueues[v];
+        // One allocation per vnet per cycle; honour the 1-cycle NI
+        // injection latency by skipping packets queued this cycle.
+        if (q.empty() || q.front()->injectCycle >= now)
+            continue;
+        VnetId vnet = static_cast<VnetId>(v);
+        VcId vc = routerPort.findFreeVcInRange(cfg.vnetVcLo(vnet),
+                                               cfg.vnetVcHi(vnet));
+        if (vc == INVALID_VC)
+            continue;
+        routerPort.allocateVc(vc);
+        InFlight fl;
+        fl.pkt = q.front();
+        fl.vc = vc;
+        q.pop_front();
+        inflight.push_back(fl);
+    }
+    vnetPointer = (vnetPointer + 1) % nvnets;
+}
+
+void
+NetworkInterface::injectOneFlit(Cycle now)
+{
+    if (inflight.empty() || !txChannel)
+        return;
+    const std::size_t n = inflight.size();
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t i = (inflightPointer + k) % n;
+        InFlight &fl = inflight[i];
+        if (routerPort.credits(fl.vc) <= 0)
+            continue;
+
+        PacketPtr pkt = fl.pkt;
+        FlitType type;
+        if (pkt->numFlits == 1)
+            type = FlitType::HeadTail;
+        else if (fl.nextSeq == 0)
+            type = FlitType::Head;
+        else if (fl.nextSeq == pkt->numFlits - 1)
+            type = FlitType::Tail;
+        else
+            type = FlitType::Body;
+
+        auto flit = std::make_shared<Flit>(pkt, type, fl.nextSeq);
+        flit->vc = fl.vc;
+        if (fl.nextSeq == 0)
+            pkt->networkEntryCycle = now;
+        routerPort.decrementCredit(fl.vc);
+        txChannel->flits.push(flit, now);
+        ++stats.counter("flits_sent");
+
+        ++fl.nextSeq;
+        if (fl.nextSeq == pkt->numFlits) {
+            routerPort.freeVc(fl.vc);
+            ++stats.counter("packets_sent");
+            inflight.erase(inflight.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+            inflightPointer = n > 1 ? i % (n - 1) : 0;
+        } else {
+            inflightPointer = (i + 1) % n;
+        }
+        return; // one flit per cycle
+    }
+}
+
+} // namespace inpg

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Network interface (NI): the tile-side endpoint of the NoC.
+ *
+ * The NI serializes outbound packets into flits (performing VC selection
+ * for the router's local input port), injects at most one flit per cycle
+ * (128-bit link), reassembles inbound flits into packets and delivers
+ * them to the attached controller via a callback.
+ */
+
+#ifndef INPG_NOC_NETWORK_INTERFACE_HH
+#define INPG_NOC_NETWORK_INTERFACE_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "noc/link.hh"
+#include "noc/noc_config.hh"
+#include "noc/output_unit.hh"
+#include "sim/ticking.hh"
+
+namespace inpg {
+
+/** Endpoint adapter between tile controllers and the router fabric. */
+class NetworkInterface : public Ticking
+{
+  public:
+    using DeliverFn = std::function<void(const PacketPtr &, Cycle)>;
+
+    NetworkInterface(NodeId node_id, const NocConfig &cfg);
+
+    /**
+     * @param to_router   channel whose flit line the NI drives
+     *                    (credits return to the NI on it)
+     * @param from_router channel whose flit line feeds the NI
+     *                    (the NI returns credits on it)
+     */
+    void connect(Channel *to_router, Channel *from_router);
+
+    /** Register the packet sink (the tile's message demux). */
+    void setDeliverCallback(DeliverFn fn) { deliver = std::move(fn); }
+
+    /**
+     * Queue a packet for injection. Takes effect the cycle after the
+     * call (the NI charges one cycle of injection latency).
+     */
+    void sendPacket(const PacketPtr &pkt, Cycle now);
+
+    void tick(Cycle now) override;
+
+    std::string tickName() const override;
+
+    NodeId nodeId() const { return id; }
+
+    /** True when no packet is queued, serializing, or reassembling. */
+    bool idle() const;
+
+    StatGroup stats;
+
+  private:
+    void drainCredits(Cycle now);
+    void ejectFlits(Cycle now);
+    void allocateInjectVcs(Cycle now);
+    void injectOneFlit(Cycle now);
+
+    NodeId id;
+    NocConfig cfg;
+    DeliverFn deliver;
+
+    Channel *txChannel = nullptr;
+    Channel *rxChannel = nullptr;
+
+    /** Mirror of the router's local input port VC/credit state. */
+    OutputUnit routerPort;
+
+    /** Per-vnet queues of packets awaiting a VC. */
+    std::vector<std::deque<PacketPtr>> injectQueues;
+
+    /** Packets currently being serialized, keyed by allocated VC. */
+    struct InFlight {
+        PacketPtr pkt;
+        int nextSeq = 0;
+        VcId vc = INVALID_VC;
+    };
+    std::vector<InFlight> inflight;
+
+    /** Per-VC reassembly buffers for inbound flits. */
+    std::vector<std::vector<FlitPtr>> reassembly;
+
+    std::size_t vnetPointer = 0;
+    std::size_t inflightPointer = 0;
+};
+
+} // namespace inpg
+
+#endif // INPG_NOC_NETWORK_INTERFACE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * NoC parameters (paper Table 1 defaults).
+ *
+ * The paper lists "6 VCs per port, 4 flits per VC, 4 virtual networks";
+ * VCs must partition evenly across virtual networks in a Garnet-style
+ * design, so we expose vcsPerVnet (default 2, i.e. 8 VCs/port) as the
+ * closest even partition and make it configurable.
+ */
+
+#ifndef INPG_NOC_NOC_CONFIG_HH
+#define INPG_NOC_NOC_CONFIG_HH
+
+#include "common/types.hh"
+
+namespace inpg {
+
+/** Routing algorithm selector. */
+enum class RoutingKind {
+    XY, ///< X-then-Y dimension order (paper default)
+    YX, ///< Y-then-X dimension order
+};
+
+/** Switch-allocation policy selector. */
+enum class SwitchPolicy {
+    RoundRobin, ///< baseline Garnet-style fair arbitration
+    Priority,   ///< OCOR: packet priority + aging
+};
+
+/** Static NoC configuration shared by routers, NIs and the builder. */
+struct NocConfig {
+    int meshWidth = 8;
+    int meshHeight = 8;
+
+    /** Message classes; see coh/coherence_msg.hh for the assignment. */
+    int numVnets = 4;
+
+    /** VCs per port per virtual network. */
+    int vcsPerVnet = 2;
+
+    /** Buffer depth per VC in flits. */
+    int vcDepth = 4;
+
+    /** Wire latency of one hop in cycles (router adds its 2 stages). */
+    Cycle linkLatency = 1;
+
+    /** Flits in a cache-block-carrying packet (128B / 128-bit = 8). */
+    int dataPacketFlits = 8;
+
+    /** Flits in a coherence control packet. */
+    int ctrlPacketFlits = 1;
+
+    /** Routing algorithm. */
+    RoutingKind routing = RoutingKind::XY;
+
+    /** Switch allocation policy (Priority enables OCOR arbitration). */
+    SwitchPolicy switchPolicy = SwitchPolicy::RoundRobin;
+
+    /** Cycles of waiting per +1 effective priority under Priority. */
+    Cycle agingQuantum = 64;
+
+    int totalVcs() const { return numVnets * vcsPerVnet; }
+
+    /** First VC index belonging to a vnet. */
+    VcId vnetVcLo(VnetId v) const { return v * vcsPerVnet; }
+
+    /** Last VC index belonging to a vnet. */
+    VcId vnetVcHi(VnetId v) const { return (v + 1) * vcsPerVnet - 1; }
+
+    /** Vnet that owns a VC index. */
+    VnetId vnetOfVc(VcId vc) const { return vc / vcsPerVnet; }
+
+    int numNodes() const { return meshWidth * meshHeight; }
+};
+
+} // namespace inpg
+
+#endif // INPG_NOC_NOC_CONFIG_HH

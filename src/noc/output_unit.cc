@@ -1,0 +1,91 @@
+#include "noc/output_unit.hh"
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+OutputUnit::OutputUnit(int num_vcs, int vc_depth) : depth(vc_depth)
+{
+    INPG_ASSERT(num_vcs > 0 && vc_depth > 0,
+                "bad output unit shape: %d VCs x %d credits", num_vcs,
+                vc_depth);
+    states.resize(static_cast<std::size_t>(num_vcs));
+    for (auto &s : states)
+        s.credits = vc_depth;
+}
+
+OutputUnit::OutVcState &
+OutputUnit::state(VcId vc)
+{
+    INPG_ASSERT(vc >= 0 && vc < numVcs(), "VC id %d out of range", vc);
+    return states[static_cast<std::size_t>(vc)];
+}
+
+const OutputUnit::OutVcState &
+OutputUnit::state(VcId vc) const
+{
+    INPG_ASSERT(vc >= 0 && vc < numVcs(), "VC id %d out of range", vc);
+    return states[static_cast<std::size_t>(vc)];
+}
+
+bool
+OutputUnit::isVcFree(VcId vc) const
+{
+    return !state(vc).busy;
+}
+
+void
+OutputUnit::allocateVc(VcId vc)
+{
+    OutVcState &s = state(vc);
+    INPG_ASSERT(!s.busy, "double allocation of output VC %d", vc);
+    s.busy = true;
+}
+
+void
+OutputUnit::freeVc(VcId vc)
+{
+    OutVcState &s = state(vc);
+    INPG_ASSERT(s.busy, "freeing a free output VC %d", vc);
+    s.busy = false;
+}
+
+int
+OutputUnit::credits(VcId vc) const
+{
+    return state(vc).credits;
+}
+
+void
+OutputUnit::decrementCredit(VcId vc)
+{
+    OutVcState &s = state(vc);
+    INPG_ASSERT(s.credits > 0, "credit underflow on VC %d", vc);
+    --s.credits;
+}
+
+void
+OutputUnit::receiveCredit(const Credit &credit)
+{
+    OutVcState &s = state(credit.vc);
+    ++s.credits;
+    INPG_ASSERT(s.credits <= depth, "credit overflow on VC %d", credit.vc);
+}
+
+VcId
+OutputUnit::findFreeVcInRange(VcId lo, VcId hi)
+{
+    INPG_ASSERT(lo >= 0 && hi < numVcs() && lo <= hi,
+                "bad VC range [%d, %d]", lo, hi);
+    const VcId span = hi - lo + 1;
+    for (VcId i = 0; i < span; ++i) {
+        VcId vc = lo + (scanPointer + i) % span;
+        if (isVcFree(vc)) {
+            scanPointer = (vc - lo + 1) % span;
+            return vc;
+        }
+    }
+    return INVALID_VC;
+}
+
+} // namespace inpg

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Output unit of a router port: downstream VC bookkeeping (credit counts
+ * and VC allocation state) plus the outgoing channel reference.
+ */
+
+#ifndef INPG_NOC_OUTPUT_UNIT_HH
+#define INPG_NOC_OUTPUT_UNIT_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "noc/credit.hh"
+#include "noc/link.hh"
+
+namespace inpg {
+
+/**
+ * Tracks, for each VC of the downstream input port, whether it is bound
+ * to an in-flight packet and how many buffer slots remain.
+ */
+class OutputUnit
+{
+  public:
+    /**
+     * @param num_vcs  VCs on the downstream input port
+     * @param vc_depth downstream buffer depth (initial credits per VC)
+     */
+    OutputUnit(int num_vcs, int vc_depth);
+
+    /** Attach the physical channel this port drives (not owned). */
+    void connect(Channel *out_channel) { channel = out_channel; }
+
+    Channel *outChannel() const { return channel; }
+
+    /** True if the VC is unbound and can be granted to a new packet. */
+    bool isVcFree(VcId vc) const;
+
+    /** Bind a VC to a packet (VC allocation). */
+    void allocateVc(VcId vc);
+
+    /** Release a VC binding (tail flit traversed the switch). */
+    void freeVc(VcId vc);
+
+    /** Credits remaining on a VC. */
+    int credits(VcId vc) const;
+
+    /** Consume one credit (a flit was sent on this VC). */
+    void decrementCredit(VcId vc);
+
+    /** Process a returning credit from downstream. */
+    void receiveCredit(const Credit &credit);
+
+    /**
+     * Find a free VC within [lo, hi] starting the scan after the last
+     * grant (round-robin); INVALID_VC if none.
+     */
+    VcId findFreeVcInRange(VcId lo, VcId hi);
+
+    int numVcs() const { return static_cast<int>(states.size()); }
+
+  private:
+    struct OutVcState {
+        bool busy = false;
+        int credits;
+    };
+
+    std::vector<OutVcState> states;
+    Channel *channel = nullptr;
+    int depth;
+    VcId scanPointer = 0;
+
+    OutVcState &state(VcId vc);
+    const OutVcState &state(VcId vc) const;
+};
+
+} // namespace inpg
+
+#endif // INPG_NOC_OUTPUT_UNIT_HH

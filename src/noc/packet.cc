@@ -1,0 +1,15 @@
+#include "noc/packet.hh"
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+std::string
+Packet::toString() const
+{
+    return format("pkt#%llu %d->%d vnet%d flits%d prio%d",
+                  static_cast<unsigned long long>(id), src, dst, vnet,
+                  numFlits, priority);
+}
+
+} // namespace inpg

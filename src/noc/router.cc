@@ -1,0 +1,370 @@
+#include "noc/router.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+Router::Router(NodeId node_id, const NocConfig &config_in,
+               const RoutingAlgorithm *routing)
+    : id(node_id), cfg(config_in), router(routing)
+{
+    INPG_ASSERT(routing != nullptr, "router %d needs a routing algorithm",
+                node_id);
+    stats = StatGroup(format("router%d", node_id));
+    inputs.reserve(NUM_PORTS + 1);
+    inChannels.reserve(NUM_PORTS + 1);
+    for (int p = 0; p < NUM_PORTS; ++p) {
+        inputs.push_back(
+            std::make_unique<InputUnit>(cfg.totalVcs(), cfg.vcDepth));
+        inChannels.push_back(nullptr);
+        outputs[static_cast<std::size_t>(p)] =
+            std::make_unique<OutputUnit>(cfg.totalVcs(), cfg.vcDepth);
+        saOutportArb[static_cast<std::size_t>(p)] =
+            std::make_unique<PriorityArbiter>(NUM_PORTS + 1,
+                                              cfg.agingQuantum);
+    }
+    for (int p = 0; p < NUM_PORTS + 1; ++p) {
+        saInportArb.push_back(std::make_unique<PriorityArbiter>(
+            static_cast<std::size_t>(cfg.totalVcs()), cfg.agingQuantum));
+    }
+    saVcReqScratch.resize(static_cast<std::size_t>(cfg.totalVcs()));
+    saPortReqScratch.resize(NUM_PORTS + 1);
+    inportWinnerScratch.resize(NUM_PORTS + 1, INVALID_VC);
+    saInportVnetPtr.resize(NUM_PORTS + 1, 0);
+    flitsReceivedCtr = &stats.counter("flits_received");
+    flitsSentCtr = &stats.counter("flits_sent");
+    packetsRoutedCtr = &stats.counter("packets_routed");
+    vaGrantsCtr = &stats.counter("va_grants");
+}
+
+void
+Router::connectInput(Direction d, Channel *channel)
+{
+    INPG_ASSERT(channel != nullptr, "null input channel");
+    inChannels[static_cast<std::size_t>(d)] = channel;
+}
+
+void
+Router::connectOutput(Direction d, Channel *channel)
+{
+    INPG_ASSERT(channel != nullptr, "null output channel");
+    outputs[static_cast<std::size_t>(d)]->connect(channel);
+}
+
+int
+Router::addGeneratorPort()
+{
+    INPG_ASSERT(genPort < 0, "generator port already present");
+    inputs.push_back(
+        std::make_unique<InputUnit>(cfg.totalVcs(), cfg.vcDepth));
+    inChannels.push_back(nullptr);
+    genPort = numInPorts() - 1;
+    return genPort;
+}
+
+void
+Router::injectGenerated(const PacketPtr &pkt, Cycle now)
+{
+    INPG_ASSERT(genPort >= 0, "no generator port on router %d", id);
+    INPG_ASSERT(pkt->numFlits == 1,
+                "generated packets must be single-flit control messages");
+    (void)now;
+    genQueue.push_back(pkt);
+    ++stats.counter("gen_packets_queued");
+}
+
+std::string
+Router::tickName() const
+{
+    return format("router%d", id);
+}
+
+std::size_t
+Router::bufferedFlits() const
+{
+    std::size_t n = 0;
+    for (const auto &iu : inputs)
+        n += iu->totalOccupancy();
+    return n;
+}
+
+void
+Router::tick(Cycle now)
+{
+    drainCredits(now);
+    drainFlits(now);
+    generatorPhase(now);
+    drainGeneratorQueue(now);
+    // Idle fast path: with no buffered flit anywhere, the allocation
+    // stages have no work.
+    bool any = false;
+    for (const auto &iu : inputs) {
+        if (iu->totalOccupancy() != 0) {
+            any = true;
+            break;
+        }
+    }
+    if (!any)
+        return;
+    allocateVcs(now);
+    allocateSwitch(now);
+}
+
+void
+Router::drainCredits(Cycle now)
+{
+    for (int p = 0; p < NUM_PORTS; ++p) {
+        OutputUnit &ou = *outputs[static_cast<std::size_t>(p)];
+        Channel *ch = ou.outChannel();
+        if (!ch)
+            continue;
+        while (ch->credits.ready(now)) {
+            Credit credit = ch->credits.pop(now);
+            ou.receiveCredit(credit);
+        }
+    }
+}
+
+void
+Router::drainFlits(Cycle now)
+{
+    for (int p = 0; p < numInPorts(); ++p) {
+        Channel *ch = inChannels[static_cast<std::size_t>(p)];
+        if (!ch)
+            continue;
+        while (ch->flits.ready(now)) {
+            FlitPtr flit = ch->flits.pop(now);
+            if (isHeadFlit(flit->type))
+                onHeadFlitArrived(flit, p, now);
+            inputs[static_cast<std::size_t>(p)]->receiveFlit(flit, now);
+            ++*flitsReceivedCtr;
+        }
+    }
+}
+
+void
+Router::routeCompute(const FlitPtr &flit, VirtualChannel &ch)
+{
+    ch.outPort = router->route(id, flit->packet->dst);
+    ch.outVc = INVALID_VC;
+    ch.state = VirtualChannel::State::WaitVc;
+    ch.headEnqueuedAt = flit->bufferedAt;
+}
+
+void
+Router::drainGeneratorQueue(Cycle now)
+{
+    if (genPort < 0 || genQueue.empty())
+        return;
+    InputUnit &iu = *inputs[static_cast<std::size_t>(genPort)];
+    // One injection per cycle: find an idle, empty VC in the packet's
+    // vnet range and materialize the packet as a single HeadTail flit.
+    const PacketPtr &pkt = genQueue.front();
+    for (VcId vc = cfg.vnetVcLo(pkt->vnet); vc <= cfg.vnetVcHi(pkt->vnet);
+         ++vc) {
+        VirtualChannel &ch = iu.vc(vc);
+        if (ch.state == VirtualChannel::State::Idle && !ch.hasFlit()) {
+            auto flit = std::make_shared<Flit>(pkt, FlitType::HeadTail, 0);
+            flit->vc = vc;
+            pkt->networkEntryCycle = now;
+            iu.receiveFlit(flit, now);
+            ++stats.counter("gen_packets_injected");
+            genQueue.pop_front();
+            return;
+        }
+    }
+}
+
+void
+Router::allocateVcs(Cycle now)
+{
+    const std::size_t nports = static_cast<std::size_t>(numInPorts());
+    for (std::size_t k = 0; k < nports; ++k) {
+        std::size_t p = (vaPointer + k) % nports;
+        InputUnit &iu = *inputs[p];
+        for (VcId v = 0; v < iu.numVcs(); ++v) {
+            VirtualChannel &ch = iu.vc(v);
+            // A VC whose front flit is the head of a new packet (re)enters
+            // route computation; this covers back-to-back packets sharing
+            // a VC buffer.
+            if (ch.state == VirtualChannel::State::Idle && ch.hasFlit()) {
+                const FlitPtr &front = ch.buffer.front();
+                INPG_ASSERT(isHeadFlit(front->type),
+                            "non-head flit at front of idle VC %d", v);
+                routeCompute(front, ch);
+            }
+            if (ch.state != VirtualChannel::State::WaitVc)
+                continue;
+            if (now <= ch.headEnqueuedAt)
+                continue; // stage-1 charge: eligible the cycle after buffering
+            OutputUnit &ou =
+                *outputs[static_cast<std::size_t>(ch.outPort)];
+            VnetId vnet = cfg.vnetOfVc(v);
+            VcId out_vc =
+                ou.findFreeVcInRange(cfg.vnetVcLo(vnet), cfg.vnetVcHi(vnet));
+            if (out_vc == INVALID_VC)
+                continue;
+            ou.allocateVc(out_vc);
+            ch.outVc = out_vc;
+            ch.state = VirtualChannel::State::Active;
+            ++*vaGrantsCtr;
+        }
+    }
+    vaPointer = (vaPointer + 1) % nports;
+}
+
+void
+Router::allocateSwitch(Cycle now)
+{
+    const int nports = numInPorts();
+
+    // SA-I: pick at most one ready VC per input port. Hierarchical
+    // arbitration: rotate across virtual networks, apply (OCOR)
+    // priority only among VCs of the chosen vnet -- request priorities
+    // must never starve forwards/responses of other message classes.
+    std::vector<VcId> &inportWinner = inportWinnerScratch;
+    std::fill(inportWinner.begin(), inportWinner.end(), INVALID_VC);
+    for (int p = 0; p < nports; ++p) {
+        InputUnit &iu = *inputs[static_cast<std::size_t>(p)];
+        if (iu.totalOccupancy() == 0)
+            continue;
+        std::vector<PriorityArbiter::Request> &reqs = saVcReqScratch;
+        std::fill(reqs.begin(), reqs.end(), PriorityArbiter::Request{});
+        bool anyCandidate = false;
+        for (VcId v = 0; v < iu.numVcs(); ++v) {
+            VirtualChannel &ch = iu.vc(v);
+            if (ch.state != VirtualChannel::State::Active || !ch.hasFlit())
+                continue;
+            const FlitPtr &front = ch.buffer.front();
+            if (now <= front->bufferedAt)
+                continue;
+            OutputUnit &ou =
+                *outputs[static_cast<std::size_t>(ch.outPort)];
+            if (ou.credits(ch.outVc) <= 0)
+                continue;
+            auto &r = reqs[static_cast<std::size_t>(v)];
+            r.valid = true;
+            anyCandidate = true;
+            if (cfg.switchPolicy == SwitchPolicy::Priority) {
+                r.priority = front->packet->priority;
+                r.age = now - ch.headEnqueuedAt;
+            }
+        }
+        if (!anyCandidate)
+            continue;
+        if (cfg.switchPolicy == SwitchPolicy::Priority) {
+            // Pick the vnet round-robin among those with candidates,
+            // then mask out every other vnet's VCs.
+            std::size_t &ptr = saInportVnetPtr[static_cast<std::size_t>(p)];
+            const std::size_t nv = static_cast<std::size_t>(cfg.numVnets);
+            for (std::size_t k = 0; k < nv; ++k) {
+                std::size_t vn = (ptr + k) % nv;
+                bool has = false;
+                for (VcId v = cfg.vnetVcLo(static_cast<VnetId>(vn));
+                     v <= cfg.vnetVcHi(static_cast<VnetId>(vn)); ++v)
+                    has |= reqs[static_cast<std::size_t>(v)].valid;
+                if (has) {
+                    for (VcId v = 0; v < cfg.totalVcs(); ++v)
+                        if (cfg.vnetOfVc(v) != static_cast<VnetId>(vn))
+                            reqs[static_cast<std::size_t>(v)].valid =
+                                false;
+                    ptr = (vn + 1) % nv;
+                    break;
+                }
+            }
+        }
+        inportWinner[static_cast<std::size_t>(p)] =
+            saInportArb[static_cast<std::size_t>(p)]->grant(reqs);
+    }
+
+    // SA-II: pick at most one input port per output port (same
+    // hierarchy: vnet rotation, then priority within the vnet).
+    for (int op = 0; op < NUM_PORTS; ++op) {
+        std::vector<PriorityArbiter::Request> &reqs = saPortReqScratch;
+        std::fill(reqs.begin(), reqs.end(), PriorityArbiter::Request{});
+        bool anyCandidate = false;
+        for (int p = 0; p < nports; ++p) {
+            VcId v = inportWinner[static_cast<std::size_t>(p)];
+            if (v == INVALID_VC)
+                continue;
+            VirtualChannel &ch =
+                inputs[static_cast<std::size_t>(p)]->vc(v);
+            if (static_cast<int>(ch.outPort) != op)
+                continue;
+            auto &r = reqs[static_cast<std::size_t>(p)];
+            r.valid = true;
+            anyCandidate = true;
+            if (cfg.switchPolicy == SwitchPolicy::Priority) {
+                r.priority = ch.buffer.front()->packet->priority;
+                r.age = now - ch.headEnqueuedAt;
+            }
+        }
+        if (anyCandidate && cfg.switchPolicy == SwitchPolicy::Priority) {
+            std::size_t &ptr = saOutportVnetPtr[static_cast<std::size_t>(op)];
+            const std::size_t nv = static_cast<std::size_t>(cfg.numVnets);
+            for (std::size_t k = 0; k < nv; ++k) {
+                std::size_t vn = (ptr + k) % nv;
+                bool has = false;
+                for (int p = 0; p < nports; ++p) {
+                    VcId v = inportWinner[static_cast<std::size_t>(p)];
+                    if (v == INVALID_VC ||
+                        !reqs[static_cast<std::size_t>(p)].valid)
+                        continue;
+                    has |= cfg.vnetOfVc(v) == static_cast<VnetId>(vn);
+                }
+                if (has) {
+                    for (int p = 0; p < nports; ++p) {
+                        VcId v = inportWinner[static_cast<std::size_t>(p)];
+                        if (v != INVALID_VC &&
+                            cfg.vnetOfVc(v) != static_cast<VnetId>(vn))
+                            reqs[static_cast<std::size_t>(p)].valid =
+                                false;
+                    }
+                    ptr = (vn + 1) % nv;
+                    break;
+                }
+            }
+        }
+        int winner = saOutportArb[static_cast<std::size_t>(op)]->grant(reqs);
+        if (winner < 0)
+            continue;
+
+        // Switch traversal for the winning flit.
+        std::size_t p = static_cast<std::size_t>(winner);
+        VcId v = inportWinner[p];
+        InputUnit &iu = *inputs[p];
+        VirtualChannel &ch = iu.vc(v);
+        OutputUnit &ou = *outputs[static_cast<std::size_t>(op)];
+        INPG_ASSERT(ou.outChannel() != nullptr,
+                    "router %d: traversal into unconnected port %d", id,
+                    op);
+
+        FlitPtr flit = iu.popFlit(v);
+        const bool tail = isTailFlit(flit->type);
+
+        if (isHeadFlit(flit->type)) {
+            onHeadFlitGranted(flit, winner, static_cast<Direction>(op),
+                              now);
+            ++*packetsRoutedCtr;
+        }
+
+        // Return a buffer credit upstream (none for the generator port).
+        if (Channel *up = inChannels[p])
+            up->credits.push(Credit{v, tail}, now);
+
+        VcId out_vc = ch.outVc;
+        flit->vc = out_vc;
+        ou.decrementCredit(out_vc);
+        if (tail) {
+            ou.freeVc(out_vc);
+            ch.state = VirtualChannel::State::Idle;
+            ch.outVc = INVALID_VC;
+        }
+        ou.outChannel()->flits.push(flit, now);
+        ++*flitsSentCtr;
+    }
+}
+
+} // namespace inpg

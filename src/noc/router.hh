@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Two-stage pipelined speculative VC router (paper Section 4.1 baseline,
+ * after Peh & Dally [29]).
+ *
+ * Stage 1 performs route computation, VC allocation and switch
+ * allocation in parallel (speculatively); stage 2 is switch traversal.
+ * In this model a flit buffered at cycle t becomes eligible for stage 1
+ * at t+1; a switch-allocation winner at cycle g is delivered to the next
+ * hop's buffers at g + 1 (ST) + linkLatency, giving the paper's
+ * 2-cycle router + 1-cycle link hop time.
+ *
+ * The class exposes protected hooks and an optional internal "generator"
+ * input port so that BigRouter (src/inpg) can implement in-network
+ * packet generation without duplicating the pipeline.
+ */
+
+#ifndef INPG_NOC_ROUTER_HH
+#define INPG_NOC_ROUTER_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "noc/arbiter.hh"
+#include "noc/input_unit.hh"
+#include "noc/link.hh"
+#include "noc/noc_config.hh"
+#include "noc/output_unit.hh"
+#include "noc/routing.hh"
+#include "sim/ticking.hh"
+
+namespace inpg {
+
+/** Baseline ("normal") NoC router. */
+class Router : public Ticking
+{
+  public:
+    /**
+     * @param node_id   mesh node this router serves
+     * @param cfg       shared NoC configuration (copied)
+     * @param routing   routing algorithm (not owned; outlives the router)
+     */
+    Router(NodeId node_id, const NocConfig &cfg,
+           const RoutingAlgorithm *routing);
+
+    ~Router() override = default;
+
+    /**
+     * Attach the channel whose flit line feeds this router on port `d`
+     * (credits for those flits are returned on the same channel).
+     */
+    void connectInput(Direction d, Channel *channel);
+
+    /** Attach the channel this router drives on port `d`. */
+    void connectOutput(Direction d, Channel *channel);
+
+    void tick(Cycle now) override;
+
+    std::string tickName() const override;
+
+    NodeId nodeId() const { return id; }
+
+    /** True for BigRouter instances (iNPG deployment queries). */
+    virtual bool isBigRouter() const { return false; }
+
+    /** Router-local statistics. */
+    StatGroup stats;
+
+    /** Sum of flits buffered across all input units (invariant checks). */
+    std::size_t bufferedFlits() const;
+
+  protected:
+    /**
+     * Called when a head flit is buffered, before route computation.
+     * The hook may rewrite the packet's destination (iNPG retargets
+     * in-flight messages); routing uses the post-hook destination.
+     */
+    virtual void
+    onHeadFlitArrived(const FlitPtr &flit, int inport, Cycle now)
+    {
+        (void)flit;
+        (void)inport;
+        (void)now;
+    }
+
+    /**
+     * Called when a head flit wins switch allocation (entering ST).
+     * iNPG uses this to observe first-GetX traversals and set barriers.
+     */
+    virtual void
+    onHeadFlitGranted(const FlitPtr &flit, int inport, Direction outport,
+                      Cycle now)
+    {
+        (void)flit;
+        (void)inport;
+        (void)outport;
+        (void)now;
+    }
+
+    /** Per-cycle hook before allocation phases (BigRouter injection). */
+    virtual void
+    generatorPhase(Cycle now)
+    {
+        (void)now;
+    }
+
+    /**
+     * Enable the internal generator input port (BigRouter constructor).
+     * Returns its inport index.
+     */
+    int addGeneratorPort();
+
+    /**
+     * Queue a locally generated packet for injection through the
+     * generator port; it then competes in VA/SA like any other traffic.
+     */
+    void injectGenerated(const PacketPtr &pkt, Cycle now);
+
+    const NocConfig &config() const { return cfg; }
+
+    /** Number of input ports including the generator port if present. */
+    int numInPorts() const { return static_cast<int>(inputs.size()); }
+
+  private:
+    void drainCredits(Cycle now);
+    void drainFlits(Cycle now);
+    void routeCompute(const FlitPtr &flit, VirtualChannel &ch);
+    void allocateVcs(Cycle now);
+    void allocateSwitch(Cycle now);
+    void drainGeneratorQueue(Cycle now);
+
+    NodeId id;
+    NocConfig cfg;
+    const RoutingAlgorithm *router;
+
+    std::vector<std::unique_ptr<InputUnit>> inputs;
+    std::array<std::unique_ptr<OutputUnit>, NUM_PORTS> outputs;
+
+    /** Channels feeding each input port (credits go back on these). */
+    std::vector<Channel *> inChannels;
+
+    /** Generator port index, or -1 when absent. */
+    int genPort = -1;
+
+    /** Generated packets waiting for a free generator-port VC. */
+    std::deque<PacketPtr> genQueue;
+
+    /** VA scan pointer (rotates across input ports for fairness). */
+    std::size_t vaPointer = 0;
+
+    /** SA stage arbitration state. */
+    std::vector<std::unique_ptr<PriorityArbiter>> saInportArb;
+    std::array<std::unique_ptr<PriorityArbiter>, NUM_PORTS> saOutportArb;
+
+    /** Reused per-cycle scratch (avoids per-tick allocation). */
+    std::vector<PriorityArbiter::Request> saVcReqScratch;
+    std::vector<PriorityArbiter::Request> saPortReqScratch;
+    std::vector<VcId> inportWinnerScratch;
+
+    /** Per-inport / per-outport vnet rotation for hierarchical SA:
+     *  round-robin across virtual networks, priority within one (so
+     *  OCOR reorders competing requests without starving responses). */
+    std::vector<std::size_t> saInportVnetPtr;
+    std::array<std::size_t, NUM_PORTS> saOutportVnetPtr{};
+
+    /** Cached hot counters (string lookup once at construction). */
+    std::uint64_t *flitsReceivedCtr = nullptr;
+    std::uint64_t *flitsSentCtr = nullptr;
+    std::uint64_t *packetsRoutedCtr = nullptr;
+    std::uint64_t *vaGrantsCtr = nullptr;
+};
+
+} // namespace inpg
+
+#endif // INPG_NOC_ROUTER_HH

@@ -1,0 +1,136 @@
+#include "noc/routing.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+std::string
+directionName(Direction d)
+{
+    switch (d) {
+      case Direction::Local:
+        return "L";
+      case Direction::North:
+        return "N";
+      case Direction::East:
+        return "E";
+      case Direction::South:
+        return "S";
+      case Direction::West:
+        return "W";
+    }
+    return "?";
+}
+
+Direction
+opposite(Direction d)
+{
+    switch (d) {
+      case Direction::Local:
+        return Direction::Local;
+      case Direction::North:
+        return Direction::South;
+      case Direction::East:
+        return Direction::West;
+      case Direction::South:
+        return Direction::North;
+      case Direction::West:
+        return Direction::East;
+    }
+    panic("bad direction");
+}
+
+MeshShape::MeshShape(int mesh_width, int mesh_height)
+    : meshWidth(mesh_width), meshHeight(mesh_height)
+{
+    if (mesh_width < 1 || mesh_height < 1)
+        fatal("mesh dimensions must be positive (%dx%d)", mesh_width,
+              mesh_height);
+}
+
+Coord
+MeshShape::coordOf(NodeId id) const
+{
+    INPG_ASSERT(id >= 0 && id < numNodes(), "node id %d out of range", id);
+    return Coord{id % meshWidth, id / meshWidth};
+}
+
+NodeId
+MeshShape::idOf(Coord c) const
+{
+    INPG_ASSERT(contains(c), "coord (%d,%d) outside mesh", c.x, c.y);
+    return c.y * meshWidth + c.x;
+}
+
+bool
+MeshShape::contains(Coord c) const
+{
+    return c.x >= 0 && c.x < meshWidth && c.y >= 0 && c.y < meshHeight;
+}
+
+NodeId
+MeshShape::neighbor(NodeId id, Direction d) const
+{
+    Coord c = coordOf(id);
+    switch (d) {
+      case Direction::North:
+        --c.y;
+        break;
+      case Direction::South:
+        ++c.y;
+        break;
+      case Direction::East:
+        ++c.x;
+        break;
+      case Direction::West:
+        --c.x;
+        break;
+      case Direction::Local:
+        return id;
+    }
+    return contains(c) ? idOf(c) : INVALID_NODE;
+}
+
+int
+MeshShape::hopDistance(NodeId a, NodeId b) const
+{
+    Coord ca = coordOf(a);
+    Coord cb = coordOf(b);
+    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+Direction
+YXRouting::route(NodeId here, NodeId dst) const
+{
+    Coord ch = shape.coordOf(here);
+    Coord cd = shape.coordOf(dst);
+    if (ch.y < cd.y)
+        return Direction::South;
+    if (ch.y > cd.y)
+        return Direction::North;
+    if (ch.x < cd.x)
+        return Direction::East;
+    if (ch.x > cd.x)
+        return Direction::West;
+    return Direction::Local;
+}
+
+Direction
+XYRouting::route(NodeId here, NodeId dst) const
+{
+    Coord ch = shape.coordOf(here);
+    Coord cd = shape.coordOf(dst);
+    if (ch.x < cd.x)
+        return Direction::East;
+    if (ch.x > cd.x)
+        return Direction::West;
+    if (ch.y < cd.y)
+        return Direction::South;
+    if (ch.y > cd.y)
+        return Direction::North;
+    return Direction::Local;
+}
+
+} // namespace inpg

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Routing: port naming for the mesh and the XY dimension-order
+ * algorithm used by the paper's target architecture (deadlock-free on a
+ * mesh with no turnaround).
+ */
+
+#ifndef INPG_NOC_ROUTING_HH
+#define INPG_NOC_ROUTING_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace inpg {
+
+/** Router port directions. Local attaches the tile's NI. */
+enum class Direction : int {
+    Local = 0,
+    North = 1,
+    East = 2,
+    South = 3,
+    West = 4,
+};
+
+/** Number of ports on a mesh router. */
+inline constexpr int NUM_PORTS = 5;
+
+/** Short name ("L","N","E","S","W"). */
+std::string directionName(Direction d);
+
+/** Opposite direction; Local maps to Local. */
+Direction opposite(Direction d);
+
+/** (x, y) coordinates of a node on a width x height mesh. */
+struct Coord {
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Coord &o) const { return x == o.x && y == o.y; }
+};
+
+/**
+ * Geometry of a rectangular mesh: node-id <-> coordinate mapping.
+ * Node ids are row-major: id = y * width + x.
+ */
+class MeshShape
+{
+  public:
+    MeshShape(int mesh_width, int mesh_height);
+
+    int width() const { return meshWidth; }
+    int height() const { return meshHeight; }
+    int numNodes() const { return meshWidth * meshHeight; }
+
+    Coord coordOf(NodeId id) const;
+    NodeId idOf(Coord c) const;
+    bool contains(Coord c) const;
+
+    /** Neighbor node in the given direction; INVALID_NODE at the edge. */
+    NodeId neighbor(NodeId id, Direction d) const;
+
+    /** Manhattan hop distance between two nodes. */
+    int hopDistance(NodeId a, NodeId b) const;
+
+  private:
+    int meshWidth;
+    int meshHeight;
+};
+
+/** Strategy interface: pick the output port toward a destination. */
+class RoutingAlgorithm
+{
+  public:
+    virtual ~RoutingAlgorithm() = default;
+
+    /**
+     * @param here router evaluating the route
+     * @param dst  final destination node
+     * @return output port to take from `here` (Local when here == dst).
+     */
+    virtual Direction route(NodeId here, NodeId dst) const = 0;
+};
+
+/** X-first-then-Y dimension-order routing. */
+class XYRouting : public RoutingAlgorithm
+{
+  public:
+    explicit XYRouting(MeshShape mesh_shape) : shape(mesh_shape) {}
+
+    Direction route(NodeId here, NodeId dst) const override;
+
+  private:
+    MeshShape shape;
+};
+
+/**
+ * Y-first-then-X dimension-order routing: the transposed deadlock-free
+ * alternative. Useful for routing-sensitivity studies (hotspot traffic
+ * toward the top/bottom memory-controller rows behaves differently).
+ */
+class YXRouting : public RoutingAlgorithm
+{
+  public:
+    explicit YXRouting(MeshShape mesh_shape) : shape(mesh_shape) {}
+
+    Direction route(NodeId here, NodeId dst) const override;
+
+  private:
+    MeshShape shape;
+};
+
+} // namespace inpg
+
+#endif // INPG_NOC_ROUTING_HH

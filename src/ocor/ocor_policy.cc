@@ -1,0 +1,29 @@
+#include "ocor/ocor_policy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+OcorPolicy::OcorPolicy(const OcorConfig &config) : cfg(config)
+{
+    INPG_ASSERT(cfg.retryTimes > 0 && cfg.retriesPerLevel > 0 &&
+                    cfg.priorityLevels >= 2,
+                "bad OCOR configuration");
+}
+
+int
+OcorPolicy::spinPriority(int remaining_retries) const
+{
+    const int spin_levels = cfg.priorityLevels - 1;
+    if (remaining_retries <= 0)
+        return spin_levels; // on the brink of sleeping: highest
+    // RTR in (0, retriesPerLevel] -> highest spinning level; each
+    // additional retriesPerLevel of slack drops one level, floored at 1.
+    int level = spin_levels -
+        (remaining_retries - 1) / cfg.retriesPerLevel;
+    return std::clamp(level, 1, spin_levels);
+}
+
+} // namespace inpg

@@ -1,0 +1,41 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+void
+EventQueue::schedule(Cycle when, Callback fn)
+{
+    INPG_ASSERT(fn != nullptr, "scheduling a null callback");
+    heap.push(Entry{when, nextSeq++, std::move(fn)});
+}
+
+Cycle
+EventQueue::nextEventCycle() const
+{
+    return heap.empty() ? CYCLE_NEVER : heap.top().when;
+}
+
+void
+EventQueue::runDue(Cycle now)
+{
+    while (!heap.empty() && heap.top().when <= now) {
+        // Move the callback out before popping so that callbacks may
+        // schedule new events (which mutates the heap).
+        Callback fn = std::move(const_cast<Entry &>(heap.top()).fn);
+        heap.pop();
+        fn();
+    }
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap.empty())
+        heap.pop();
+}
+
+} // namespace inpg

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic discrete-event queue complementing the cycle loop.
+ *
+ * Timed callbacks model fixed-latency activities that need no per-cycle
+ * evaluation: cache array access completion, thread sleep/wakeup, CS body
+ * execution. Events scheduled for the same cycle fire in scheduling
+ * order (FIFO), which keeps runs reproducible.
+ */
+
+#ifndef INPG_SIM_EVENT_QUEUE_HH
+#define INPG_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace inpg {
+
+/** Min-heap of (cycle, insertion-sequence) ordered callbacks. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule a callback at an absolute cycle (>= current). */
+    void schedule(Cycle when, Callback fn);
+
+    /** Earliest pending event cycle, or CYCLE_NEVER when empty. */
+    Cycle nextEventCycle() const;
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap.size(); }
+
+    bool empty() const { return heap.empty(); }
+
+    /**
+     * Run every event scheduled at or before `now`, including events that
+     * those callbacks schedule for `now` itself.
+     */
+    void runDue(Cycle now);
+
+    /** Drop all pending events. */
+    void clear();
+
+  private:
+    struct Entry {
+        Cycle when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace inpg
+
+#endif // INPG_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,42 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+void
+Simulator::addTicking(Ticking *component)
+{
+    INPG_ASSERT(component != nullptr, "registering null component");
+    components.push_back(component);
+}
+
+void
+Simulator::step()
+{
+    eventQueue.runDue(currentCycle);
+    for (Ticking *c : components)
+        c->tick(currentCycle);
+    ++currentCycle;
+}
+
+void
+Simulator::run(Cycle n)
+{
+    for (Cycle i = 0; i < n; ++i)
+        step();
+}
+
+bool
+Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles)
+{
+    const Cycle limit = currentCycle + max_cycles;
+    while (currentCycle < limit) {
+        if (done())
+            return true;
+        step();
+    }
+    return done();
+}
+
+} // namespace inpg

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The cycle-driven simulation kernel.
+ *
+ * One Simulator instance owns the global clock, the event queue, and the
+ * list of clocked components. Each cycle it (1) fires due events and
+ * (2) ticks every registered component in registration order. Components
+ * communicate only through latched structures, so the tick order within
+ * a cycle is not observable; runs are fully deterministic.
+ */
+
+#ifndef INPG_SIM_SIMULATOR_HH
+#define INPG_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+#include "sim/ticking.hh"
+
+namespace inpg {
+
+/** Cycle-driven kernel with an auxiliary event queue. */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Register a component; it will be ticked every cycle. */
+    void addTicking(Ticking *component);
+
+    /** Current cycle (the cycle about to be or being evaluated). */
+    Cycle now() const { return currentCycle; }
+
+    /** Event queue for timed callbacks. */
+    EventQueue &events() { return eventQueue; }
+
+    /** Schedule a callback `delay` cycles from now (delay >= 0). */
+    void
+    scheduleIn(Cycle delay, EventQueue::Callback fn)
+    {
+        eventQueue.schedule(currentCycle + delay, std::move(fn));
+    }
+
+    /** Advance exactly one cycle. */
+    void step();
+
+    /** Advance n cycles. */
+    void run(Cycle n);
+
+    /**
+     * Advance until the predicate returns true (checked once per cycle,
+     * before the cycle executes) or max_cycles elapse.
+     *
+     * @return true if the predicate fired, false on timeout.
+     */
+    bool runUntil(const std::function<bool()> &done, Cycle max_cycles);
+
+  private:
+    Cycle currentCycle = 0;
+    EventQueue eventQueue;
+    std::vector<Ticking *> components;
+};
+
+} // namespace inpg
+
+#endif // INPG_SIM_SIMULATOR_HH

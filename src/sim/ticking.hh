@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Interface for components clocked by the Simulator.
+ */
+
+#ifndef INPG_SIM_TICKING_HH
+#define INPG_SIM_TICKING_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace inpg {
+
+/**
+ * A component evaluated once per simulated cycle.
+ *
+ * The simulator guarantees a fixed, registration-order evaluation
+ * sequence within a cycle. Components must only exchange state through
+ * latched queues or Links (which impose at least one cycle of delay), so
+ * that intra-cycle ordering is never observable.
+ */
+class Ticking
+{
+  public:
+    virtual ~Ticking() = default;
+
+    /** Evaluate one cycle. @param now the cycle being evaluated. */
+    virtual void tick(Cycle now) = 0;
+
+    /** Diagnostic name. */
+    virtual std::string tickName() const { return "component"; }
+};
+
+} // namespace inpg
+
+#endif // INPG_SIM_TICKING_HH

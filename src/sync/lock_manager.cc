@@ -1,0 +1,101 @@
+#include "sync/lock_manager.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sync/abql_lock.hh"
+#include "sync/mcs_lock.hh"
+#include "sync/qsl_lock.hh"
+#include "sync/tas_lock.hh"
+#include "sync/ticket_lock.hh"
+
+namespace inpg {
+
+LockManager::LockManager(CoherentSystem &system, Simulator &simulator,
+                         const SyncConfig &config)
+    : sys(system), sim(simulator), cfg(config)
+{}
+
+Addr
+LockManager::allocLine(NodeId home)
+{
+    INPG_ASSERT(home >= 0 && home < sys.numCores(), "bad home node %d",
+                home);
+    Addr index = nextLineAtHome[home]++;
+    return sys.cohConfig().lineHomedAt(home, index);
+}
+
+NodeId
+LockManager::pickHome()
+{
+    NodeId h = homePointer;
+    homePointer = (homePointer + 1) % sys.numCores();
+    return h;
+}
+
+LockPrimitive *
+LockManager::createLock(LockKind kind, int threads, NodeId home)
+{
+    if (home == INVALID_NODE)
+        home = pickHome();
+    std::string lock_name =
+        format("%s_lock%d", lockKindName(kind), lockCounter++);
+
+    std::unique_ptr<LockPrimitive> lock;
+    switch (kind) {
+      case LockKind::Tas:
+        lock = std::make_unique<TasLock>(lock_name, sys, sim, cfg,
+                                         threads, allocLine(home));
+        break;
+      case LockKind::Qsl:
+        lock = std::make_unique<QslLock>(lock_name, sys, sim, cfg,
+                                         threads, allocLine(home));
+        break;
+      case LockKind::Ticket:
+        lock = std::make_unique<TicketLock>(lock_name, sys, sim, cfg,
+                                            threads, allocLine(home),
+                                            allocLine(home));
+        break;
+      case LockKind::Abql: {
+        Addr tail = allocLine(home);
+        // Packed flag array: 4-byte flags in 128 B lines (32 per line,
+        // capped at the 64 bits of the modeled line word).
+        const int slots_per_line = static_cast<int>(
+            std::min<Addr>(sys.cohConfig().lineSize / 4, 64));
+        const int lines =
+            (threads + slots_per_line - 1) / slots_per_line;
+        std::vector<Addr> flag_lines;
+        for (int i = 0; i < lines; ++i)
+            flag_lines.push_back(allocLine(home));
+        // Slot 0 starts granted: the lock is initially free.
+        sys.directory(home).initValue(flag_lines[0], 1);
+        initValues[flag_lines[0]] = 1;
+        lock = std::make_unique<AbqlLock>(lock_name, sys, sim, cfg,
+                                          threads, tail,
+                                          std::move(flag_lines),
+                                          slots_per_line);
+        break;
+      }
+      case LockKind::Mcs: {
+        Addr tail = allocLine(home);
+        std::vector<Addr> nexts;
+        std::vector<Addr> lockeds;
+        for (int i = 0; i < threads; ++i) {
+            // Qnodes live in lines homed near their own thread's tile,
+            // as a per-core structure would (only the tail is hot at
+            // the lock's home).
+            NodeId qhome = static_cast<NodeId>(i % sys.numCores());
+            nexts.push_back(allocLine(qhome));
+            lockeds.push_back(allocLine(qhome));
+        }
+        lock = std::make_unique<McsLock>(lock_name, sys, sim, cfg,
+                                         threads, tail, std::move(nexts),
+                                         std::move(lockeds));
+        break;
+      }
+    }
+    lockList.push_back(std::move(lock));
+    return lockList.back().get();
+}
+
+} // namespace inpg

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * LockManager: allocates lock-variable cache lines at chosen home
+ * nodes and builds lock primitives over them.
+ */
+
+#ifndef INPG_SYNC_LOCK_MANAGER_HH
+#define INPG_SYNC_LOCK_MANAGER_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "coh/coherent_system.hh"
+#include "sync/lock_primitive.hh"
+
+namespace inpg {
+
+/** Factory and registry of the locks of one simulated system. */
+class LockManager
+{
+  public:
+    LockManager(CoherentSystem &system, Simulator &sim,
+                const SyncConfig &cfg);
+
+    /**
+     * Create a lock of the given kind for `threads` competitors.
+     *
+     * @param home node whose L2 bank hosts the lock variable(s);
+     *             INVALID_NODE picks homes round-robin across the mesh.
+     * @return non-owning pointer; the manager keeps ownership.
+     */
+    LockPrimitive *createLock(LockKind kind, int threads,
+                              NodeId home = INVALID_NODE);
+
+    /** Allocate a fresh line homed at `home` (exposed for tests). */
+    Addr allocLine(NodeId home);
+
+    /** All locks created so far. */
+    const std::vector<std::unique_ptr<LockPrimitive>> &locks() const
+    {
+        return lockList;
+    }
+
+    /**
+     * Non-zero initial memory values installed for lock structures
+     * (e.g. ABQL's granted slot 0); golden-model verifiers must seed
+     * their reference memory with these.
+     */
+    const std::map<Addr, std::uint64_t> &initialValues() const
+    {
+        return initValues;
+    }
+
+    const SyncConfig &config() const { return cfg; }
+
+  private:
+    NodeId pickHome();
+
+    CoherentSystem &sys;
+    Simulator &sim;
+    SyncConfig cfg;
+    std::vector<std::unique_ptr<LockPrimitive>> lockList;
+    std::map<Addr, std::uint64_t> initValues;
+    std::map<NodeId, Addr> nextLineAtHome;
+    NodeId homePointer = 0;
+    int lockCounter = 0;
+};
+
+} // namespace inpg
+
+#endif // INPG_SYNC_LOCK_MANAGER_HH

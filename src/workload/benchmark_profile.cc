@@ -1,0 +1,77 @@
+#include "workload/benchmark_profile.hh"
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+namespace {
+
+std::vector<BenchmarkProfile>
+buildBenchmarks()
+{
+    // {short, full, suite, group, totalCs, avgCs, avgParallel, locks, memGap}
+    // Group 1: low total CS time -- few, light critical sections with
+    // long parallel phases. Group 3: CS-dominated programs (the paper's
+    // high-contention set: nab and bt331 are its headline maxima).
+    auto P = Suite::Parsec;
+    auto O = Suite::Omp2012;
+    return {
+        // ---- Group 1 ----
+        {"body", "bodytrack", P, 1, 1600, 55, 8000, 4, 140},
+        {"ray", "raytrace", P, 1, 1200, 45, 10000, 2, 180},
+        {"vips", "vips", P, 1, 2000, 60, 7000, 4, 150},
+        {"alg", "botsalgn", O, 1, 1400, 80, 9000, 2, 200},
+        {"md", "md", O, 1, 1000, 90, 12000, 2, 160},
+        {"applu", "applu331", O, 1, 1800, 50, 8000, 2, 120},
+        // ---- Group 2 ----
+        {"can", "canneal", P, 2, 4000, 70, 2500, 6, 90},
+        {"dedup", "dedup", P, 2, 5000, 90, 2200, 6, 110},
+        {"ferret", "ferret", P, 2, 4500, 80, 3000, 8, 130},
+        {"stream", "streamcluster", P, 2, 3500, 110, 3500, 6, 80},
+        {"freq", "freqmine", P, 2, 6000, 100, 1800, 8, 120},
+        {"bwaves", "bwaves", O, 2, 3000, 140, 4000, 6, 70},
+        {"fma3d", "fma3d", O, 2, 3600, 120, 3000, 6, 100},
+        {"ilbdc", "ilbdc", O, 2, 4200, 95, 2600, 6, 90},
+        {"imag", "imagick", O, 2, 4000, 179, 2800, 4, 140},
+        {"mgrid", "mgrid331", O, 2, 3200, 130, 3400, 6, 80},
+        {"smith", "smithwa", O, 2, 4800, 85, 2000, 8, 120},
+        {"swim", "swim", O, 2, 3000, 150, 3800, 6, 70},
+        // ---- Group 3 ----
+        {"face", "facesim", P, 3, 9000, 160, 1800, 4, 100},
+        {"fluid", "fluidanimate", P, 3, 10240, 81, 1500, 6, 110},
+        {"kdtree", "kdtree", O, 3, 11000, 100, 1400, 4, 120},
+        {"nab", "nab", O, 3, 12000, 120, 1200, 4, 130},
+        {"bt331", "bt331", O, 3, 10000, 140, 1400, 4, 100},
+        {"spar", "botsspar", O, 3, 8000, 180, 2000, 4, 110},
+    };
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+allBenchmarks()
+{
+    static const std::vector<BenchmarkProfile> table = buildBenchmarks();
+    return table;
+}
+
+const BenchmarkProfile &
+benchmarkByName(const std::string &name)
+{
+    for (const auto &b : allBenchmarks())
+        if (b.name == name || b.fullName == name)
+            return b;
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+std::vector<BenchmarkProfile>
+benchmarksInGroup(int group)
+{
+    std::vector<BenchmarkProfile> out;
+    for (const auto &b : allBenchmarks())
+        if (b.group == group)
+            out.push_back(b);
+    return out;
+}
+
+} // namespace inpg

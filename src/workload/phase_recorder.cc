@@ -1,0 +1,61 @@
+#include "workload/phase_recorder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+const char *
+threadPhaseName(ThreadPhase p)
+{
+    switch (p) {
+      case ThreadPhase::Parallel:
+        return "parallel";
+      case ThreadPhase::Coh:
+        return "coh";
+      case ThreadPhase::Sleep:
+        return "sleep";
+      case ThreadPhase::Cse:
+        return "cse";
+      case ThreadPhase::Done:
+        return "done";
+    }
+    return "?";
+}
+
+PhaseRecorder::PhaseRecorder(ThreadId thread_id) : tid(thread_id)
+{
+    events.push_back(Event{0, ThreadPhase::Parallel});
+}
+
+void
+PhaseRecorder::transition(ThreadPhase next, Cycle now)
+{
+    INPG_ASSERT(now >= phaseStart, "time went backwards");
+    accum[static_cast<std::size_t>(phase)] += now - phaseStart;
+    phase = next;
+    phaseStart = now;
+    events.push_back(Event{now, next});
+}
+
+Cycle
+PhaseRecorder::cyclesIn(ThreadPhase p) const
+{
+    return accum[static_cast<std::size_t>(p)];
+}
+
+ThreadPhase
+PhaseRecorder::phaseAt(Cycle cycle) const
+{
+    // Last event at or before `cycle`.
+    auto it = std::upper_bound(events.begin(), events.end(), cycle,
+                               [](Cycle c, const Event &e) {
+                                   return c < e.at;
+                               });
+    INPG_ASSERT(it != events.begin(), "no phase recorded at cycle %llu",
+                static_cast<unsigned long long>(cycle));
+    return std::prev(it)->phase;
+}
+
+} // namespace inpg

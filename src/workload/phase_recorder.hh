@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-thread execution-phase accounting (paper Figure 9's timing
+ * profile and the COH/CSE breakdowns of Figures 8b, 11, 12).
+ *
+ * Phases: Parallel (concurrent compute), Coh (competing to enter a
+ * critical section), Sleep (QSL sleep phase; a sub-interval of the
+ * competition overhead), Cse (executing the critical section), Done.
+ */
+
+#ifndef INPG_WORKLOAD_PHASE_RECORDER_HH
+#define INPG_WORKLOAD_PHASE_RECORDER_HH
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace inpg {
+
+/** Thread lifecycle phase. */
+enum class ThreadPhase {
+    Parallel = 0,
+    Coh = 1,
+    Sleep = 2,
+    Cse = 3,
+    Done = 4,
+};
+
+/** Number of distinct phases. */
+inline constexpr int NUM_THREAD_PHASES = 5;
+
+/** Short phase name. */
+const char *threadPhaseName(ThreadPhase p);
+
+/** Accumulates per-phase cycles and the transition timeline. */
+class PhaseRecorder
+{
+  public:
+    explicit PhaseRecorder(ThreadId thread_id);
+
+    /** Switch phases at `now`; closes the current interval. */
+    void transition(ThreadPhase next, Cycle now);
+
+    /** Cycles accumulated in a phase (open interval excluded). */
+    Cycle cyclesIn(ThreadPhase p) const;
+
+    /** Competition overhead: Coh + Sleep. */
+    Cycle cohCycles() const
+    {
+        return cyclesIn(ThreadPhase::Coh) + cyclesIn(ThreadPhase::Sleep);
+    }
+
+    /** Lock coherence overhead proxy: competition minus sleep. */
+    Cycle lcoCycles() const { return cyclesIn(ThreadPhase::Coh); }
+
+    ThreadPhase current() const { return phase; }
+
+    /** One timeline entry per transition. */
+    struct Event {
+        Cycle at;
+        ThreadPhase phase;
+    };
+
+    const std::vector<Event> &timeline() const { return events; }
+
+    /** Phase active at a given cycle (binary search over events). */
+    ThreadPhase phaseAt(Cycle cycle) const;
+
+    ThreadId threadId() const { return tid; }
+
+  private:
+    ThreadId tid;
+    ThreadPhase phase = ThreadPhase::Parallel;
+    Cycle phaseStart = 0;
+    std::array<Cycle, NUM_THREAD_PHASES> accum{};
+    std::vector<Event> events;
+};
+
+} // namespace inpg
+
+#endif // INPG_WORKLOAD_PHASE_RECORDER_HH

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests of the lock-acquire demotion protocol (paper Fig. 4 Step 4: the
+ * winner answers losers with a valid shared copy) and of the bitwise
+ * atomics backing the packed ABQL flag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coh/coherent_system.hh"
+#include "coh/golden_memory.hh"
+#include "sim/simulator.hh"
+
+namespace inpg {
+namespace {
+
+struct DemoHarness {
+    DemoHarness()
+    {
+        nocCfg.meshWidth = 4;
+        nocCfg.meshHeight = 4;
+        sys = std::make_unique<CoherentSystem>(nocCfg, cohCfg, sim);
+        sys->setOpLog([this](const OpRecord &r) { golden.record(r); });
+    }
+
+    void
+    runUntil(const std::function<bool()> &done, Cycle max = 200000)
+    {
+        ASSERT_TRUE(sim.runUntil(done, max)) << "timeout";
+    }
+
+    NocConfig nocCfg;
+    CohConfig cohCfg;
+    Simulator sim;
+    std::unique_ptr<CoherentSystem> sys;
+    GoldenMemory golden;
+};
+
+TEST(BitAtomics, FetchOrFetchAndSemantics)
+{
+    DemoHarness h;
+    Addr a = h.cohCfg.lineHomedAt(3);
+    std::uint64_t seen_or = 1;
+    std::uint64_t seen_and = 1;
+    bool done = false;
+    h.sys->l1(0).issueAtomic(a, AtomicOp::FetchOr, 0b1010, 0, false,
+                             [&](std::uint64_t old, bool) {
+        seen_or = old;
+        h.sys->l1(0).issueAtomic(a, AtomicOp::FetchAnd, 0b0010, 0, false,
+                                 [&](std::uint64_t old2, bool) {
+            seen_and = old2;
+            done = true;
+        });
+    });
+    h.runUntil([&] { return done; });
+    EXPECT_EQ(seen_or, 0u);
+    EXPECT_EQ(seen_and, 0b1010u);
+    EXPECT_EQ(h.sys->l1(0).lineValue(a), 0b0010u);
+    EXPECT_EQ(h.golden.verify(), "");
+}
+
+TEST(BitAtomics, ConcurrentOrsSetAllBits)
+{
+    DemoHarness h;
+    Addr a = h.cohCfg.lineHomedAt(9);
+    int completions = 0;
+    for (CoreId c = 0; c < 16; ++c) {
+        h.sys->l1(c).issueAtomic(a, AtomicOp::FetchOr, 1ULL << c, 0,
+                                 false, [&](std::uint64_t, bool) {
+                                     ++completions;
+                                 });
+    }
+    h.runUntil([&] { return completions == 16; });
+    EXPECT_EQ(h.golden.finalValue(a), 0xFFFFu);
+    EXPECT_EQ(h.golden.verify(), "");
+}
+
+TEST(Demotion, HeldLockDemotesCompetingSwaps)
+{
+    DemoHarness h;
+    Addr lock = h.cohCfg.lineHomedAt(6);
+    // Core 0 takes the lock.
+    bool owned = false;
+    h.sys->l1(0).issueAtomic(lock, AtomicOp::Swap, 1, 0, true,
+                             [&](std::uint64_t old, bool demoted) {
+                                 EXPECT_EQ(old, 0u);
+                                 EXPECT_FALSE(demoted);
+                                 owned = true;
+                             });
+    h.runUntil([&] { return owned; });
+
+    // Competing demotable swaps must be demoted: observe 1, write
+    // nothing, and leave core 0's ownership intact.
+    int completions = 0;
+    int demoted_count = 0;
+    for (CoreId c = 1; c <= 6; ++c) {
+        h.sys->l1(c).issueAtomic(lock, AtomicOp::Swap, 1, 0, true,
+                                 [&](std::uint64_t old, bool demoted) {
+                                     EXPECT_EQ(old, 1u);
+                                     demoted_count += demoted ? 1 : 0;
+                                     ++completions;
+                                 },
+                                 /*demotable=*/true);
+    }
+    h.runUntil([&] { return completions == 6; });
+    EXPECT_EQ(demoted_count, 6);
+    EXPECT_EQ(h.golden.finalValue(lock), 1u);
+    EXPECT_EQ(h.golden.verify(), "");
+    // The losers received valid shared copies to spin on locally
+    // (paper Fig. 4 Step 4) -- at least the late ones that were not
+    // invalidated by a racing epoch.
+    int sharers = 0;
+    for (CoreId c = 1; c <= 6; ++c)
+        sharers += h.sys->l1(c).lineState(lock) == L1State::S ? 1 : 0;
+    EXPECT_GT(sharers, 0);
+}
+
+TEST(Demotion, FreeLockEscalatesInsteadOfFalseSuccess)
+{
+    DemoHarness h;
+    Addr lock = h.cohCfg.lineHomedAt(2);
+    // Warm: core 0 acquires and releases, staying directory owner.
+    bool released = false;
+    h.sys->l1(0).issueAtomic(lock, AtomicOp::Swap, 1, 0, true,
+                             [&](std::uint64_t, bool) {
+        h.sys->l1(0).issueStore(lock, 0, true,
+                                [&](std::uint64_t) { released = true; });
+    });
+    h.runUntil([&] { return released; });
+
+    // A demotable swap now observes 0 via demotion and must escalate
+    // rather than claim a lock it never wrote: the completion contract
+    // says (old == 0 && demoted) is a retry, not an acquisition. The
+    // caller-side escalation is exercised through the lock layer; here
+    // we assert the L1 reports demotion honestly.
+    bool done = false;
+    std::uint64_t old_val = 99;
+    bool was_demoted = false;
+    h.sys->l1(5).issueAtomic(lock, AtomicOp::Swap, 1, 0, true,
+                             [&](std::uint64_t old, bool demoted) {
+                                 old_val = old;
+                                 was_demoted = demoted;
+                                 done = true;
+                             },
+                             /*demotable=*/true);
+    h.runUntil([&] { return done; });
+    if (was_demoted) {
+        // Demoted with 0: nothing was written.
+        EXPECT_EQ(old_val, 0u);
+        EXPECT_EQ(h.golden.finalValue(lock), 0u);
+    } else {
+        // Escalated at the directory (value was 0): a real acquisition.
+        EXPECT_EQ(old_val, 0u);
+        EXPECT_EQ(h.golden.finalValue(lock), 1u);
+    }
+    EXPECT_EQ(h.golden.verify(), "");
+}
+
+TEST(Demotion, NonIdempotentAtomicsAreNeverDemoted)
+{
+    DemoHarness h;
+    Addr ctr = h.cohCfg.lineHomedAt(7);
+    // Hold "the lock value" at 5 via core 0 so demotion would trigger
+    // if it were allowed.
+    bool primed = false;
+    h.sys->l1(0).issueStore(ctr, 5, true,
+                            [&](std::uint64_t) { primed = true; });
+    h.runUntil([&] { return primed; });
+
+    int completions = 0;
+    std::set<std::uint64_t> olds;
+    for (CoreId c = 1; c <= 4; ++c) {
+        // demotable=true requested, but FetchAdd must not be demoted.
+        h.sys->l1(c).issueAtomic(ctr, AtomicOp::FetchAdd, 1, 0, true,
+                                 [&](std::uint64_t old, bool demoted) {
+                                     EXPECT_FALSE(demoted);
+                                     olds.insert(old);
+                                     ++completions;
+                                 },
+                                 /*demotable=*/true);
+    }
+    h.runUntil([&] { return completions == 4; });
+    EXPECT_EQ(olds.size(), 4u);
+    EXPECT_EQ(h.golden.finalValue(ctr), 9u);
+    EXPECT_EQ(h.golden.verify(), "");
+}
+
+TEST(Demotion, DemotedRecordsExcludedFromWriteChain)
+{
+    GoldenMemory g;
+    OpRecord w;
+    w.kind = OpRecord::Kind::Atomic;
+    w.op = AtomicOp::Swap;
+    w.addr = 0x100;
+    w.operandA = 1;
+    w.oldValue = 0;
+    w.newValue = 1;
+    g.record(w);
+    OpRecord d = w;
+    d.demoted = true;
+    d.oldValue = 1;
+    d.newValue = 1;
+    g.record(d); // a demoted observation must not advance the chain
+    EXPECT_EQ(g.verify(), "");
+    EXPECT_EQ(g.finalValue(0x100), 1u);
+}
+
+} // namespace
+} // namespace inpg

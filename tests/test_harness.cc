@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Harness tests: configuration parsing, mechanism wiring, the table
+ * printer, the synthesis model, OCOR's priority mapping, and
+ * end-to-end experiment determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/table_printer.hh"
+#include "inpg/synthesis_model.hh"
+#include "ocor/ocor_policy.hh"
+
+namespace inpg {
+namespace {
+
+// ---------------------------------------------------------------------
+// SystemConfig
+// ---------------------------------------------------------------------
+
+TEST(SystemConfig, ParseMechanismAndLock)
+{
+    EXPECT_EQ(parseMechanism("original"), Mechanism::Original);
+    EXPECT_EQ(parseMechanism("OCOR"), Mechanism::Ocor);
+    EXPECT_EQ(parseMechanism("inpg+ocor"), Mechanism::InpgOcor);
+    EXPECT_THROW(parseMechanism("hyperspeed"), FatalError);
+    EXPECT_EQ(parseLockKind("ttl"), LockKind::Ticket);
+    EXPECT_EQ(parseLockKind("MCS"), LockKind::Mcs);
+    EXPECT_THROW(parseLockKind("spin"), FatalError);
+}
+
+TEST(SystemConfig, FinalizeDerivesPolicyFromMechanism)
+{
+    SystemConfig c;
+    c.mechanism = Mechanism::Ocor;
+    c.finalize();
+    EXPECT_EQ(c.noc.switchPolicy, SwitchPolicy::Priority);
+    EXPECT_TRUE(c.sync.ocorEnabled);
+
+    c.mechanism = Mechanism::Original;
+    c.finalize();
+    EXPECT_EQ(c.noc.switchPolicy, SwitchPolicy::RoundRobin);
+    EXPECT_FALSE(c.sync.ocorEnabled);
+    // Big-router count survives mechanism flips (sweeps reuse configs).
+    EXPECT_EQ(c.inpg.numBigRouters, 32);
+}
+
+TEST(SystemConfig, OverridesApply)
+{
+    Config o;
+    o.loadString("mesh_width = 4\nmesh_height = 2\nmechanism = inpg\n"
+                  "lock = tas\nbig_routers = 3\nbarrier_ttl = 99\n");
+    SystemConfig c;
+    c.applyOverrides(o);
+    EXPECT_EQ(c.noc.meshWidth, 4);
+    EXPECT_EQ(c.numCores(), 8);
+    EXPECT_EQ(c.mechanism, Mechanism::Inpg);
+    EXPECT_EQ(c.lockKind, LockKind::Tas);
+    EXPECT_EQ(c.inpg.numBigRouters, 3);
+    EXPECT_EQ(c.inpg.barrierTtl, 99u);
+    EXPECT_NE(c.describe().find("iNPG"), std::string::npos);
+}
+
+TEST(Mechanisms, PredicatesMatchPaperCases)
+{
+    EXPECT_FALSE(usesInpg(Mechanism::Original));
+    EXPECT_FALSE(usesOcor(Mechanism::Original));
+    EXPECT_TRUE(usesOcor(Mechanism::Ocor));
+    EXPECT_FALSE(usesInpg(Mechanism::Ocor));
+    EXPECT_TRUE(usesInpg(Mechanism::Inpg));
+    EXPECT_TRUE(usesInpg(Mechanism::InpgOcor));
+    EXPECT_TRUE(usesOcor(Mechanism::InpgOcor));
+    EXPECT_STREQ(mechanismName(Mechanism::InpgOcor), "iNPG+OCOR");
+}
+
+// ---------------------------------------------------------------------
+// TablePrinter
+// ---------------------------------------------------------------------
+
+TEST(TablePrinter, KeepsFirstRowAfterHeader)
+{
+    TablePrinter t;
+    t.header({"a", "b"});
+    t.row({"first", "1"});
+    t.row({"second", "2"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("first"), std::string::npos);
+    EXPECT_NE(out.find("second"), std::string::npos);
+    EXPECT_LT(out.find("first"), out.find("second"));
+}
+
+TEST(TablePrinter, AlignsAndPadsShortRows)
+{
+    TablePrinter t("ttl");
+    t.header({"col1", "col2", "col3"});
+    t.rowNumeric("pi", {3.14159, 2.5}, 2);
+    std::string out = t.render();
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+    EXPECT_NE(out.find("== ttl =="), std::string::npos);
+}
+
+TEST(TablePrinter, CsvEscapesAndSkipsSeparators)
+{
+    TablePrinter t("title ignored in csv");
+    t.header({"a", "b"});
+    t.row({"plain", "has,comma"});
+    t.separator();
+    t.row({"quo\"te", "x"});
+    std::string csv = t.renderCsv();
+    EXPECT_EQ(csv, "a,b\nplain,\"has,comma\"\n\"quo\"\"te\",x\n");
+}
+
+TEST(SystemConfig, RoutingOverride)
+{
+    Config o;
+    o.loadString("routing = yx\n");
+    SystemConfig c;
+    c.applyOverrides(o);
+    EXPECT_EQ(c.noc.routing, RoutingKind::YX);
+    Config bad;
+    bad.loadString("routing = zigzag\n");
+    SystemConfig c2;
+    EXPECT_THROW(c2.applyOverrides(bad), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// SynthesisModel
+// ---------------------------------------------------------------------
+
+TEST(SynthesisModel, ReproducesPaperSeedNumbers)
+{
+    SynthesisModel m;
+    EXPECT_NEAR(m.normalRouter().gatesK, 19.9, 1e-9);
+    EXPECT_NEAR(m.normalRouter().dynamicPowerMw, 84.2, 1e-9);
+    // Big router at the paper's default table size = 22.4K gates.
+    EXPECT_NEAR(m.bigRouter(16).gatesK, 22.4, 1e-9);
+    EXPECT_NEAR(m.packetGenerator(16).gatesK, 2.5, 1e-9);
+    EXPECT_NEAR(m.packetGenerator(16).dynamicPowerMw, 8.4, 1e-9);
+    // +9.9% router power overhead (paper Sec. 4.2).
+    EXPECT_NEAR(m.packetGenerator(16).dynamicPowerMw /
+                    m.normalRouter().dynamicPowerMw,
+                0.0998, 0.001);
+    // Tiles: big 716.1 mW vs normal 707.7 mW.
+    EXPECT_NEAR(m.tilePowerMw(true, 16), 716.1, 0.1);
+    EXPECT_NEAR(m.tilePowerMw(false, 16), 707.7, 0.1);
+}
+
+TEST(SynthesisModel, ScalesWithTableSizeMonotonically)
+{
+    SynthesisModel m;
+    EXPECT_LT(m.packetGenerator(4).gatesK, m.packetGenerator(16).gatesK);
+    EXPECT_LT(m.packetGenerator(16).gatesK,
+              m.packetGenerator(64).gatesK);
+    EXPECT_LT(m.chipPowerMw(64, 0, 16), m.chipPowerMw(64, 32, 16));
+    EXPECT_LT(m.chipPowerMw(64, 32, 16), m.chipPowerMw(64, 64, 16));
+    EXPECT_THROW(m.chipPowerMw(64, 65, 16), FatalError);
+}
+
+TEST(SynthesisModel, RenderTableMentionsAllModules)
+{
+    std::string out = SynthesisModel().renderTable();
+    EXPECT_NE(out.find("Core"), std::string::npos);
+    EXPECT_NE(out.find("BigRouter"), std::string::npos);
+    EXPECT_NE(out.find("Gate count"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// OCOR policy
+// ---------------------------------------------------------------------
+
+TEST(OcorPolicy, RtrToPriorityMapping)
+{
+    OcorPolicy p;
+    // 8 spinning levels of 16 retries each (Table 1).
+    EXPECT_EQ(p.spinPriority(128), 1);  // full budget: lowest spin level
+    EXPECT_EQ(p.spinPriority(113), 1);
+    EXPECT_EQ(p.spinPriority(112), 2);
+    EXPECT_EQ(p.spinPriority(17), 7);
+    EXPECT_EQ(p.spinPriority(16), 8);   // about to sleep: highest
+    EXPECT_EQ(p.spinPriority(1), 8);
+    EXPECT_EQ(p.spinPriority(0), 8);
+    EXPECT_EQ(p.wakeupPriority(), 0);   // wakeups: below all spinners
+}
+
+TEST(OcorPolicy, MonotoneInUrgency)
+{
+    OcorPolicy p;
+    for (int rtr = 2; rtr <= 128; ++rtr)
+        EXPECT_GE(p.spinPriority(rtr - 1), p.spinPriority(rtr));
+}
+
+// ---------------------------------------------------------------------
+// Experiment runner
+// ---------------------------------------------------------------------
+
+TEST(Experiment, DeterministicAndMechanismSweepRuns)
+{
+    RunConfig rc;
+    rc.profile = benchmarkByName("md");
+    rc.system.noc.meshWidth = 4;
+    rc.system.noc.meshHeight = 4;
+    rc.csScale = 0.05;
+
+    RunResult a = runBenchmark(rc);
+    RunResult b = runBenchmark(rc);
+    EXPECT_EQ(a.roiCycles, b.roiCycles);
+    EXPECT_EQ(a.csCompleted, b.csCompleted);
+    EXPECT_EQ(a.cohCycles, b.cohCycles);
+
+    auto all = runAllMechanisms(rc);
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[0].mechanism, Mechanism::Original);
+    EXPECT_EQ(all[0].earlyInvs, 0u);
+    EXPECT_EQ(all[1].earlyInvs, 0u); // OCOR has no big routers
+    for (const auto &r : all) {
+        EXPECT_GT(r.roiCycles, 0u);
+        EXPECT_EQ(r.csCompleted, all[0].csCompleted);
+    }
+}
+
+TEST(Experiment, PhaseFractionsAreSane)
+{
+    RunConfig rc;
+    rc.profile = benchmarkByName("freq");
+    rc.system.noc.meshWidth = 4;
+    rc.system.noc.meshHeight = 4;
+    rc.csScale = 0.05;
+    RunResult r = runBenchmark(rc);
+    const int threads = 16;
+    double total = r.phaseFraction(r.parallelCycles, threads) +
+                   r.phaseFraction(r.cohCycles, threads) +
+                   r.phaseFraction(r.cseCycles, threads);
+    EXPECT_GT(total, 0.5);
+    EXPECT_LE(total, 1.001);
+    EXPECT_LE(r.sleepCycles, r.cohCycles);
+    EXPECT_LE(r.lockCohCycles, r.cohCycles + r.cseCycles);
+}
+
+} // namespace
+} // namespace inpg

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Focused protocol unit tests: directory state transitions, memory
+ * controller queueing, delay lines, NI behaviour, and the L1's
+ * forward-deferral machinery under adversarial orderings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coh/coherent_system.hh"
+#include "coh/memory_controller.hh"
+#include "noc/link.hh"
+#include "sim/simulator.hh"
+
+namespace inpg {
+namespace {
+
+// ---------------------------------------------------------------------
+// DelayLine / Channel
+// ---------------------------------------------------------------------
+
+TEST(DelayLine, HonorsLatencyAndOrder)
+{
+    DelayLine<int> line(3);
+    line.push(1, 10);
+    line.push(2, 10);
+    EXPECT_FALSE(line.ready(12));
+    EXPECT_TRUE(line.ready(13));
+    EXPECT_EQ(line.pop(13), 1);
+    EXPECT_EQ(line.pop(13), 2);
+    EXPECT_TRUE(line.empty());
+}
+
+TEST(DelayLine, RejectsZeroLatency)
+{
+    EXPECT_DEATH({ DelayLine<int> line(0); }, "latency");
+}
+
+TEST(Channel, FlitDelayIncludesSwitchTraversal)
+{
+    // Channel flit delay = linkLatency + 1 (the sender's ST stage).
+    Channel ch(1);
+    EXPECT_EQ(ch.flits.linkLatency(), 2u);
+    EXPECT_EQ(ch.credits.linkLatency(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// MemoryController
+// ---------------------------------------------------------------------
+
+TEST(MemoryController, SerializesAtServiceInterval)
+{
+    Simulator sim;
+    MemoryController mc(0, sim, 50, 4);
+    std::vector<Cycle> done;
+    for (int i = 0; i < 3; ++i)
+        mc.fetch(0x100, [&done, &sim] { done.push_back(sim.now()); });
+    sim.run(100);
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(done[0], 50u);
+    EXPECT_EQ(done[1], 54u); // +serviceInterval
+    EXPECT_EQ(done[2], 58u);
+    EXPECT_EQ(mc.stats.value("fetches"), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Directory behaviour
+// ---------------------------------------------------------------------
+
+struct DirHarness {
+    DirHarness()
+    {
+        noc.meshWidth = 4;
+        noc.meshHeight = 4;
+        sys = std::make_unique<CoherentSystem>(noc, coh, sim);
+    }
+
+    void
+    runUntil(const std::function<bool()> &f, Cycle max = 100000)
+    {
+        ASSERT_TRUE(sim.runUntil(f, max));
+    }
+
+    NocConfig noc;
+    CohConfig coh;
+    Simulator sim;
+    std::unique_ptr<CoherentSystem> sys;
+};
+
+TEST(Directory, ColdMissPaysDramLatency)
+{
+    DirHarness h;
+    Addr a = h.coh.lineHomedAt(5);
+    Cycle start = h.sim.now();
+    bool done = false;
+    h.sys->l1(0).issueLoad(a, false, [&](std::uint64_t) { done = true; });
+    h.runUntil([&] { return done; });
+    Cycle cold = h.sim.now() - start;
+    EXPECT_GE(cold, h.coh.memLatency);
+
+    // A second, warm access to the same home is much faster.
+    start = h.sim.now();
+    done = false;
+    h.sys->l1(1).issueLoad(a, false, [&](std::uint64_t) { done = true; });
+    h.runUntil([&] { return done; });
+    EXPECT_LT(h.sim.now() - start, cold);
+    EXPECT_EQ(h.sys->directory(5).stats.value("cold_misses"), 1u);
+}
+
+TEST(Directory, TracksOwnerAndSharers)
+{
+    DirHarness h;
+    Addr a = h.coh.lineHomedAt(2);
+    int loads = 0;
+    h.sys->l1(4).issueLoad(a, false, [&](std::uint64_t) { ++loads; });
+    h.runUntil([&] { return loads == 1; });
+    const auto *e = h.sys->directory(2).entry(a);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->owner, 4); // E grant
+
+    h.sys->l1(9).issueLoad(a, false, [&](std::uint64_t) { ++loads; });
+    h.runUntil([&] { return loads == 2; });
+    EXPECT_EQ(e->owner, 4); // owner keeps the line (O)
+    EXPECT_TRUE(e->sharers.count(9));
+
+    bool stored = false;
+    h.sys->l1(7).issueStore(a, 3, false,
+                            [&](std::uint64_t) { stored = true; });
+    h.runUntil([&] { return stored; });
+    EXPECT_EQ(e->owner, 7);
+    EXPECT_TRUE(e->sharers.empty());
+}
+
+TEST(Directory, InitValueOnlyBeforeFirstTouch)
+{
+    DirHarness h;
+    Addr a = h.coh.lineHomedAt(1);
+    h.sys->directory(1).initValue(a, 42);
+    bool done = false;
+    std::uint64_t got = 0;
+    h.sys->l1(0).issueLoad(a, false, [&](std::uint64_t v) {
+        got = v;
+        done = true;
+    });
+    h.runUntil([&] { return done; });
+    EXPECT_EQ(got, 42u);
+    EXPECT_DEATH(h.sys->directory(1).initValue(a, 7), "already active");
+}
+
+TEST(Directory, RejectsMisroutedMessages)
+{
+    DirHarness h;
+    auto msg = std::make_shared<CoherenceMsg>();
+    msg->kind = CohMsgKind::GetS;
+    msg->addr = h.coh.lineHomedAt(3);
+    msg->toDirectory = true;
+    EXPECT_DEATH(h.sys->directory(4).receiveMessage(msg, 0), "homed at");
+}
+
+// ---------------------------------------------------------------------
+// Adversarial interleavings through the L1 deferral machinery
+// ---------------------------------------------------------------------
+
+TEST(L1Deferral, OwnershipChainUnderReadersCompletes)
+{
+    // Writers hammer one line while readers interleave: exercises
+    // deferred FwdGetS service at pre- and post-epoch positions.
+    DirHarness h;
+    Addr a = h.coh.lineHomedAt(6);
+    int writes_left = 40;
+    int reads_left = 40;
+    int active = 8;
+    std::function<void(CoreId)> worker = [&](CoreId c) {
+        if (c % 2 == 0) {
+            if (writes_left-- <= 0) {
+                --active;
+                return;
+            }
+            h.sys->l1(c).issueStore(a, static_cast<std::uint64_t>(c),
+                                    false,
+                                    [&worker, c](std::uint64_t) {
+                                        worker(c);
+                                    });
+        } else {
+            if (reads_left-- <= 0) {
+                --active;
+                return;
+            }
+            h.sys->l1(c).issueLoad(a, false, [&worker, c](std::uint64_t) {
+                worker(c);
+            });
+        }
+    };
+    for (CoreId c = 0; c < 8; ++c)
+        worker(c);
+    h.runUntil([&] { return active == 0; }, 400000);
+    EXPECT_EQ(h.sys->checkSwmr(a), "");
+}
+
+TEST(L1Deferral, BusyReports)
+{
+    DirHarness h;
+    Addr a = h.coh.lineHomedAt(0);
+    EXPECT_FALSE(h.sys->l1(3).busy());
+    bool done = false;
+    h.sys->l1(3).issueLoad(a, false, [&](std::uint64_t) { done = true; });
+    EXPECT_TRUE(h.sys->l1(3).busy());
+    h.runUntil([&] { return done; });
+    EXPECT_FALSE(h.sys->l1(3).busy());
+    EXPECT_NE(h.sys->l1(3).debugState().find("no-pending"),
+              std::string::npos);
+}
+
+TEST(L1Deferral, OneOutstandingOpEnforced)
+{
+    DirHarness h;
+    Addr a = h.coh.lineHomedAt(0);
+    h.sys->l1(2).issueLoad(a, false, [](std::uint64_t) {});
+    EXPECT_DEATH(h.sys->l1(2).issueLoad(a, false, [](std::uint64_t) {}),
+                 "outstanding");
+}
+
+} // namespace
+} // namespace inpg

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * inpg_sim: the general-purpose simulation driver.
+ *
+ * Runs any benchmark profile (or the whole suite) under any mechanism /
+ * lock / platform configuration and reports the full set of metrics,
+ * optionally as CSV and optionally with the per-component statistics
+ * dump (routers, directories, L1s, locks).
+ *
+ * Usage:
+ *   inpg_sim benchmark=freq mechanism=inpg lock=qsl cs_scale=0.1
+ *   inpg_sim benchmark=all csv=1 > results.csv
+ *   inpg_sim benchmark=kdtree dump_stats=1 mesh_width=4 mesh_height=4
+ *   inpg_sim config=myrun.cfg        # "key = value" lines
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/config.hh"
+#include "common/strutil.hh"
+#include "harness/experiment.hh"
+#include "harness/system.hh"
+#include "harness/table_printer.hh"
+#include "inpg/big_router.hh"
+#include "workload/workload.hh"
+
+using namespace inpg;
+
+namespace {
+
+void
+addResultRow(TablePrinter &t, const RunResult &r, int threads)
+{
+    t.row({r.benchmark, mechanismName(r.mechanism),
+           lockKindName(r.lockKind), std::to_string(r.roiCycles),
+           std::to_string(r.csCompleted),
+           fixed(100.0 * r.phaseFraction(r.parallelCycles, threads), 1),
+           fixed(100.0 * r.phaseFraction(r.cohCycles, threads), 1),
+           fixed(100.0 * r.phaseFraction(r.cseCycles, threads), 1),
+           fixed(100.0 *
+                     static_cast<double>(r.lockCohCycles) /
+                     (static_cast<double>(r.roiCycles) * threads),
+                 1),
+           fixed(r.rttMean, 1), std::to_string(r.rttMax),
+           std::to_string(r.earlyInvs), std::to_string(r.sleeps)});
+}
+
+/** One run with the optional component-level statistics dump. */
+RunResult
+runWithDump(const RunConfig &rc, bool dump)
+{
+    if (!dump)
+        return runBenchmark(rc);
+
+    SystemConfig sys_cfg = rc.system;
+    sys_cfg.finalize();
+    System system(sys_cfg);
+    Workload::Params wp;
+    wp.profile = rc.profile;
+    wp.threads = sys_cfg.numCores();
+    wp.csScale = rc.csScale;
+    wp.lockHome = rc.lockHome;
+    wp.lockKind = sys_cfg.lockKind;
+    wp.seed = sys_cfg.seed;
+    Workload w(wp, system.coherent(), system.locks(), system.sim());
+    w.start();
+    system.runUntil([&] { return w.done(); }, rc.maxCycles);
+
+    std::printf("--- component statistics (%s / %s) ---\n",
+                rc.profile.name.c_str(),
+                mechanismName(sys_cfg.mechanism));
+    StatGroup routers("routers.total");
+    StatGroup dirs("dirs.total");
+    StatGroup l1s("l1s.total");
+    for (NodeId n = 0; n < sys_cfg.numCores(); ++n) {
+        for (const auto &kv :
+             system.coherent().network().router(n).stats.allCounters())
+            routers.counter(kv.first) += kv.second;
+        for (const auto &kv :
+             system.coherent().directory(n).stats.allCounters())
+            dirs.counter(kv.first) += kv.second;
+        for (const auto &kv :
+             system.coherent().l1(n).stats.allCounters())
+            l1s.counter(kv.first) += kv.second;
+    }
+    std::fputs(routers.dump().c_str(), stdout);
+    std::fputs(dirs.dump().c_str(), stdout);
+    std::fputs(l1s.dump().c_str(), stdout);
+    for (const auto &lock : system.locks().locks())
+        std::fputs(lock->stats.dump().c_str(), stdout);
+    for (NodeId n = 0; n < sys_cfg.numCores(); ++n) {
+        if (auto *br = dynamic_cast<BigRouter *>(
+                &system.coherent().network().router(n))) {
+            if (br->generator().stats.value("early_invs_generated"))
+                std::fputs(br->generator().stats.dump().c_str(), stdout);
+        }
+    }
+    std::printf("---\n");
+
+    RunResult r;
+    r.benchmark = rc.profile.name;
+    r.mechanism = sys_cfg.mechanism;
+    r.lockKind = sys_cfg.lockKind;
+    r.roiCycles = w.roiFinish();
+    r.csCompleted = w.csCompleted();
+    r.parallelCycles = w.totalCycles(ThreadPhase::Parallel);
+    r.cohCycles = w.totalCycles(ThreadPhase::Coh) +
+                  w.totalCycles(ThreadPhase::Sleep);
+    r.sleepCycles = w.totalCycles(ThreadPhase::Sleep);
+    r.cseCycles = w.totalCycles(ThreadPhase::Cse);
+    r.rttMean = system.coherent().cohStats().rttHistogram.mean();
+    r.rttMax = system.coherent().cohStats().rttHistogram.max();
+    r.earlyInvs = system.totalEarlyInvs();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config overrides;
+    overrides.loadArgs(argc, argv);
+    if (overrides.has("config"))
+        overrides.loadFile(overrides.getString("config"));
+    // Command line wins over the file: re-apply argv.
+    overrides.loadArgs(argc, argv);
+
+    const std::string bench = overrides.getString("benchmark", "freq");
+    const bool csv = overrides.getBool("csv", false);
+    const bool dump = overrides.getBool("dump_stats", false);
+    const bool all_mechs = overrides.getBool("all_mechanisms", false);
+
+    std::vector<BenchmarkProfile> profiles;
+    if (bench == "all")
+        profiles = allBenchmarks();
+    else
+        for (const auto &name : split(bench, ','))
+            profiles.push_back(benchmarkByName(trim(name)));
+
+    RunConfig rc;
+    rc.system.applyOverrides(overrides);
+    rc.csScale = overrides.getDouble("cs_scale", 0.05);
+    if (overrides.has("lock_home"))
+        rc.lockHome =
+            static_cast<NodeId>(overrides.getInt("lock_home"));
+
+    TablePrinter t("inpg_sim results");
+    t.header({"benchmark", "mechanism", "lock", "roi_cycles",
+              "cs_completed", "parallel%", "coh%", "cse%", "lco%",
+              "rtt_mean", "rtt_max", "early_invs", "sleeps"});
+
+    const int threads = rc.system.numCores();
+    for (const auto &p : profiles) {
+        rc.profile = p;
+        if (all_mechs) {
+            for (Mechanism m : ALL_MECHANISMS) {
+                rc.system.mechanism = m;
+                addResultRow(t, runWithDump(rc, dump), threads);
+            }
+        } else {
+            addResultRow(t, runWithDump(rc, dump), threads);
+        }
+    }
+
+    if (csv)
+        std::fputs(t.renderCsv().c_str(), stdout);
+    else
+        std::fputs(t.render().c_str(), stdout);
+    return 0;
+}
