@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_lco.dir/bench_fig02_lco.cc.o"
+  "CMakeFiles/bench_fig02_lco.dir/bench_fig02_lco.cc.o.d"
+  "bench_fig02_lco"
+  "bench_fig02_lco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_lco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_synthesis.dir/bench_fig07_synthesis.cc.o"
+  "CMakeFiles/bench_fig07_synthesis.dir/bench_fig07_synthesis.cc.o.d"
+  "bench_fig07_synthesis"
+  "bench_fig07_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

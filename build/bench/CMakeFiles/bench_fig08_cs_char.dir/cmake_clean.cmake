@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_cs_char.dir/bench_fig08_cs_char.cc.o"
+  "CMakeFiles/bench_fig08_cs_char.dir/bench_fig08_cs_char.cc.o.d"
+  "bench_fig08_cs_char"
+  "bench_fig08_cs_char.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_cs_char.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

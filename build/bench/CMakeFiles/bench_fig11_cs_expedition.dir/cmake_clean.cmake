@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cs_expedition.dir/bench_fig11_cs_expedition.cc.o"
+  "CMakeFiles/bench_fig11_cs_expedition.dir/bench_fig11_cs_expedition.cc.o.d"
+  "bench_fig11_cs_expedition"
+  "bench_fig11_cs_expedition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cs_expedition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_primitives.dir/bench_fig13_primitives.cc.o"
+  "CMakeFiles/bench_fig13_primitives.dir/bench_fig13_primitives.cc.o.d"
+  "bench_fig13_primitives"
+  "bench_fig13_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_bench_table1_config "/root/repo/build/bench/bench_table1_config" "quick=1" "cs_scale=0.004" "seeds=1")
+set_tests_properties(smoke_bench_table1_config PROPERTIES  LABELS "bench_smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig02_lco "/root/repo/build/bench/bench_fig02_lco" "quick=1" "cs_scale=0.004" "seeds=1")
+set_tests_properties(smoke_bench_fig02_lco PROPERTIES  LABELS "bench_smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig07_synthesis "/root/repo/build/bench/bench_fig07_synthesis" "quick=1" "cs_scale=0.004" "seeds=1")
+set_tests_properties(smoke_bench_fig07_synthesis PROPERTIES  LABELS "bench_smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig08_cs_char "/root/repo/build/bench/bench_fig08_cs_char" "quick=1" "cs_scale=0.004" "seeds=1")
+set_tests_properties(smoke_bench_fig08_cs_char PROPERTIES  LABELS "bench_smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig09_profile "/root/repo/build/bench/bench_fig09_profile" "quick=1" "cs_scale=0.004" "seeds=1")
+set_tests_properties(smoke_bench_fig09_profile PROPERTIES  LABELS "bench_smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig10_rtt "/root/repo/build/bench/bench_fig10_rtt" "quick=1" "cs_scale=0.004" "seeds=1")
+set_tests_properties(smoke_bench_fig10_rtt PROPERTIES  LABELS "bench_smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig11_cs_expedition "/root/repo/build/bench/bench_fig11_cs_expedition" "quick=1" "cs_scale=0.004" "seeds=1")
+set_tests_properties(smoke_bench_fig11_cs_expedition PROPERTIES  LABELS "bench_smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig12_roi "/root/repo/build/bench/bench_fig12_roi" "quick=1" "cs_scale=0.004" "seeds=1")
+set_tests_properties(smoke_bench_fig12_roi PROPERTIES  LABELS "bench_smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig13_primitives "/root/repo/build/bench/bench_fig13_primitives" "quick=1" "cs_scale=0.004" "seeds=1")
+set_tests_properties(smoke_bench_fig13_primitives PROPERTIES  LABELS "bench_smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig14_deployment "/root/repo/build/bench/bench_fig14_deployment" "quick=1" "cs_scale=0.004" "seeds=1")
+set_tests_properties(smoke_bench_fig14_deployment PROPERTIES  LABELS "bench_smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig15_scaling "/root/repo/build/bench/bench_fig15_scaling" "quick=1" "cs_scale=0.004" "seeds=1")
+set_tests_properties(smoke_bench_fig15_scaling PROPERTIES  LABELS "bench_smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ablation "/root/repo/build/bench/bench_ablation" "quick=1" "cs_scale=0.004" "seeds=1")
+set_tests_properties(smoke_bench_ablation PROPERTIES  LABELS "bench_smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ablation_quick "/root/repo/build/bench/bench_ablation" "quick=1" "cs_scale=0.004" "benchmark=md")
+set_tests_properties(smoke_bench_ablation_quick PROPERTIES  LABELS "bench_smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")

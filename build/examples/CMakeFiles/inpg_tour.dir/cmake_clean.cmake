@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inpg_tour.dir/inpg_tour.cpp.o"
+  "CMakeFiles/inpg_tour.dir/inpg_tour.cpp.o.d"
+  "inpg_tour"
+  "inpg_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inpg_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

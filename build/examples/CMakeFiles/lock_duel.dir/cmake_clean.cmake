@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_duel.dir/lock_duel.cpp.o"
+  "CMakeFiles/lock_duel.dir/lock_duel.cpp.o.d"
+  "lock_duel"
+  "lock_duel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_duel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

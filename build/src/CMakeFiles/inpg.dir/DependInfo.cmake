@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coh/coherence_msg.cc" "src/CMakeFiles/inpg.dir/coh/coherence_msg.cc.o" "gcc" "src/CMakeFiles/inpg.dir/coh/coherence_msg.cc.o.d"
+  "/root/repo/src/coh/coherent_system.cc" "src/CMakeFiles/inpg.dir/coh/coherent_system.cc.o" "gcc" "src/CMakeFiles/inpg.dir/coh/coherent_system.cc.o.d"
+  "/root/repo/src/coh/directory.cc" "src/CMakeFiles/inpg.dir/coh/directory.cc.o" "gcc" "src/CMakeFiles/inpg.dir/coh/directory.cc.o.d"
+  "/root/repo/src/coh/golden_memory.cc" "src/CMakeFiles/inpg.dir/coh/golden_memory.cc.o" "gcc" "src/CMakeFiles/inpg.dir/coh/golden_memory.cc.o.d"
+  "/root/repo/src/coh/l1_controller.cc" "src/CMakeFiles/inpg.dir/coh/l1_controller.cc.o" "gcc" "src/CMakeFiles/inpg.dir/coh/l1_controller.cc.o.d"
+  "/root/repo/src/coh/memory_controller.cc" "src/CMakeFiles/inpg.dir/coh/memory_controller.cc.o" "gcc" "src/CMakeFiles/inpg.dir/coh/memory_controller.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/inpg.dir/common/config.cc.o" "gcc" "src/CMakeFiles/inpg.dir/common/config.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/inpg.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/inpg.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/inpg.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/inpg.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/inpg.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/inpg.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/inpg.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/inpg.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/strutil.cc" "src/CMakeFiles/inpg.dir/common/strutil.cc.o" "gcc" "src/CMakeFiles/inpg.dir/common/strutil.cc.o.d"
+  "/root/repo/src/common/trace.cc" "src/CMakeFiles/inpg.dir/common/trace.cc.o" "gcc" "src/CMakeFiles/inpg.dir/common/trace.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/inpg.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/inpg.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/mechanism.cc" "src/CMakeFiles/inpg.dir/harness/mechanism.cc.o" "gcc" "src/CMakeFiles/inpg.dir/harness/mechanism.cc.o.d"
+  "/root/repo/src/harness/system.cc" "src/CMakeFiles/inpg.dir/harness/system.cc.o" "gcc" "src/CMakeFiles/inpg.dir/harness/system.cc.o.d"
+  "/root/repo/src/harness/system_config.cc" "src/CMakeFiles/inpg.dir/harness/system_config.cc.o" "gcc" "src/CMakeFiles/inpg.dir/harness/system_config.cc.o.d"
+  "/root/repo/src/harness/table_printer.cc" "src/CMakeFiles/inpg.dir/harness/table_printer.cc.o" "gcc" "src/CMakeFiles/inpg.dir/harness/table_printer.cc.o.d"
+  "/root/repo/src/inpg/big_router.cc" "src/CMakeFiles/inpg.dir/inpg/big_router.cc.o" "gcc" "src/CMakeFiles/inpg.dir/inpg/big_router.cc.o.d"
+  "/root/repo/src/inpg/lock_barrier_table.cc" "src/CMakeFiles/inpg.dir/inpg/lock_barrier_table.cc.o" "gcc" "src/CMakeFiles/inpg.dir/inpg/lock_barrier_table.cc.o.d"
+  "/root/repo/src/inpg/packet_generator.cc" "src/CMakeFiles/inpg.dir/inpg/packet_generator.cc.o" "gcc" "src/CMakeFiles/inpg.dir/inpg/packet_generator.cc.o.d"
+  "/root/repo/src/inpg/synthesis_model.cc" "src/CMakeFiles/inpg.dir/inpg/synthesis_model.cc.o" "gcc" "src/CMakeFiles/inpg.dir/inpg/synthesis_model.cc.o.d"
+  "/root/repo/src/noc/arbiter.cc" "src/CMakeFiles/inpg.dir/noc/arbiter.cc.o" "gcc" "src/CMakeFiles/inpg.dir/noc/arbiter.cc.o.d"
+  "/root/repo/src/noc/flit.cc" "src/CMakeFiles/inpg.dir/noc/flit.cc.o" "gcc" "src/CMakeFiles/inpg.dir/noc/flit.cc.o.d"
+  "/root/repo/src/noc/input_unit.cc" "src/CMakeFiles/inpg.dir/noc/input_unit.cc.o" "gcc" "src/CMakeFiles/inpg.dir/noc/input_unit.cc.o.d"
+  "/root/repo/src/noc/network.cc" "src/CMakeFiles/inpg.dir/noc/network.cc.o" "gcc" "src/CMakeFiles/inpg.dir/noc/network.cc.o.d"
+  "/root/repo/src/noc/network_interface.cc" "src/CMakeFiles/inpg.dir/noc/network_interface.cc.o" "gcc" "src/CMakeFiles/inpg.dir/noc/network_interface.cc.o.d"
+  "/root/repo/src/noc/output_unit.cc" "src/CMakeFiles/inpg.dir/noc/output_unit.cc.o" "gcc" "src/CMakeFiles/inpg.dir/noc/output_unit.cc.o.d"
+  "/root/repo/src/noc/packet.cc" "src/CMakeFiles/inpg.dir/noc/packet.cc.o" "gcc" "src/CMakeFiles/inpg.dir/noc/packet.cc.o.d"
+  "/root/repo/src/noc/router.cc" "src/CMakeFiles/inpg.dir/noc/router.cc.o" "gcc" "src/CMakeFiles/inpg.dir/noc/router.cc.o.d"
+  "/root/repo/src/noc/routing.cc" "src/CMakeFiles/inpg.dir/noc/routing.cc.o" "gcc" "src/CMakeFiles/inpg.dir/noc/routing.cc.o.d"
+  "/root/repo/src/ocor/ocor_policy.cc" "src/CMakeFiles/inpg.dir/ocor/ocor_policy.cc.o" "gcc" "src/CMakeFiles/inpg.dir/ocor/ocor_policy.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/inpg.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/inpg.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/inpg.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/inpg.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sync/abql_lock.cc" "src/CMakeFiles/inpg.dir/sync/abql_lock.cc.o" "gcc" "src/CMakeFiles/inpg.dir/sync/abql_lock.cc.o.d"
+  "/root/repo/src/sync/lock_manager.cc" "src/CMakeFiles/inpg.dir/sync/lock_manager.cc.o" "gcc" "src/CMakeFiles/inpg.dir/sync/lock_manager.cc.o.d"
+  "/root/repo/src/sync/lock_primitive.cc" "src/CMakeFiles/inpg.dir/sync/lock_primitive.cc.o" "gcc" "src/CMakeFiles/inpg.dir/sync/lock_primitive.cc.o.d"
+  "/root/repo/src/sync/mcs_lock.cc" "src/CMakeFiles/inpg.dir/sync/mcs_lock.cc.o" "gcc" "src/CMakeFiles/inpg.dir/sync/mcs_lock.cc.o.d"
+  "/root/repo/src/sync/qsl_lock.cc" "src/CMakeFiles/inpg.dir/sync/qsl_lock.cc.o" "gcc" "src/CMakeFiles/inpg.dir/sync/qsl_lock.cc.o.d"
+  "/root/repo/src/sync/tas_lock.cc" "src/CMakeFiles/inpg.dir/sync/tas_lock.cc.o" "gcc" "src/CMakeFiles/inpg.dir/sync/tas_lock.cc.o.d"
+  "/root/repo/src/sync/thread_context.cc" "src/CMakeFiles/inpg.dir/sync/thread_context.cc.o" "gcc" "src/CMakeFiles/inpg.dir/sync/thread_context.cc.o.d"
+  "/root/repo/src/sync/ticket_lock.cc" "src/CMakeFiles/inpg.dir/sync/ticket_lock.cc.o" "gcc" "src/CMakeFiles/inpg.dir/sync/ticket_lock.cc.o.d"
+  "/root/repo/src/workload/benchmark_profile.cc" "src/CMakeFiles/inpg.dir/workload/benchmark_profile.cc.o" "gcc" "src/CMakeFiles/inpg.dir/workload/benchmark_profile.cc.o.d"
+  "/root/repo/src/workload/phase_recorder.cc" "src/CMakeFiles/inpg.dir/workload/phase_recorder.cc.o" "gcc" "src/CMakeFiles/inpg.dir/workload/phase_recorder.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/inpg.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/inpg.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

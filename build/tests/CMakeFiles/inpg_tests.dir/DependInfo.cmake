@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_coherence.cc" "tests/CMakeFiles/inpg_tests.dir/test_coherence.cc.o" "gcc" "tests/CMakeFiles/inpg_tests.dir/test_coherence.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/inpg_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/inpg_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_demotion.cc" "tests/CMakeFiles/inpg_tests.dir/test_demotion.cc.o" "gcc" "tests/CMakeFiles/inpg_tests.dir/test_demotion.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/inpg_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/inpg_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_inpg.cc" "tests/CMakeFiles/inpg_tests.dir/test_inpg.cc.o" "gcc" "tests/CMakeFiles/inpg_tests.dir/test_inpg.cc.o.d"
+  "/root/repo/tests/test_inpg_edge.cc" "tests/CMakeFiles/inpg_tests.dir/test_inpg_edge.cc.o" "gcc" "tests/CMakeFiles/inpg_tests.dir/test_inpg_edge.cc.o.d"
+  "/root/repo/tests/test_locks.cc" "tests/CMakeFiles/inpg_tests.dir/test_locks.cc.o" "gcc" "tests/CMakeFiles/inpg_tests.dir/test_locks.cc.o.d"
+  "/root/repo/tests/test_matrix.cc" "tests/CMakeFiles/inpg_tests.dir/test_matrix.cc.o" "gcc" "tests/CMakeFiles/inpg_tests.dir/test_matrix.cc.o.d"
+  "/root/repo/tests/test_noc_basic.cc" "tests/CMakeFiles/inpg_tests.dir/test_noc_basic.cc.o" "gcc" "tests/CMakeFiles/inpg_tests.dir/test_noc_basic.cc.o.d"
+  "/root/repo/tests/test_noc_units.cc" "tests/CMakeFiles/inpg_tests.dir/test_noc_units.cc.o" "gcc" "tests/CMakeFiles/inpg_tests.dir/test_noc_units.cc.o.d"
+  "/root/repo/tests/test_protocol_units.cc" "tests/CMakeFiles/inpg_tests.dir/test_protocol_units.cc.o" "gcc" "tests/CMakeFiles/inpg_tests.dir/test_protocol_units.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/inpg_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/inpg_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/inpg_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/inpg_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/inpg_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/inpg_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inpg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inpg_tests.dir/test_coherence.cc.o"
+  "CMakeFiles/inpg_tests.dir/test_coherence.cc.o.d"
+  "CMakeFiles/inpg_tests.dir/test_common.cc.o"
+  "CMakeFiles/inpg_tests.dir/test_common.cc.o.d"
+  "CMakeFiles/inpg_tests.dir/test_demotion.cc.o"
+  "CMakeFiles/inpg_tests.dir/test_demotion.cc.o.d"
+  "CMakeFiles/inpg_tests.dir/test_harness.cc.o"
+  "CMakeFiles/inpg_tests.dir/test_harness.cc.o.d"
+  "CMakeFiles/inpg_tests.dir/test_inpg.cc.o"
+  "CMakeFiles/inpg_tests.dir/test_inpg.cc.o.d"
+  "CMakeFiles/inpg_tests.dir/test_inpg_edge.cc.o"
+  "CMakeFiles/inpg_tests.dir/test_inpg_edge.cc.o.d"
+  "CMakeFiles/inpg_tests.dir/test_locks.cc.o"
+  "CMakeFiles/inpg_tests.dir/test_locks.cc.o.d"
+  "CMakeFiles/inpg_tests.dir/test_matrix.cc.o"
+  "CMakeFiles/inpg_tests.dir/test_matrix.cc.o.d"
+  "CMakeFiles/inpg_tests.dir/test_noc_basic.cc.o"
+  "CMakeFiles/inpg_tests.dir/test_noc_basic.cc.o.d"
+  "CMakeFiles/inpg_tests.dir/test_noc_units.cc.o"
+  "CMakeFiles/inpg_tests.dir/test_noc_units.cc.o.d"
+  "CMakeFiles/inpg_tests.dir/test_protocol_units.cc.o"
+  "CMakeFiles/inpg_tests.dir/test_protocol_units.cc.o.d"
+  "CMakeFiles/inpg_tests.dir/test_sim.cc.o"
+  "CMakeFiles/inpg_tests.dir/test_sim.cc.o.d"
+  "CMakeFiles/inpg_tests.dir/test_trace.cc.o"
+  "CMakeFiles/inpg_tests.dir/test_trace.cc.o.d"
+  "CMakeFiles/inpg_tests.dir/test_workload.cc.o"
+  "CMakeFiles/inpg_tests.dir/test_workload.cc.o.d"
+  "inpg_tests"
+  "inpg_tests.pdb"
+  "inpg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inpg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inpg_sim.dir/inpg_sim.cc.o"
+  "CMakeFiles/inpg_sim.dir/inpg_sim.cc.o.d"
+  "inpg_sim"
+  "inpg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inpg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
