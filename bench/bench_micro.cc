@@ -4,17 +4,32 @@
  * components: router pipeline throughput, barrier table operations,
  * directory processing, arbiters and the event queue. These bound the
  * wall-clock cost of the figure-level benches.
+ *
+ * `bench_micro --json [--out FILE]` instead runs the kernel
+ * fast-forward A/B measurement: one long-CS lock-contention workload
+ * executed with idle fast-forwarding off and on, reporting host metrics
+ * (wall-clock per simulated cycle, cycles fast-forwarded, flit-pool hit
+ * rate) as JSON. The `perf-smoke` ctest target drives this mode.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
 #include "coh/coherent_system.hh"
 #include "common/histogram.hh"
 #include "common/rng.hh"
+#include "harness/system.hh"
 #include "inpg/lock_barrier_table.hh"
 #include "noc/arbiter.hh"
+#include "noc/flit_pool.hh"
 #include "noc/network.hh"
 #include "sim/simulator.hh"
+#include "workload/benchmark_profile.hh"
+#include "workload/workload.hh"
 
 using namespace inpg;
 
@@ -154,4 +169,188 @@ BM_HistogramAdd(benchmark::State &state)
 }
 BENCHMARK(BM_HistogramAdd);
 
-BENCHMARK_MAIN();
+// ---------------------------------------------------------------------
+// --json mode: kernel fast-forward A/B on a long-CS contention workload
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct KernelRunMetrics {
+    Cycle simCycles = 0;
+    Cycle roiCycles = 0;
+    std::uint64_t csCompleted = 0;
+    std::uint64_t ffCycles = 0;
+    std::uint64_t ffJumps = 0;
+    double wallNs = 0;
+
+    double
+    nsPerCycle() const
+    {
+        return simCycles ? wallNs / static_cast<double>(simCycles) : 0;
+    }
+};
+
+/**
+ * 16 QSL threads contending on one lock with long CS bodies: while the
+ * holder executes its critical section every waiter sleeps, so the
+ * fabric goes fully idle between protocol bursts -- the workload class
+ * the fast-forward kernel targets.
+ */
+BenchmarkProfile
+longCsProfile()
+{
+    BenchmarkProfile p = benchmarkByName("imag");
+    p.name = "long_cs_contention";
+    p.totalCs = 256;
+    p.avgCsCycles = 3000;
+    p.avgParallelCycles = 1500;
+    p.numLocks = 1;
+    p.memGapCycles = 0; // no background traffic: pure lock contention
+    return p;
+}
+
+KernelRunMetrics
+runKernelWorkload(bool fast_forward)
+{
+    SystemConfig cfg;
+    cfg.noc.meshWidth = 4;
+    cfg.noc.meshHeight = 4;
+    cfg.lockKind = LockKind::Qsl;
+    cfg.finalize();
+
+    System system(cfg);
+    system.sim().setFastForward(fast_forward);
+
+    Workload::Params wp;
+    wp.profile = longCsProfile();
+    wp.threads = cfg.numCores();
+    wp.csScale = 1.0;
+    wp.lockKind = cfg.lockKind;
+    wp.seed = cfg.seed;
+    Workload workload(wp, system.coherent(), system.locks(),
+                      system.sim());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    workload.start();
+    system.runUntil([&] { return workload.done(); });
+    const auto t1 = std::chrono::steady_clock::now();
+
+    KernelRunMetrics m;
+    m.simCycles = system.sim().now();
+    m.roiCycles = workload.roiFinish();
+    m.csCompleted = workload.csCompleted();
+    m.ffCycles = system.sim().cyclesFastForwarded();
+    m.ffJumps = system.sim().fastForwardJumps();
+    m.wallNs = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    return m;
+}
+
+void
+printKernelJson(std::FILE *out, const KernelRunMetrics &off,
+                const KernelRunMetrics &on, const FlitPool &pool)
+{
+    auto emitRun = [out](const char *label, const KernelRunMetrics &m) {
+        std::fprintf(out,
+                     "    \"%s\": {\n"
+                     "      \"sim_cycles\": %llu,\n"
+                     "      \"roi_cycles\": %llu,\n"
+                     "      \"cs_completed\": %llu,\n"
+                     "      \"wall_ns\": %.0f,\n"
+                     "      \"ns_per_sim_cycle\": %.3f,\n"
+                     "      \"cycles_fast_forwarded\": %llu,\n"
+                     "      \"fast_forward_jumps\": %llu\n"
+                     "    }",
+                     label,
+                     static_cast<unsigned long long>(m.simCycles),
+                     static_cast<unsigned long long>(m.roiCycles),
+                     static_cast<unsigned long long>(m.csCompleted),
+                     m.wallNs, m.nsPerCycle(),
+                     static_cast<unsigned long long>(m.ffCycles),
+                     static_cast<unsigned long long>(m.ffJumps));
+    };
+
+    const bool identical = off.roiCycles == on.roiCycles &&
+                           off.csCompleted == on.csCompleted &&
+                           off.simCycles == on.simCycles;
+    const double speedup = on.wallNs > 0 ? off.wallNs / on.wallNs : 0;
+
+    std::fprintf(out, "{\n"
+                      "  \"bench\": \"kernel_fast_forward\",\n"
+                      "  \"workload\": \"long_cs_contention\",\n"
+                      "  \"mesh\": \"4x4\",\n"
+                      "  \"lock\": \"qsl\",\n"
+                      "  \"runs\": {\n");
+    emitRun("fast_forward_off", off);
+    std::fprintf(out, ",\n");
+    emitRun("fast_forward_on", on);
+    std::fprintf(out,
+                 "\n  },\n"
+                 "  \"speedup\": %.2f,\n"
+                 "  \"bit_identical\": %s,\n"
+                 "  \"flit_pool\": {\n"
+                 "    \"allocated\": %llu,\n"
+                 "    \"reused\": %llu,\n"
+                 "    \"hit_rate\": %.4f\n"
+                 "  }\n"
+                 "}\n",
+                 speedup, identical ? "true" : "false",
+                 static_cast<unsigned long long>(pool.allocated()),
+                 static_cast<unsigned long long>(pool.reused()),
+                 pool.hitRate());
+}
+
+int
+runJsonMode(const char *out_path)
+{
+    // FF-off first, then FF-on with fresh pool statistics so the hit
+    // rate reflects one run (the free list itself stays warm, as in any
+    // long-lived process).
+    KernelRunMetrics off = runKernelWorkload(false);
+    FlitPool::local().resetStats();
+    KernelRunMetrics on = runKernelWorkload(true);
+
+    printKernelJson(stdout, off, on, FlitPool::local());
+    if (out_path) {
+        std::FILE *f = std::fopen(out_path, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", out_path);
+            return 1;
+        }
+        printKernelJson(f, off, on, FlitPool::local());
+        std::fclose(f);
+    }
+
+    if (!(off.roiCycles == on.roiCycles &&
+          off.csCompleted == on.csCompleted)) {
+        std::fprintf(stderr,
+                     "FAIL: fast-forward changed simulated results\n");
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    const char *out_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+    }
+    if (json)
+        return runJsonMode(out_path);
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,5 +1,10 @@
 #!/bin/sh
 # Regenerate every paper table/figure (see README).
+# --quick: only the kernel perf smoke (bench_micro --json), writing
+#          build/BENCH_kernel.json.
+if [ "$1" = "--quick" ]; then
+    exec build/bench/bench_micro --json --out build/BENCH_kernel.json
+fi
 for b in build/bench/bench_*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     echo "################################################################"

@@ -44,13 +44,20 @@ Directory::receiveMessage(const CohMsgPtr &msg, Cycle now)
     (void)now;
     queue.push_back(msg);
     ++stats.counter("msgs_received");
+    wakeSelf();
 }
 
 void
 Directory::tick(Cycle now)
 {
-    if (blockedOnFetch || queue.empty() || now < busyUntil)
+    if (blockedOnFetch || queue.empty()) {
+        // Ticks stay no-ops until receiveMessage() or the DRAM-fetch
+        // completion, and both wake us.
+        suspendSelf();
         return;
+    }
+    if (now < busyUntil)
+        return; // stay awake: nothing will wake us at busyUntil
 
     CohMsgPtr msg = queue.front();
     queue.pop_front();
@@ -71,6 +78,7 @@ Directory::tick(Cycle now)
         mem->fetch(msg->addr, [this, msg] {
             blockedOnFetch = false;
             busyUntil = sim.now();
+            wakeSelf();
             process(msg, sim.now());
         });
         return;

@@ -1,6 +1,9 @@
 #include "harness/experiment.hh"
 
+#include <iterator>
+
 #include "common/logging.hh"
+#include "harness/sweep_runner.hh"
 
 namespace inpg {
 
@@ -60,12 +63,15 @@ runBenchmark(const RunConfig &run_cfg)
 std::vector<RunResult>
 runAllMechanisms(RunConfig cfg)
 {
-    std::vector<RunResult> out;
+    // The four mechanism runs are independent; fan them across the
+    // sweep pool (results come back in ALL_MECHANISMS order).
+    std::vector<RunConfig> configs;
+    configs.reserve(std::size(ALL_MECHANISMS));
     for (Mechanism m : ALL_MECHANISMS) {
         cfg.system.mechanism = m;
-        out.push_back(runBenchmark(cfg));
+        configs.push_back(cfg);
     }
-    return out;
+    return runSweep(configs);
 }
 
 } // namespace inpg

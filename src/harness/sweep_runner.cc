@@ -1,0 +1,69 @@
+#include "harness/sweep_runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+namespace inpg {
+
+int
+sweepThreadCount(std::size_t jobs, int requested)
+{
+    if (jobs <= 1)
+        return 1;
+    int n = requested;
+    if (n <= 0) {
+        if (const char *env = std::getenv("INPG_SWEEP_THREADS"))
+            n = std::atoi(env);
+    }
+    if (n <= 0)
+        n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0)
+        n = 1;
+    if (static_cast<std::size_t>(n) > jobs)
+        n = static_cast<int>(jobs);
+    return n;
+}
+
+std::vector<RunResult>
+runSweep(const std::vector<RunConfig> &configs, const SweepOptions &opts)
+{
+    std::vector<RunResult> results(configs.size());
+    if (configs.empty())
+        return results;
+
+    const int nthreads = sweepThreadCount(configs.size(), opts.threads);
+    if (nthreads == 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            results[i] = runBenchmark(configs[i]);
+        return results;
+    }
+
+    // The trace registry initializes lazily from the environment on
+    // first use; force that once before workers can race on it.
+    Trace::initFromEnvironment();
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= configs.size())
+                return;
+            results[i] = runBenchmark(configs[i]);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(nthreads));
+    for (int t = 0; t < nthreads; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+    return results;
+}
+
+} // namespace inpg

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Parallel sweep runner: fan independent RunConfigs across a host
+ * thread pool.
+ *
+ * Benchmark runs are embarrassingly parallel -- each builds its own
+ * System (kernel, NoC, coherence, locks) and its own Rng stream seeded
+ * from the configuration, and a System never leaves the worker thread
+ * that built it (FlitPool free lists are thread-local; see
+ * flit_pool.hh). Results are therefore bit-identical to a serial sweep
+ * regardless of thread count or scheduling, just indexed back into
+ * submission order.
+ */
+
+#ifndef INPG_HARNESS_SWEEP_RUNNER_HH
+#define INPG_HARNESS_SWEEP_RUNNER_HH
+
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace inpg {
+
+/** Host-side knobs for a sweep (simulated behavior is unaffected). */
+struct SweepOptions {
+    /**
+     * Worker threads; 0 = auto (INPG_SWEEP_THREADS env var if set, else
+     * hardware concurrency, capped at the job count).
+     */
+    int threads = 0;
+};
+
+/**
+ * Resolve the worker count for `jobs` jobs: an explicit request wins,
+ * then the INPG_SWEEP_THREADS environment variable, then the hardware
+ * thread count; always within [1, jobs].
+ */
+int sweepThreadCount(std::size_t jobs, int requested);
+
+/**
+ * Run every configuration and return results in submission order.
+ * Runs inline (no threads) when only one worker is warranted.
+ */
+std::vector<RunResult> runSweep(const std::vector<RunConfig> &configs,
+                                const SweepOptions &opts = {});
+
+} // namespace inpg
+
+#endif // INPG_HARNESS_SWEEP_RUNNER_HH

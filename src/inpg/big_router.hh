@@ -42,6 +42,17 @@ class BigRouter : public Router
                            Direction outport, Cycle now) override;
     void generatorPhase(Cycle now) override;
 
+    /**
+     * Live barriers age by TTL each cycle; the expiry statistics are
+     * per-cycle observable, so stay in the active set until the table
+     * drains.
+     */
+    bool
+    generatorIdle() const override
+    {
+        return gen.barrierTable().numBarriers() == 0;
+    }
+
   private:
     PacketGenerator gen;
     CohConfig cohCfg;

@@ -1,0 +1,78 @@
+#include "noc/flit_pool.hh"
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+FlitPool &
+FlitPool::local()
+{
+    static thread_local FlitPool pool;
+    return pool;
+}
+
+FlitPtr
+FlitPool::make(PacketPtr pkt, FlitType type, int seq)
+{
+    Flit *flit;
+    if (!freeList.empty()) {
+        flit = freeList.back();
+        freeList.pop_back();
+        ++freeListHits;
+        flit->packet = std::move(pkt);
+        flit->type = type;
+        flit->seq = seq;
+        flit->vc = INVALID_VC;
+        flit->bufferedAt = 0;
+    } else {
+        flit = new Flit(std::move(pkt), type, seq);
+        ++freshAllocs;
+    }
+    flit->pool = this;
+    flit->refs = 1;
+    return FlitPtr(flit, FlitPtr::Adopt{});
+}
+
+void
+FlitPool::recycle(Flit *flit)
+{
+    INPG_ASSERT(flit->refs == 0, "recycling a live flit");
+    // Drop the payload now; parking it would pin the Packet (and the
+    // coherence message inside it) for the pool's whole lifetime.
+    flit->packet.reset();
+    freeList.push_back(flit);
+}
+
+void
+FlitPool::trim()
+{
+    for (Flit *flit : freeList)
+        delete flit;
+    freeList.clear();
+}
+
+FlitPool::~FlitPool()
+{
+    trim();
+}
+
+namespace detail {
+
+void
+releaseFlit(Flit *flit)
+{
+    if (flit->pool)
+        flit->pool->recycle(flit);
+    else
+        delete flit;
+}
+
+} // namespace detail
+
+FlitPtr
+makeFlit(PacketPtr pkt, FlitType type, int seq)
+{
+    return FlitPool::local().make(std::move(pkt), type, seq);
+}
+
+} // namespace inpg

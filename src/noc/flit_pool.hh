@@ -1,0 +1,92 @@
+/**
+ * @file
+ * FlitPool: a per-thread free list recycling Flit objects.
+ *
+ * The NoC allocates one Flit per packet flit and hands it across 10+
+ * hops; with shared_ptr this cost one heap allocation plus atomic
+ * count traffic per flit. The pool keeps dead flits on a free list and
+ * re-initializes them in place, so steady-state simulation performs no
+ * flit heap allocation at all.
+ *
+ * Ownership rules (see also DESIGN.md):
+ *  - every Flit belongs to exactly one FlitPool, the per-thread pool of
+ *    the thread that created it; it returns there when the last FlitPtr
+ *    drops (the payload PacketPtr is released at that moment, not
+ *    retained by the free list);
+ *  - a simulated System must be constructed, run and destroyed on a
+ *    single host thread -- flits never legally cross threads (the
+ *    parallel sweep runner confines each configuration to one worker);
+ *  - pool-less Flits (pool == nullptr, e.g. unit tests constructing
+ *    Flit on the heap manually) are deleted instead of recycled.
+ */
+
+#ifndef INPG_NOC_FLIT_POOL_HH
+#define INPG_NOC_FLIT_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/flit.hh"
+
+namespace inpg {
+
+/** Free-list allocator for Flit objects (one per host thread). */
+class FlitPool
+{
+  public:
+    FlitPool() = default;
+    ~FlitPool();
+
+    FlitPool(const FlitPool &) = delete;
+    FlitPool &operator=(const FlitPool &) = delete;
+
+    /** The calling thread's pool. */
+    static FlitPool &local();
+
+    /** Allocate (or recycle) a flit. */
+    FlitPtr make(PacketPtr pkt, FlitType type, int seq);
+
+    /** Fresh heap allocations performed. */
+    std::uint64_t allocated() const { return freshAllocs; }
+
+    /** Allocations served from the free list. */
+    std::uint64_t reused() const { return freeListHits; }
+
+    /** Fraction of allocations served without touching the heap. */
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = freshAllocs + freeListHits;
+        return total ? static_cast<double>(freeListHits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    /** Flits currently parked on the free list. */
+    std::size_t freeListSize() const { return freeList.size(); }
+
+    /** Release the free list back to the heap (stats are kept). */
+    void trim();
+
+    /** Zero the allocation counters (perf harness epochs). */
+    void
+    resetStats()
+    {
+        freshAllocs = 0;
+        freeListHits = 0;
+    }
+
+  private:
+    friend void detail::releaseFlit(Flit *flit);
+
+    /** Park a dead flit (refs == 0) for reuse. */
+    void recycle(Flit *flit);
+
+    std::vector<Flit *> freeList;
+    std::uint64_t freshAllocs = 0;
+    std::uint64_t freeListHits = 0;
+};
+
+} // namespace inpg
+
+#endif // INPG_NOC_FLIT_POOL_HH

@@ -17,6 +17,7 @@
 #include "common/types.hh"
 #include "noc/credit.hh"
 #include "noc/flit.hh"
+#include "sim/ticking.hh"
 
 namespace inpg {
 
@@ -86,8 +87,38 @@ class Channel
         : flits(link_latency + 1), credits(1)
     {}
 
+    /**
+     * Register the component that drains each pipe. Senders must inject
+     * through pushFlit()/pushCredit() so a sleeping consumer is pulled
+     * back into the simulator's active set when traffic arrives.
+     */
+    void setFlitSink(Ticking *sink) { flitSink = sink; }
+    void setCreditSink(Ticking *sink) { creditSink = sink; }
+
+    /** Inject a flit and wake the downstream consumer. */
+    void
+    pushFlit(FlitPtr flit, Cycle now)
+    {
+        flits.push(std::move(flit), now);
+        if (flitSink)
+            flitSink->sleepToken().wake();
+    }
+
+    /** Inject a credit and wake the upstream consumer. */
+    void
+    pushCredit(Credit credit, Cycle now)
+    {
+        credits.push(credit, now);
+        if (creditSink)
+            creditSink->sleepToken().wake();
+    }
+
     DelayLine<FlitPtr> flits;
     DelayLine<Credit> credits;
+
+  private:
+    Ticking *flitSink = nullptr;
+    Ticking *creditSink = nullptr;
 };
 
 } // namespace inpg

@@ -19,6 +19,8 @@ NetworkInterface::connect(Channel *to_router, Channel *from_router)
     txChannel = to_router;
     rxChannel = from_router;
     routerPort.connect(to_router);
+    to_router->setCreditSink(this);
+    from_router->setFlitSink(this);
 }
 
 void
@@ -33,6 +35,7 @@ NetworkInterface::sendPacket(const PacketPtr &pkt, Cycle now)
     pkt->injectCycle = now;
     injectQueues[static_cast<std::size_t>(pkt->vnet)].push_back(pkt);
     ++stats.counter("packets_queued");
+    wakeSelf();
 }
 
 std::string
@@ -62,6 +65,12 @@ NetworkInterface::tick(Cycle now)
     ejectFlits(now);
     allocateInjectVcs(now);
     injectOneFlit(now);
+    // Empty queues AND empty channels (items latched for future cycles
+    // would not re-wake us): every tick is a no-op until the next
+    // sendPacket() or Channel push.
+    if (idle() && (!txChannel || txChannel->credits.empty()) &&
+        (!rxChannel || rxChannel->flits.empty()))
+        suspendSelf();
 }
 
 void
@@ -83,13 +92,14 @@ NetworkInterface::ejectFlits(Cycle now)
         INPG_ASSERT(flit->packet->dst == id,
                     "NI %d ejected packet destined to %d", id,
                     flit->packet->dst);
-        auto &buf = reassembly[static_cast<std::size_t>(flit->vc)];
-        buf.push_back(flit);
+        const VcId vc = flit->vc;
+        const bool tail = isTailFlit(flit->type);
+        PacketPtr pkt = tail ? flit->packet : nullptr;
+        auto &buf = reassembly[static_cast<std::size_t>(vc)];
+        buf.push_back(std::move(flit));
         // The NI drains its buffers instantly; credit back every flit.
-        rxChannel->credits.push(Credit{flit->vc, isTailFlit(flit->type)},
-                                now);
-        if (isTailFlit(flit->type)) {
-            PacketPtr pkt = flit->packet;
+        rxChannel->pushCredit(Credit{vc, tail}, now);
+        if (tail) {
             INPG_ASSERT(static_cast<int>(buf.size()) == pkt->numFlits,
                         "packet %llu reassembled with %zu of %d flits",
                         static_cast<unsigned long long>(pkt->id),
@@ -108,8 +118,13 @@ void
 NetworkInterface::allocateInjectVcs(Cycle now)
 {
     const std::size_t nvnets = injectQueues.size();
+    // Fairness rotation derived from the clock instead of a per-tick
+    // counter: equal to the old vnetPointer (incremented once per cycle
+    // since cycle 0) at every cycle, but unaffected by skipped idle
+    // ticks -- bit-identical with sleep/fast-forward on or off.
+    const std::size_t base = static_cast<std::size_t>(now) % nvnets;
     for (std::size_t k = 0; k < nvnets; ++k) {
-        std::size_t v = (vnetPointer + k) % nvnets;
+        std::size_t v = (base + k) % nvnets;
         auto &q = injectQueues[v];
         // One allocation per vnet per cycle; honour the 1-cycle NI
         // injection latency by skipping packets queued this cycle.
@@ -127,7 +142,6 @@ NetworkInterface::allocateInjectVcs(Cycle now)
         q.pop_front();
         inflight.push_back(fl);
     }
-    vnetPointer = (vnetPointer + 1) % nvnets;
 }
 
 void
@@ -153,12 +167,12 @@ NetworkInterface::injectOneFlit(Cycle now)
         else
             type = FlitType::Body;
 
-        auto flit = std::make_shared<Flit>(pkt, type, fl.nextSeq);
+        FlitPtr flit = makeFlit(pkt, type, fl.nextSeq);
         flit->vc = fl.vc;
         if (fl.nextSeq == 0)
             pkt->networkEntryCycle = now;
         routerPort.decrementCredit(fl.vc);
-        txChannel->flits.push(flit, now);
+        txChannel->pushFlit(std::move(flit), now);
         ++stats.counter("flits_sent");
 
         ++fl.nextSeq;

@@ -90,7 +90,6 @@ class NetworkInterface : public Ticking
     /** Per-VC reassembly buffers for inbound flits. */
     std::vector<std::vector<FlitPtr>> reassembly;
 
-    std::size_t vnetPointer = 0;
     std::size_t inflightPointer = 0;
 };
 

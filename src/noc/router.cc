@@ -44,6 +44,7 @@ Router::connectInput(Direction d, Channel *channel)
 {
     INPG_ASSERT(channel != nullptr, "null input channel");
     inChannels[static_cast<std::size_t>(d)] = channel;
+    channel->setFlitSink(this);
 }
 
 void
@@ -51,6 +52,7 @@ Router::connectOutput(Direction d, Channel *channel)
 {
     INPG_ASSERT(channel != nullptr, "null output channel");
     outputs[static_cast<std::size_t>(d)]->connect(channel);
+    channel->setCreditSink(this);
 }
 
 int
@@ -73,6 +75,7 @@ Router::injectGenerated(const PacketPtr &pkt, Cycle now)
     (void)now;
     genQueue.push_back(pkt);
     ++stats.counter("gen_packets_queued");
+    wakeSelf();
 }
 
 std::string
@@ -106,10 +109,35 @@ Router::tick(Cycle now)
             break;
         }
     }
-    if (!any)
+    if (!any) {
+        // No buffered flit means VA/SA (and their rotation/aging state)
+        // would not change this cycle; if nothing is in flight toward us
+        // either, every tick until the next Channel push is a no-op.
+        if (canSleep())
+            suspendSelf();
         return;
+    }
     allocateVcs(now);
     allocateSwitch(now);
+}
+
+bool
+Router::canSleep() const
+{
+    if (!genQueue.empty() || !generatorIdle())
+        return false;
+    // Channels must be completely empty, not merely not-ready: an item
+    // already latched for a future cycle will not trigger a wake.
+    for (const Channel *ch : inChannels) {
+        if (ch && !ch->flits.empty())
+            return false;
+    }
+    for (const auto &ou : outputs) {
+        const Channel *ch = ou->outChannel();
+        if (ch && !ch->credits.empty())
+            return false;
+    }
+    return true;
 }
 
 void
@@ -166,7 +194,7 @@ Router::drainGeneratorQueue(Cycle now)
          ++vc) {
         VirtualChannel &ch = iu.vc(vc);
         if (ch.state == VirtualChannel::State::Idle && !ch.hasFlit()) {
-            auto flit = std::make_shared<Flit>(pkt, FlitType::HeadTail, 0);
+            FlitPtr flit = makeFlit(pkt, FlitType::HeadTail, 0);
             flit->vc = vc;
             pkt->networkEntryCycle = now;
             iu.receiveFlit(flit, now);
@@ -352,7 +380,7 @@ Router::allocateSwitch(Cycle now)
 
         // Return a buffer credit upstream (none for the generator port).
         if (Channel *up = inChannels[p])
-            up->credits.push(Credit{v, tail}, now);
+            up->pushCredit(Credit{v, tail}, now);
 
         VcId out_vc = ch.outVc;
         flit->vc = out_vc;
@@ -362,7 +390,7 @@ Router::allocateSwitch(Cycle now)
             ch.state = VirtualChannel::State::Idle;
             ch.outVc = INVALID_VC;
         }
-        ou.outChannel()->flits.push(flit, now);
+        ou.outChannel()->pushFlit(std::move(flit), now);
         ++*flitsSentCtr;
     }
 }

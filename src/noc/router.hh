@@ -109,6 +109,13 @@ class Router : public Ticking
     }
 
     /**
+     * True when generatorPhase() has no time-driven work pending, so the
+     * router may leave the active set (BigRouter overrides: barrier TTL
+     * expiry must observe every cycle while barriers exist).
+     */
+    virtual bool generatorIdle() const { return true; }
+
+    /**
      * Enable the internal generator input port (BigRouter constructor).
      * Returns its inport index.
      */
@@ -128,6 +135,7 @@ class Router : public Ticking
   private:
     void drainCredits(Cycle now);
     void drainFlits(Cycle now);
+    bool canSleep() const;
     void routeCompute(const FlitPtr &flit, VirtualChannel &ch);
     void allocateVcs(Cycle now);
     void allocateSwitch(Cycle now);

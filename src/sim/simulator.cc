@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace inpg {
@@ -8,32 +10,104 @@ void
 Simulator::addTicking(Ticking *component)
 {
     INPG_ASSERT(component != nullptr, "registering null component");
-    components.push_back(component);
+    INPG_ASSERT(!component->token.bound(),
+                "component %s registered twice",
+                component->tickName().c_str());
+    component->token.sched = this;
+    component->token.slot = slots.size();
+    slots.push_back(Slot{component, true});
+    ++activeCount;
+}
+
+void
+Simulator::wakeComponent(std::size_t slot)
+{
+    Slot &s = slots[slot];
+    if (!s.active) {
+        s.active = true;
+        ++activeCount;
+    }
+}
+
+void
+Simulator::suspendComponent(std::size_t slot)
+{
+    Slot &s = slots[slot];
+    if (s.active) {
+        s.active = false;
+        INPG_ASSERT(activeCount > 0, "active count underflow");
+        --activeCount;
+    }
 }
 
 void
 Simulator::step()
 {
     eventQueue.runDue(currentCycle);
-    for (Ticking *c : components)
-        c->tick(currentCycle);
+    // Index loop: a tick may wake components in either direction. A
+    // freshly woken component's tick is a no-op this cycle (its new
+    // input is latched for a later cycle), so ticking it now or next
+    // cycle is equivalent; suspended slots are simply skipped.
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i].active)
+            slots[i].component->tick(currentCycle);
+    }
     ++currentCycle;
 }
 
 void
 Simulator::run(Cycle n)
 {
-    for (Cycle i = 0; i < n; ++i)
+    const Cycle limit = currentCycle + n;
+    while (currentCycle < limit) {
+        if (ffEnabled && activeCount == 0) {
+            const Cycle target = std::min(limit, idleHorizon());
+            if (target > currentCycle) {
+                ffCycles += target - currentCycle;
+                ++ffJumps;
+                currentCycle = target;
+                continue;
+            }
+        }
         step();
+    }
 }
 
 bool
-Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles)
+Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles,
+                    PredicateMode mode)
 {
     const Cycle limit = currentCycle + max_cycles;
     while (currentCycle < limit) {
         if (done())
             return true;
+        if (ffEnabled && activeCount == 0) {
+            const Cycle target = std::min(limit, idleHorizon());
+            if (target > currentCycle) {
+                if (mode == PredicateMode::StateChange) {
+                    // Nothing can flip the predicate before `target`.
+                    ffCycles += target - currentCycle;
+                    ++ffJumps;
+                    currentCycle = target;
+                } else {
+                    // Execute the empty cycles (predicate may read the
+                    // clock), but skip the component loop. The outer
+                    // loop re-checks the predicate at `target`, so each
+                    // cycle is checked exactly once, as in plain
+                    // stepping.
+                    while (currentCycle < target) {
+                        ++currentCycle;
+                        ++ffCycles;
+                        if (currentCycle == target)
+                            break;
+                        if (done())
+                            return true;
+                    }
+                    ++ffJumps;
+                }
+                continue;
+            }
+        }
         step();
     }
     return done();

@@ -4,14 +4,23 @@
  *
  * One Simulator instance owns the global clock, the event queue, and the
  * list of clocked components. Each cycle it (1) fires due events and
- * (2) ticks every registered component in registration order. Components
- * communicate only through latched structures, so the tick order within
- * a cycle is not observable; runs are fully deterministic.
+ * (2) ticks every *active* registered component in registration order.
+ * Components communicate only through latched structures, so the tick
+ * order within a cycle is not observable; runs are fully deterministic.
+ *
+ * Activity-driven operation: components may suspend themselves via their
+ * SleepToken once provably idle (see Ticking). When the active set is
+ * empty, nothing can change simulated state until the next event-queue
+ * firing, so run()/runUntil() fast-forward the clock across the gap
+ * instead of spinning through empty cycles. Fast-forward is
+ * cycle-accurate: the visited state trajectory is bit-identical to
+ * naive per-cycle ticking (only the no-op cycles are elided).
  */
 
 #ifndef INPG_SIM_SIMULATOR_HH
 #define INPG_SIM_SIMULATOR_HH
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -22,7 +31,7 @@
 namespace inpg {
 
 /** Cycle-driven kernel with an auxiliary event queue. */
-class Simulator
+class Simulator : public ActivityScheduler
 {
   public:
     Simulator() = default;
@@ -30,7 +39,7 @@ class Simulator
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
-    /** Register a component; it will be ticked every cycle. */
+    /** Register a component; it will be ticked every cycle while active. */
     void addTicking(Ticking *component);
 
     /** Current cycle (the cycle about to be or being evaluated). */
@@ -46,11 +55,30 @@ class Simulator
         eventQueue.schedule(currentCycle + delay, std::move(fn));
     }
 
-    /** Advance exactly one cycle. */
+    /** Advance exactly one cycle (never fast-forwards). */
     void step();
 
-    /** Advance n cycles. */
+    /** Advance n cycles (fast-forwarding across fully idle spans). */
     void run(Cycle n);
+
+    /**
+     * How runUntil() may treat the predicate across idle spans.
+     *
+     * EveryCycle (default, the seed semantics): the predicate is
+     * evaluated once per cycle, before the cycle executes, even while
+     * every component sleeps -- correct for predicates that read the
+     * clock (`sim.now() >= x`).
+     *
+     * StateChange: the predicate is a pure function of simulated state,
+     * which cannot change while the active set is empty and no event
+     * fires; idle spans are skipped in one jump without re-evaluating
+     * it. All protocol/workload predicates ("done", "held == n") are
+     * of this kind.
+     */
+    enum class PredicateMode {
+        EveryCycle,
+        StateChange,
+    };
 
     /**
      * Advance until the predicate returns true (checked once per cycle,
@@ -58,12 +86,54 @@ class Simulator
      *
      * @return true if the predicate fired, false on timeout.
      */
-    bool runUntil(const std::function<bool()> &done, Cycle max_cycles);
+    bool runUntil(const std::function<bool()> &done, Cycle max_cycles,
+                  PredicateMode mode = PredicateMode::EveryCycle);
+
+    /**
+     * Disable/enable idle fast-forwarding (for A/B determinism checks;
+     * enabled by default). Off, run()/runUntil() execute every cycle
+     * exactly like the pre-activity-kernel loop.
+     */
+    void setFastForward(bool enabled) { ffEnabled = enabled; }
+
+    bool fastForwardEnabled() const { return ffEnabled; }
+
+    /** Cycles skipped (not individually executed) by fast-forwarding. */
+    std::uint64_t cyclesFastForwarded() const { return ffCycles; }
+
+    /** Number of distinct fast-forward jumps taken. */
+    std::uint64_t fastForwardJumps() const { return ffJumps; }
+
+    /** Components currently in the active set. */
+    std::size_t activeComponents() const { return activeCount; }
+
+    /** Registered components (active or not). */
+    std::size_t numComponents() const { return slots.size(); }
+
+    // ActivityScheduler interface (called through SleepToken).
+    void wakeComponent(std::size_t slot) override;
+    void suspendComponent(std::size_t slot) override;
 
   private:
+    struct Slot {
+        Ticking *component = nullptr;
+        bool active = true;
+    };
+
+    /**
+     * Cycle at which the next stimulus can occur once the active set is
+     * empty; CYCLE_NEVER when the event queue is also empty.
+     */
+    Cycle idleHorizon() const { return eventQueue.nextEventCycle(); }
+
     Cycle currentCycle = 0;
     EventQueue eventQueue;
-    std::vector<Ticking *> components;
+    std::vector<Slot> slots;
+    std::size_t activeCount = 0;
+
+    bool ffEnabled = true;
+    std::uint64_t ffCycles = 0;
+    std::uint64_t ffJumps = 0;
 };
 
 } // namespace inpg

@@ -1,11 +1,13 @@
 /**
  * @file
- * Interface for components clocked by the Simulator.
+ * Interface for components clocked by the Simulator, plus the
+ * activity contract that lets idle components leave the tick loop.
  */
 
 #ifndef INPG_SIM_TICKING_HH
 #define INPG_SIM_TICKING_HH
 
+#include <cstddef>
 #include <string>
 
 #include "common/types.hh"
@@ -13,12 +15,75 @@
 namespace inpg {
 
 /**
- * A component evaluated once per simulated cycle.
+ * Scheduler side of the activity contract (implemented by Simulator).
+ *
+ * Components never talk to it directly; they hold a SleepToken bound at
+ * registration time and call suspend()/wake() on that.
+ */
+class ActivityScheduler
+{
+  public:
+    /** Put the slot back into the per-cycle tick loop. */
+    virtual void wakeComponent(std::size_t slot) = 0;
+
+    /** Remove the slot from the per-cycle tick loop. */
+    virtual void suspendComponent(std::size_t slot) = 0;
+
+  protected:
+    ~ActivityScheduler() = default;
+};
+
+/**
+ * Handle a registered component uses to enter and leave the simulator's
+ * active set. Unbound tokens (component never registered, e.g. unit
+ * tests ticking by hand) make both operations no-ops.
+ */
+class SleepToken
+{
+  public:
+    SleepToken() = default;
+
+    /** Re-enter the active set (idempotent). */
+    void
+    wake()
+    {
+        if (sched)
+            sched->wakeComponent(slot);
+    }
+
+    /** Leave the active set (idempotent). */
+    void
+    suspend()
+    {
+        if (sched)
+            sched->suspendComponent(slot);
+    }
+
+    bool bound() const { return sched != nullptr; }
+
+  private:
+    friend class Simulator;
+
+    ActivityScheduler *sched = nullptr;
+    std::size_t slot = 0;
+};
+
+/**
+ * A component evaluated once per simulated cycle while active.
  *
  * The simulator guarantees a fixed, registration-order evaluation
  * sequence within a cycle. Components must only exchange state through
  * latched queues or Links (which impose at least one cycle of delay), so
  * that intra-cycle ordering is never observable.
+ *
+ * Activity contract: every component starts active. A component may
+ * call suspendSelf() from its tick() once it can prove that all its
+ * future ticks would be no-ops until new input arrives -- i.e. its
+ * input channels are completely empty (not merely not-ready), its
+ * internal queues are drained, and it has no time-driven work pending.
+ * Whoever injects new input (a Channel push, a message enqueue) must
+ * wake the consumer via its SleepToken. Waking an idle component early
+ * is always safe: a suspendable tick is a behavioral no-op.
  */
 class Ticking
 {
@@ -30,6 +95,21 @@ class Ticking
 
     /** Diagnostic name. */
     virtual std::string tickName() const { return "component"; }
+
+    /** Activity handle (bound by Simulator::addTicking). */
+    SleepToken &sleepToken() { return token; }
+
+  protected:
+    /** Leave the tick loop until the next wake (see class comment). */
+    void suspendSelf() { token.suspend(); }
+
+    /** Re-enter the tick loop (safe from any context). */
+    void wakeSelf() { token.wake(); }
+
+  private:
+    friend class Simulator;
+
+    SleepToken token;
 };
 
 } // namespace inpg

@@ -133,5 +133,109 @@ TEST(Simulator, ScheduleInUsesCurrentCycle)
     EXPECT_EQ(fired_at, 8u);
 }
 
+// ---------------------------------------------------------------------
+// Activity contract / fast-forward
+// ---------------------------------------------------------------------
+
+struct SleepyTick : Ticking {
+    int ticks = 0;
+    Cycle last = 0;
+    bool sleepAfterTick = false;
+
+    void
+    tick(Cycle now) override
+    {
+        ++ticks;
+        last = now;
+        if (sleepAfterTick)
+            suspendSelf();
+    }
+};
+
+TEST(Simulator, SuspendedComponentLeavesTheTickLoop)
+{
+    Simulator sim;
+    SleepyTick a;
+    SleepyTick b;
+    b.sleepAfterTick = true;
+    sim.addTicking(&a);
+    sim.addTicking(&b);
+    EXPECT_EQ(sim.numComponents(), 2u);
+    EXPECT_EQ(sim.activeComponents(), 2u);
+
+    sim.run(3);
+    EXPECT_EQ(a.ticks, 3);
+    EXPECT_EQ(b.ticks, 1); // slept after its first tick
+    EXPECT_EQ(sim.activeComponents(), 1u);
+
+    b.sleepAfterTick = false;
+    b.sleepToken().wake();
+    b.sleepToken().wake(); // idempotent
+    EXPECT_EQ(sim.activeComponents(), 2u);
+    sim.run(2);
+    EXPECT_EQ(b.ticks, 3);
+}
+
+TEST(Simulator, FastForwardSkipsFullyIdleSpans)
+{
+    Simulator sim;
+    SleepyTick t;
+    t.sleepAfterTick = true;
+    sim.addTicking(&t);
+    sim.scheduleIn(50, [&] { t.sleepToken().wake(); });
+    sim.run(100);
+    // Ticked at 0, slept, woken by the event at 50, slept again.
+    EXPECT_EQ(t.ticks, 2);
+    EXPECT_EQ(t.last, 50u);
+    EXPECT_EQ(sim.now(), 100u);
+    EXPECT_EQ(sim.cyclesFastForwarded(), 98u);
+    EXPECT_EQ(sim.fastForwardJumps(), 2u);
+}
+
+TEST(Simulator, FastForwardOffExecutesEveryCycle)
+{
+    Simulator sim;
+    sim.setFastForward(false);
+    sim.run(25);
+    EXPECT_EQ(sim.now(), 25u);
+    EXPECT_EQ(sim.cyclesFastForwarded(), 0u);
+    EXPECT_EQ(sim.fastForwardJumps(), 0u);
+}
+
+TEST(Simulator, RunUntilStateChangeJumpsToTheHorizon)
+{
+    Simulator sim;
+    bool flag = false;
+    sim.scheduleIn(40, [&] { flag = true; });
+    bool ok = sim.runUntil([&] { return flag; }, 100,
+                           Simulator::PredicateMode::StateChange);
+    EXPECT_TRUE(ok);
+    // Seed semantics: the event fires during cycle 40, the predicate
+    // observation lands at 41.
+    EXPECT_EQ(sim.now(), 41u);
+    EXPECT_EQ(sim.cyclesFastForwarded(), 40u);
+}
+
+TEST(Simulator, RunUntilEveryCycleSeesClockPredicatesWhileIdle)
+{
+    // Same as RunUntilStopsAtPredicate but asserting the span was
+    // fast-forwarded rather than stepped.
+    Simulator sim;
+    bool ok = sim.runUntil([&] { return sim.now() >= 17; }, 100);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(sim.now(), 17u);
+    EXPECT_GT(sim.cyclesFastForwarded(), 0u);
+}
+
+TEST(SleepToken, UnboundTokenIsANoOp)
+{
+    SleepyTick t;
+    t.sleepToken().wake();
+    t.sleepAfterTick = true; // suspendSelf on an unbound token
+    t.tick(0);
+    EXPECT_EQ(t.ticks, 1);
+    EXPECT_FALSE(t.sleepToken().bound());
+}
+
 } // namespace
 } // namespace inpg
