@@ -5,11 +5,19 @@
  * directory processing, arbiters and the event queue. These bound the
  * wall-clock cost of the figure-level benches.
  *
- * `bench_micro --json [--out FILE]` instead runs the kernel
- * fast-forward A/B measurement: one long-CS lock-contention workload
- * executed with idle fast-forwarding off and on, reporting host metrics
- * (wall-clock per simulated cycle, cycles fast-forwarded, flit-pool hit
- * rate) as JSON. The `perf-smoke` ctest target drives this mode.
+ * `bench_micro --json [--out FILE] [--hotpath-out FILE]` instead runs
+ * two A/B measurements and emits JSON:
+ *  - the kernel fast-forward A/B (one long-CS lock-contention workload
+ *    with idle fast-forwarding off and on), written to --out;
+ *  - the hot-path A/B (a busy TAS spin-contention workload that
+ *    fast-forward cannot elide, run on the reference structures --
+ *    binary-heap scheduler with boxed callbacks, node-based map
+ *    containers, virtual per-flit route calls -- and again on the
+ *    optimized ones: timing wheel + SBO callbacks, flat-hash tables,
+ *    precomputed route tables), written to --hotpath-out, including
+ *    events/sec, schedule-path heap-allocation counts and a
+ *    per-subsystem wall-clock phase split.
+ * The `perf-smoke` ctest target drives this mode.
  */
 
 #include <benchmark/benchmark.h>
@@ -301,6 +309,226 @@ printKernelJson(std::FILE *out, const KernelRunMetrics &off,
                  pool.hitRate());
 }
 
+// ---------------------------------------------------------------------
+// Hot-path A/B: busy TAS contention, reference vs optimized structures
+// ---------------------------------------------------------------------
+
+/**
+ * Process CPU time in nanoseconds: immune to other processes on a
+ * loaded host, which wall clocks are not (the hotpath A/B compares
+ * ~100 ms runs, well under typical scheduler noise).
+ */
+double
+cpuNowNs()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) * 1e9 +
+           static_cast<double>(ts.tv_nsec);
+}
+
+struct HotpathMetrics {
+    Cycle simCycles = 0;
+    Cycle roiCycles = 0;
+    std::uint64_t csCompleted = 0;
+    std::uint64_t ffCycles = 0;
+    double cpuNs = 0;
+    std::uint64_t eventsScheduled = 0;
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t scheduleHeapAllocs = 0;
+
+    double
+    eventsPerSec() const
+    {
+        return cpuNs > 0 ? static_cast<double>(eventsExecuted) * 1e9 /
+                               cpuNs
+                         : 0;
+    }
+};
+
+/**
+ * 16 TAS threads hammering one lock with short critical sections: the
+ * spinners keep the fabric saturated, so fast-forward elides nothing
+ * and wall-clock time is pure hot-path cost (scheduler, directory and
+ * L1 lookups, route computation).
+ */
+BenchmarkProfile
+busySpinProfile()
+{
+    BenchmarkProfile p = benchmarkByName("imag");
+    p.name = "busy_spin_contention";
+    p.totalCs = 384;
+    p.avgCsCycles = 200;
+    p.avgParallelCycles = 100;
+    p.numLocks = 1;
+    p.memGapCycles = 0;
+    return p;
+}
+
+HotpathMetrics
+runHotpathWorkload(bool optimized, Simulator::HostPhaseProfile *profile)
+{
+    SystemConfig cfg;
+    cfg.noc.meshWidth = 4;
+    cfg.noc.meshHeight = 4;
+    cfg.lockKind = LockKind::Tas;
+    cfg.noc.precomputeRoutes = optimized;
+    cfg.noc.fastAllocScan = optimized;
+    cfg.coh.flatContainers = optimized;
+    cfg.finalize();
+
+    System system(cfg);
+    // The queue is still empty right after construction, so the
+    // scheduler flavor can be chosen per run.
+    system.sim().events().setReferenceMode(!optimized);
+    system.sim().setHostProfile(profile);
+
+    Workload::Params wp;
+    wp.profile = busySpinProfile();
+    wp.threads = cfg.numCores();
+    wp.csScale = 1.0;
+    wp.lockKind = cfg.lockKind;
+    wp.seed = cfg.seed;
+    Workload workload(wp, system.coherent(), system.locks(),
+                      system.sim());
+
+    const double t0 = cpuNowNs();
+    workload.start();
+    system.runUntil([&] { return workload.done(); });
+    const double t1 = cpuNowNs();
+
+    HotpathMetrics m;
+    m.simCycles = system.sim().now();
+    m.roiCycles = workload.roiFinish();
+    m.csCompleted = workload.csCompleted();
+    m.ffCycles = system.sim().cyclesFastForwarded();
+    m.cpuNs = t1 - t0;
+    m.eventsScheduled = system.sim().events().scheduledTotal();
+    m.eventsExecuted = system.sim().events().executedTotal();
+    m.scheduleHeapAllocs = system.sim().events().scheduleHeapAllocs();
+    return m;
+}
+
+void
+printHotpathJson(std::FILE *out, const HotpathMetrics &ref,
+                 const HotpathMetrics &opt,
+                 const Simulator::HostPhaseProfile &phases)
+{
+    auto emitRun = [out](const char *label, const HotpathMetrics &m) {
+        std::fprintf(out,
+                     "    \"%s\": {\n"
+                     "      \"sim_cycles\": %llu,\n"
+                     "      \"roi_cycles\": %llu,\n"
+                     "      \"cs_completed\": %llu,\n"
+                     "      \"cycles_fast_forwarded\": %llu,\n"
+                     "      \"cpu_ns\": %.0f,\n"
+                     "      \"events_scheduled\": %llu,\n"
+                     "      \"events_executed\": %llu,\n"
+                     "      \"events_per_sec\": %.0f,\n"
+                     "      \"schedule_heap_allocs\": %llu\n"
+                     "    }",
+                     label,
+                     static_cast<unsigned long long>(m.simCycles),
+                     static_cast<unsigned long long>(m.roiCycles),
+                     static_cast<unsigned long long>(m.csCompleted),
+                     static_cast<unsigned long long>(m.ffCycles),
+                     m.cpuNs,
+                     static_cast<unsigned long long>(m.eventsScheduled),
+                     static_cast<unsigned long long>(m.eventsExecuted),
+                     m.eventsPerSec(),
+                     static_cast<unsigned long long>(
+                         m.scheduleHeapAllocs));
+    };
+
+    const bool identical = ref.simCycles == opt.simCycles &&
+                           ref.roiCycles == opt.roiCycles &&
+                           ref.csCompleted == opt.csCompleted;
+    const double speedup = opt.cpuNs > 0 ? ref.cpuNs / opt.cpuNs : 0;
+    const double total = phases.eventsSec + phases.routersSec +
+                         phases.nisSec + phases.dirsSec +
+                         phases.otherSec;
+    auto frac = [total](double s) { return total > 0 ? s / total : 0; };
+
+    std::fprintf(out, "{\n"
+                      "  \"bench\": \"hotpath\",\n"
+                      "  \"workload\": \"busy_spin_contention\",\n"
+                      "  \"mesh\": \"4x4\",\n"
+                      "  \"lock\": \"tas\",\n"
+                      "  \"runs\": {\n");
+    emitRun("reference", ref);
+    std::fprintf(out, ",\n");
+    emitRun("optimized", opt);
+    std::fprintf(out,
+                 "\n  },\n"
+                 "  \"speedup\": %.2f,\n"
+                 "  \"bit_identical\": %s,\n"
+                 "  \"phase_split_optimized\": {\n"
+                 "    \"events\": %.4f,\n"
+                 "    \"routers\": %.4f,\n"
+                 "    \"nis\": %.4f,\n"
+                 "    \"dirs\": %.4f,\n"
+                 "    \"other\": %.4f,\n"
+                 "    \"profiled_cycles\": %llu\n"
+                 "  }\n"
+                 "}\n",
+                 speedup, identical ? "true" : "false",
+                 frac(phases.eventsSec), frac(phases.routersSec),
+                 frac(phases.nisSec), frac(phases.dirsSec),
+                 frac(phases.otherSec),
+                 static_cast<unsigned long long>(phases.profiledCycles));
+}
+
+int
+runHotpathMode(const char *out_path)
+{
+    // Interleave repetitions and keep the best (minimum) wall time per
+    // flavor: host scheduling noise only ever slows a run down.
+    constexpr int REPS = 3;
+    HotpathMetrics ref, opt;
+    for (int r = 0; r < REPS; ++r) {
+        HotpathMetrics a = runHotpathWorkload(false, nullptr);
+        HotpathMetrics b = runHotpathWorkload(true, nullptr);
+        if (r == 0 || a.cpuNs < ref.cpuNs)
+            ref = a;
+        if (r == 0 || b.cpuNs < opt.cpuNs)
+            opt = b;
+    }
+    // Separate profiled pass (clock reads around every tick distort
+    // absolute time, so it is excluded from the A/B numbers).
+    Simulator::HostPhaseProfile phases;
+    runHotpathWorkload(true, &phases);
+
+    printHotpathJson(stdout, ref, opt, phases);
+    if (out_path) {
+        std::FILE *f = std::fopen(out_path, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", out_path);
+            return 1;
+        }
+        printHotpathJson(f, ref, opt, phases);
+        std::fclose(f);
+    }
+
+    int rc = 0;
+    if (!(ref.simCycles == opt.simCycles &&
+          ref.roiCycles == opt.roiCycles &&
+          ref.csCompleted == opt.csCompleted)) {
+        std::fprintf(
+            stderr,
+            "FAIL: optimized hot path changed simulated results\n");
+        rc = 1;
+    }
+    if (opt.scheduleHeapAllocs != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %llu heap allocations on the optimized "
+                     "schedule path (expected 0)\n",
+                     static_cast<unsigned long long>(
+                         opt.scheduleHeapAllocs));
+        rc = 1;
+    }
+    return rc;
+}
+
 int
 runJsonMode(const char *out_path)
 {
@@ -338,14 +566,21 @@ main(int argc, char **argv)
 {
     bool json = false;
     const char *out_path = nullptr;
+    const char *hotpath_path = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0)
             json = true;
         else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
             out_path = argv[++i];
+        else if (std::strcmp(argv[i], "--hotpath-out") == 0 &&
+                 i + 1 < argc)
+            hotpath_path = argv[++i];
     }
-    if (json)
-        return runJsonMode(out_path);
+    if (json) {
+        int rc = runJsonMode(out_path);
+        rc |= runHotpathMode(hotpath_path);
+        return rc;
+    }
 
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

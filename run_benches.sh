@@ -1,11 +1,31 @@
 #!/bin/sh
 # Regenerate every paper table/figure (see README).
-# --quick: only the kernel perf smoke (bench_micro --json), writing
-#          build/BENCH_kernel.json.
-if [ "$1" = "--quick" ]; then
-    exec build/bench/bench_micro --json --out build/BENCH_kernel.json
+# --quick:    only the perf smokes (bench_micro --json): kernel
+#             fast-forward A/B and busy hot-path A/B, refreshing
+#             build/BENCH_*.json and the tracked repo-root copies.
+# --sanitize: configure + build + ctest under ASan/UBSan in
+#             build-asan/ (exercises the raw-storage containers and
+#             callback small-buffer code under the sanitizers).
+repo_root=$(dirname "$0")
+if [ "$1" = "--sanitize" ]; then
+    set -e
+    cmake -B "$repo_root/build-asan" -S "$repo_root" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DINPG_SANITIZE=ON
+    cmake --build "$repo_root/build-asan" -j "$(nproc)"
+    cd "$repo_root/build-asan"
+    exec ctest --output-on-failure -j "$(nproc)"
 fi
-for b in build/bench/bench_*; do
+if [ "$1" = "--quick" ]; then
+    set -e
+    "$repo_root"/build/bench/bench_micro --json \
+        --out "$repo_root"/build/BENCH_kernel.json \
+        --hotpath-out "$repo_root"/build/BENCH_hotpath.json
+    # Keep the perf trajectory visible at the repo root (committed).
+    cp "$repo_root"/build/BENCH_kernel.json \
+       "$repo_root"/build/BENCH_hotpath.json "$repo_root"/
+    exit 0
+fi
+for b in "$repo_root"/build/bench/bench_*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     echo "################################################################"
     echo "### $b"

@@ -31,6 +31,15 @@ struct CohConfig {
     /** Number of L2 banks == number of nodes (one bank per tile). */
     int numNodes = 64;
 
+    /**
+     * Use the open-addressing FlatHashMap for the directory and L1
+     * line tables instead of the node-based std:: containers. Both
+     * produce bit-identical simulations (protocol code never iterates
+     * these maps); the std:: path is kept as the differential-testing
+     * and benchmarking reference.
+     */
+    bool flatContainers = true;
+
     /** Line-aligned base of an address. */
     Addr lineBase(Addr a) const { return a & ~(lineSize - 1); }
 

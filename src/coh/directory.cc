@@ -20,17 +20,33 @@ Directory::tickName() const
     return format("dir%d", node);
 }
 
+Directory::DirEntry &
+Directory::entryFor(Addr line)
+{
+    if (cfg.flatContainers)
+        return entriesFlat[line];
+    return entriesRef[line];
+}
+
+const Directory::DirEntry *
+Directory::findEntry(Addr line) const
+{
+    if (cfg.flatContainers)
+        return entriesFlat.find(line);
+    auto it = entriesRef.find(line);
+    return it == entriesRef.end() ? nullptr : &it->second;
+}
+
 const Directory::DirEntry *
 Directory::entry(Addr addr) const
 {
-    auto it = entries.find(cfg.lineBase(addr));
-    return it == entries.end() ? nullptr : &it->second;
+    return findEntry(cfg.lineBase(addr));
 }
 
 void
 Directory::initValue(Addr addr, std::uint64_t value)
 {
-    DirEntry &e = entries[cfg.lineBase(addr)];
+    DirEntry &e = entryFor(cfg.lineBase(addr));
     INPG_ASSERT(e.cold, "initValue on an already active line");
     e.value = value;
 }
@@ -68,7 +84,7 @@ Directory::tick(Cycle now)
                                                        : cfg.l2Latency;
     busyUntil = now + cost;
 
-    DirEntry &e = entries[cfg.lineBase(msg->addr)];
+    DirEntry &e = entryFor(cfg.lineBase(msg->addr));
     if (e.cold &&
         (msg->kind == CohMsgKind::GetS || msg->kind == CohMsgKind::GetX)) {
         // First touch: block the bank on the DRAM fetch, then service.
@@ -94,7 +110,7 @@ Directory::process(const CohMsgPtr &msg, Cycle now)
 {
     INPG_TRACE_LINE("dir", now, "DIR %d PROC %s", node,
                     msg->toString().c_str());
-    DirEntry &e = entries[cfg.lineBase(msg->addr)];
+    DirEntry &e = entryFor(cfg.lineBase(msg->addr));
     switch (msg->kind) {
       case CohMsgKind::GetS:
         processGetS(msg, e, now);

@@ -21,6 +21,7 @@
 #include "coh/coh_stats.hh"
 #include "coh/coherence_msg.hh"
 #include "coh/memory_controller.hh"
+#include "common/flat_hash_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "noc/network.hh"
@@ -86,7 +87,18 @@ class Directory : public Ticking
     MemoryController *mem;
     CohStats *cohStats;
 
-    std::map<Addr, DirEntry> entries;
+    /** Find-or-create the entry for a line-aligned address. */
+    DirEntry &entryFor(Addr line);
+    /** Find the entry for a line-aligned address; nullptr if absent. */
+    const DirEntry *findEntry(Addr line) const;
+
+    /**
+     * Line table: `entriesFlat` when cfg.flatContainers (the fast
+     * path), `entriesRef` otherwise (reference for differential
+     * testing). Only one is ever populated.
+     */
+    FlatHashMap<Addr, DirEntry> entriesFlat;
+    std::map<Addr, DirEntry> entriesRef;
     std::deque<CohMsgPtr> queue;
     Cycle busyUntil = 0;
     bool blockedOnFetch = false;

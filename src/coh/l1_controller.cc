@@ -37,14 +37,20 @@ L1Controller::L1Controller(CoreId core_id, NodeId node_id,
 L1Controller::Line &
 L1Controller::line(Addr addr)
 {
-    return lines[cfg.lineBase(addr)];
+    const Addr base = cfg.lineBase(addr);
+    if (cfg.flatContainers)
+        return linesFlat[base];
+    return linesRef[base];
 }
 
 const L1Controller::Line *
 L1Controller::findLine(Addr addr) const
 {
-    auto it = lines.find(cfg.lineBase(addr));
-    return it == lines.end() ? nullptr : &it->second;
+    const Addr base = cfg.lineBase(addr);
+    if (cfg.flatContainers)
+        return linesFlat.find(base);
+    auto it = linesRef.find(base);
+    return it == linesRef.end() ? nullptr : &it->second;
 }
 
 L1State

@@ -25,6 +25,7 @@
 #include "coh/coh_config.hh"
 #include "coh/coh_stats.hh"
 #include "coh/coherence_msg.hh"
+#include "common/flat_hash_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "noc/network.hh"
@@ -212,7 +213,13 @@ class L1Controller
     CohStats *cohStats;
     OpLogFn opLog;
 
-    std::unordered_map<Addr, Line> lines;
+    /**
+     * Line table: `linesFlat` when cfg.flatContainers (the fast path),
+     * `linesRef` otherwise (reference for differential testing). Only
+     * one is ever populated.
+     */
+    FlatHashMap<Addr, Line> linesFlat;
+    std::unordered_map<Addr, Line> linesRef;
     std::optional<Pending> pending;
     std::deque<CohMsgPtr> deferredForwards;
     int nextPriority = 0;

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * FlatHashMap: an open-addressing, robin-hood hash map over one
+ * contiguous slot array, for the simulator's per-line lookup tables
+ * (directory entries, L1 lines, barrier-table indices).
+ *
+ * The node-based std::map/std::unordered_map these tables used cost one
+ * heap allocation per entry and a pointer chase per probe; every
+ * directory access walked a red-black tree. Here a lookup is a mixed
+ * hash, one index, and a short linear scan through cache-resident
+ * slots.
+ *
+ * Properties relied on by callers:
+ *  - find()/operator[] never invalidate references to *other* entries
+ *    unless an insertion grows or displaces the table; callers must not
+ *    hold references across inserts (the coherence controllers only
+ *    hold a reference to the entry they are operating on, and only
+ *    re-enter the map for that same key).
+ *  - iteration order is unspecified; no simulator-visible behavior may
+ *    depend on it (protocol code never iterates these maps).
+ *  - erase() uses backward-shift deletion: no tombstones, lookup cost
+ *    stays bounded by insertion probe lengths.
+ */
+
+#ifndef INPG_COMMON_FLAT_HASH_MAP_HH
+#define INPG_COMMON_FLAT_HASH_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+/** Default hash: a full-width 64-bit mixer (splitmix64 finalizer). */
+template <typename K>
+struct FlatHash {
+    std::size_t
+    operator()(const K &key) const
+    {
+        std::uint64_t x = static_cast<std::uint64_t>(key);
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        return static_cast<std::size_t>(x);
+    }
+};
+
+/** Open-addressing robin-hood hash map (see file comment). */
+template <typename K, typename V, typename Hash = FlatHash<K>>
+class FlatHashMap
+{
+  public:
+    FlatHashMap() = default;
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    /** Slots allocated (0 before the first insertion). */
+    std::size_t capacity() const { return slots.size(); }
+
+    /** Times the table grew (diagnostics / tests). */
+    std::uint64_t rehashes() const { return growCount; }
+
+    V *
+    find(const K &key)
+    {
+        return const_cast<V *>(
+            static_cast<const FlatHashMap *>(this)->find(key));
+    }
+
+    const V *
+    find(const K &key) const
+    {
+        if (count == 0)
+            return nullptr;
+        std::size_t i = homeIndex(key);
+        std::uint8_t d = 1;
+        for (;;) {
+            const std::uint8_t md = meta[i];
+            if (md < d)
+                return nullptr; // empty, or a richer resident: absent
+            if (md == d && slots[i].key == key)
+                return &slots[i].value;
+            i = (i + 1) & mask;
+            ++d;
+        }
+    }
+
+    bool contains(const K &key) const { return find(key) != nullptr; }
+
+    /** Find-or-default-insert, as std::map::operator[]. */
+    V &
+    operator[](const K &key)
+    {
+        if (V *existing = find(key))
+            return *existing;
+        if (slots.empty() || (count + 1) * 4 > capacity() * 3)
+            grow();
+        for (;;) {
+            V *slot = insertNoGrow(key);
+            if (slot)
+                return *slot;
+            grow(); // probe chain exceeded the distance budget
+        }
+    }
+
+    /** Remove a key. @return true when it was present. */
+    bool
+    erase(const K &key)
+    {
+        if (count == 0)
+            return false;
+        std::size_t i = homeIndex(key);
+        std::uint8_t d = 1;
+        for (;;) {
+            const std::uint8_t md = meta[i];
+            if (md < d)
+                return false;
+            if (md == d && slots[i].key == key)
+                break;
+            i = (i + 1) & mask;
+            ++d;
+        }
+        // Backward-shift deletion: pull every displaced successor one
+        // slot closer to its home; the chain ends at an empty slot or a
+        // slot already at home (distance 1).
+        std::size_t j = (i + 1) & mask;
+        while (meta[j] > 1) {
+            slots[i] = std::move(slots[j]);
+            meta[i] = static_cast<std::uint8_t>(meta[j] - 1);
+            i = j;
+            j = (j + 1) & mask;
+        }
+        slots[i] = Slot{};
+        meta[i] = 0;
+        --count;
+        return true;
+    }
+
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (meta[i]) {
+                slots[i] = Slot{};
+                meta[i] = 0;
+            }
+        }
+        count = 0;
+    }
+
+    /** Pre-size for at least n entries without rehashing. */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t want = MIN_CAPACITY;
+        while (n * 4 > want * 3)
+            want <<= 1;
+        if (want > capacity())
+            rebuild(want);
+    }
+
+    /** Visit every (key, value); order is unspecified. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < slots.size(); ++i)
+            if (meta[i])
+                fn(slots[i].key, slots[i].value);
+    }
+
+  private:
+    struct Slot {
+        K key{};
+        V value{};
+    };
+
+    static constexpr std::size_t MIN_CAPACITY = 16;
+    /** meta is uint8 (distance+1): cap probes, grow when exceeded. */
+    static constexpr std::uint8_t MAX_DISTANCE = 250;
+
+    std::size_t
+    homeIndex(const K &key) const
+    {
+        return Hash{}(key)&mask;
+    }
+
+    /**
+     * Robin-hood insertion without growing.
+     * @return address of the value for `key` (existing or default-new),
+     *         or nullptr when a probe chain would exceed MAX_DISTANCE.
+     */
+    V *
+    insertNoGrow(const K &key)
+    {
+        std::size_t i = homeIndex(key);
+        std::uint8_t d = 1;
+        // Phase 1: find the key, or claim/displace a slot for it.
+        for (;;) {
+            const std::uint8_t md = meta[i];
+            if (md == 0) {
+                slots[i].key = key;
+                slots[i].value = V{};
+                meta[i] = d;
+                ++count;
+                return &slots[i].value;
+            }
+            if (md == d && slots[i].key == key)
+                return &slots[i].value;
+            if (md < d)
+                break; // richer resident: displace it
+            if (d >= MAX_DISTANCE)
+                return nullptr;
+            i = (i + 1) & mask;
+            ++d;
+        }
+        // Phase 2: place the new key here and carry the displaced
+        // resident (and any it displaces in turn) down the chain.
+        Slot carry = std::move(slots[i]);
+        std::uint8_t carryDist = meta[i];
+        slots[i].key = key;
+        slots[i].value = V{};
+        meta[i] = d;
+        V *result = &slots[i].value;
+        ++count;
+        i = (i + 1) & mask;
+        ++carryDist;
+        for (;;) {
+            const std::uint8_t md = meta[i];
+            if (md == 0) {
+                slots[i] = std::move(carry);
+                meta[i] = carryDist;
+                return result;
+            }
+            if (md < carryDist) {
+                std::swap(carry, slots[i]);
+                std::swap(carryDist, meta[i]);
+            }
+            if (carryDist >= MAX_DISTANCE) {
+                // Probe budget exhausted mid-displacement (unreachable
+                // in practice at 75% load with a mixed hash): rebuild
+                // at double capacity with the carried slot folded back
+                // in, then re-find the just-inserted key -- `result`
+                // dangles across the rebuild.
+                parkOverflow(std::move(carry));
+                return find(key);
+            }
+            i = (i + 1) & mask;
+            ++carryDist;
+        }
+    }
+
+    /**
+     * Pathological-probe escape hatch: rebuild at double capacity with
+     * the carried slot included. Keeps insertNoGrow total.
+     */
+    void
+    parkOverflow(Slot &&carry)
+    {
+        std::vector<Slot> oldSlots = std::move(slots);
+        std::vector<std::uint8_t> oldMeta = std::move(meta);
+        initTables(oldSlots.size() * 2);
+        for (std::size_t i = 0; i < oldSlots.size(); ++i)
+            if (oldMeta[i])
+                reinsert(std::move(oldSlots[i]));
+        reinsert(std::move(carry));
+        ++growCount;
+    }
+
+    void
+    grow()
+    {
+        rebuild(slots.empty() ? MIN_CAPACITY : capacity() * 2);
+    }
+
+    void
+    rebuild(std::size_t new_capacity)
+    {
+        std::vector<Slot> oldSlots = std::move(slots);
+        std::vector<std::uint8_t> oldMeta = std::move(meta);
+        initTables(new_capacity);
+        for (std::size_t i = 0; i < oldSlots.size(); ++i)
+            if (oldMeta[i])
+                reinsert(std::move(oldSlots[i]));
+        ++growCount;
+    }
+
+    void
+    initTables(std::size_t new_capacity)
+    {
+        slots.assign(new_capacity, Slot{});
+        meta.assign(new_capacity, 0);
+        mask = new_capacity - 1;
+        count = 0;
+    }
+
+    /** Insert a full slot during a rebuild (key known absent). */
+    void
+    reinsert(Slot &&s)
+    {
+        std::size_t i = homeIndex(s.key);
+        std::uint8_t d = 1;
+        Slot carry = std::move(s);
+        std::uint8_t carryDist = d;
+        for (;;) {
+            const std::uint8_t md = meta[i];
+            if (md == 0) {
+                slots[i] = std::move(carry);
+                meta[i] = carryDist;
+                ++count;
+                return;
+            }
+            if (md < carryDist) {
+                std::swap(carry, slots[i]);
+                std::swap(carryDist, meta[i]);
+            }
+            INPG_ASSERT(carryDist < MAX_DISTANCE,
+                        "flat hash rebuild exceeded probe budget");
+            i = (i + 1) & mask;
+            ++carryDist;
+        }
+    }
+
+    std::vector<Slot> slots;
+    std::vector<std::uint8_t> meta; ///< 0 = empty, else probe dist + 1
+    std::size_t mask = 0;
+    std::size_t count = 0;
+    std::uint64_t growCount = 0;
+};
+
+} // namespace inpg
+
+#endif // INPG_COMMON_FLAT_HASH_MAP_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * SmallCallback: a move-only `void()` callable with small-buffer
+ * optimization, replacing std::function on the event-schedule hot path.
+ *
+ * Every event the kernel schedules captures a handful of pointers (a
+ * component `this`, a shared message pointer); std::function heap-
+ * allocates those captures on every schedule() call. SmallCallback
+ * stores any nothrow-movable callable of up to INLINE_SIZE bytes in an
+ * internal buffer -- zero allocations on the steady-state path -- and
+ * falls back to the heap only for oversized captures, which
+ * EventQueue counts so benchmarks can assert the fallback never fires.
+ */
+
+#ifndef INPG_COMMON_SMALL_FUNCTION_HH
+#define INPG_COMMON_SMALL_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace inpg {
+
+/** Move-only SBO `void()` callable (see file comment). */
+class SmallCallback
+{
+  public:
+    /** Inline capture budget; covers every kernel callback today. */
+    static constexpr std::size_t INLINE_SIZE = 48;
+
+    SmallCallback() = default;
+    SmallCallback(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    SmallCallback(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(storage)) Fn(std::forward<F>(f));
+            ops = &inlineOps<Fn>;
+        } else {
+            ::new (static_cast<void *>(storage))
+                Fn *(new Fn(std::forward<F>(f)));
+            ops = &heapOps<Fn>;
+        }
+    }
+
+    SmallCallback(SmallCallback &&other) noexcept { moveFrom(other); }
+
+    SmallCallback &
+    operator=(SmallCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallCallback(const SmallCallback &) = delete;
+    SmallCallback &operator=(const SmallCallback &) = delete;
+
+    ~SmallCallback() { reset(); }
+
+    void
+    operator()()
+    {
+        ops->invoke(storage);
+    }
+
+    explicit operator bool() const { return ops != nullptr; }
+    bool operator==(std::nullptr_t) const { return ops == nullptr; }
+    bool operator!=(std::nullptr_t) const { return ops != nullptr; }
+
+    /** True when the callable lives in the inline buffer (no heap). */
+    bool isInline() const { return ops != nullptr && !ops->onHeap; }
+
+  private:
+    struct Ops {
+        void (*invoke)(void *obj);
+        /** Move-construct into dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *obj);
+        bool onHeap;
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= INLINE_SIZE &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static Fn &
+    inlineObj(void *buf)
+    {
+        return *std::launder(reinterpret_cast<Fn *>(buf));
+    }
+
+    template <typename Fn>
+    static Fn *&
+    heapPtr(void *buf)
+    {
+        return *std::launder(reinterpret_cast<Fn **>(buf));
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *obj) { inlineObj<Fn>(obj)(); },
+        [](void *dst, void *src) {
+            ::new (dst) Fn(std::move(inlineObj<Fn>(src)));
+            inlineObj<Fn>(src).~Fn();
+        },
+        [](void *obj) { inlineObj<Fn>(obj).~Fn(); },
+        false,
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *obj) { (*heapPtr<Fn>(obj))(); },
+        [](void *dst, void *src) {
+            ::new (dst) Fn *(heapPtr<Fn>(src));
+        },
+        [](void *obj) { delete heapPtr<Fn>(obj); },
+        true,
+    };
+
+    void
+    moveFrom(SmallCallback &other) noexcept
+    {
+        ops = other.ops;
+        if (ops)
+            ops->relocate(storage, other.storage);
+        other.ops = nullptr;
+    }
+
+    void
+    reset() noexcept
+    {
+        if (ops) {
+            ops->destroy(storage);
+            ops = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage[INLINE_SIZE];
+    const Ops *ops = nullptr;
+};
+
+} // namespace inpg
+
+#endif // INPG_COMMON_SMALL_FUNCTION_HH

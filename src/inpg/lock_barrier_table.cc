@@ -18,10 +18,28 @@ LockBarrierTable::LockBarrierTable(std::size_t max_barriers,
 LockBarrierTable::Barrier *
 LockBarrierTable::find(Addr addr)
 {
-    for (auto &b : barriers)
-        if (b.addr == addr)
-            return &b;
-    return nullptr;
+    const std::size_t *slot = slotIndex.find(addr);
+    return slot ? &barriers[*slot] : nullptr;
+}
+
+void
+LockBarrierTable::eraseSlot(std::size_t slot)
+{
+    slotIndex.erase(barriers[slot].addr);
+    if (slot + 1 != barriers.size()) {
+        barriers[slot] = std::move(barriers.back());
+        slotIndex[barriers[slot].addr] = slot;
+    }
+    barriers.pop_back();
+}
+
+void
+LockBarrierTable::recomputeNextExpiry()
+{
+    nextExpiry = CYCLE_NEVER;
+    for (const auto &b : barriers)
+        if (b.eis.empty())
+            nextExpiry = std::min(nextExpiry, b.idleSince + ttl);
 }
 
 bool
@@ -44,7 +62,9 @@ LockBarrierTable::createBarrier(Addr addr, Cycle now)
     Barrier b;
     b.addr = addr;
     b.idleSince = now;
+    slotIndex[addr] = barriers.size();
     barriers.push_back(std::move(b));
+    nextExpiry = std::min(nextExpiry, now + ttl);
     ++stats.counter("barriers_created");
     return true;
 }
@@ -88,31 +108,35 @@ LockBarrierTable::completeEi(Addr addr, CoreId core, Cycle now)
     stats.sample("ei_lifetime").add(static_cast<double>(now - it->openedAt));
     b->eis.erase(it);
     ++stats.counter("eis_completed");
-    if (b->eis.empty())
+    if (b->eis.empty()) {
         b->idleSince = now; // TTL countdown restarts from full value
+        nextExpiry = std::min(nextExpiry, now + ttl);
+    }
     return true;
 }
 
 void
 LockBarrierTable::expire(Cycle now)
 {
-    for (auto it = barriers.begin(); it != barriers.end();) {
-        if (it->eis.empty() && now >= it->idleSince + ttl) {
+    if (now < nextExpiry)
+        return; // no idle barrier can have timed out yet
+    for (std::size_t i = 0; i < barriers.size();) {
+        if (barriers[i].eis.empty() &&
+            now >= barriers[i].idleSince + ttl) {
             ++stats.counter("barriers_expired");
-            it = barriers.erase(it);
+            eraseSlot(i); // swap-erase: re-examine the moved-in slot
         } else {
-            ++it;
+            ++i;
         }
     }
+    recomputeNextExpiry();
 }
 
 std::size_t
 LockBarrierTable::numEis(Addr addr) const
 {
-    for (const auto &b : barriers)
-        if (b.addr == addr)
-            return b.eis.size();
-    return 0;
+    const std::size_t *slot = slotIndex.find(addr);
+    return slot ? barriers[*slot].eis.size() : 0;
 }
 
 } // namespace inpg

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/flat_hash_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -93,11 +94,24 @@ class LockBarrierTable
     };
 
     Barrier *find(Addr addr);
+    void eraseSlot(std::size_t slot);
+    void recomputeNextExpiry();
 
     std::size_t barrierCapacity;
     std::size_t eiCapacity;
     Cycle ttl;
     std::vector<Barrier> barriers;
+
+    /** Lock address -> slot in `barriers` (maintained on swap-erase). */
+    FlatHashMap<Addr, std::size_t> slotIndex;
+
+    /**
+     * Lower bound on the earliest cycle any idle barrier can expire;
+     * expire() returns immediately before it. May be stale-low (a
+     * barrier that regained EI entries keeps its old candidate), in
+     * which case the full scan removes nothing and recomputes it.
+     */
+    Cycle nextExpiry = CYCLE_NEVER;
 };
 
 } // namespace inpg

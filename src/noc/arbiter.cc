@@ -1,5 +1,7 @@
 #include "noc/arbiter.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace inpg {
@@ -24,6 +26,23 @@ RoundRobinArbiter::grant(const std::vector<bool> &requests)
         }
     }
     return -1;
+}
+
+int
+RoundRobinArbiter::grantMask(std::uint32_t requests)
+{
+    INPG_ASSERT(numInputs >= 32 || (requests >> numInputs) == 0,
+                "request mask %#x exceeds arbiter size %zu", requests,
+                numInputs);
+    if (!requests)
+        return -1;
+    // First set bit at or after the pointer, wrapping around -- the
+    // same input grant() would pick by scanning from the pointer.
+    const std::uint32_t at_or_after = requests & (~0u << pointer);
+    const std::size_t idx = static_cast<std::size_t>(
+        std::countr_zero(at_or_after ? at_or_after : requests));
+    pointer = idx + 1 == numInputs ? 0 : idx + 1;
+    return static_cast<int>(idx);
 }
 
 PriorityArbiter::PriorityArbiter(std::size_t size, Cycle aging_quantum)
@@ -64,6 +83,33 @@ PriorityArbiter::grant(const std::vector<Request> &requests)
         scratchMask[i] =
             requests[i].valid && effectivePriority(requests[i]) == best;
     return tieBreak.grant(scratchMask);
+}
+
+int
+PriorityArbiter::grantMasked(std::uint32_t valid, const Request *requests)
+{
+    if (!valid)
+        return -1;
+    std::uint32_t winners = valid;
+    if (requests) {
+        bool any = false;
+        std::int64_t best = 0;
+        for (std::uint32_t m = valid; m; m &= m - 1) {
+            const auto i = static_cast<std::size_t>(std::countr_zero(m));
+            std::int64_t p = effectivePriority(requests[i]);
+            if (!any || p > best) {
+                best = p;
+                any = true;
+            }
+        }
+        winners = 0;
+        for (std::uint32_t m = valid; m; m &= m - 1) {
+            const auto i = static_cast<std::size_t>(std::countr_zero(m));
+            if (effectivePriority(requests[i]) == best)
+                winners |= 1u << i;
+        }
+    }
+    return tieBreak.grantMask(winners);
 }
 
 } // namespace inpg

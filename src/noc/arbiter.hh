@@ -33,6 +33,14 @@ class RoundRobinArbiter
      */
     int grant(const std::vector<bool> &requests);
 
+    /**
+     * Same policy and pointer evolution as grant(), with the request
+     * set as a bitmask (bit i == requests[i]). The two entry points
+     * are interchangeable call to call: identical requests yield the
+     * identical grant and leave the arbiter in the identical state.
+     */
+    int grantMask(std::uint32_t requests);
+
     std::size_t size() const { return numInputs; }
 
   private:
@@ -63,6 +71,15 @@ class PriorityArbiter
 
     /** Grant the best request; -1 if none valid. */
     int grant(const std::vector<Request> &requests);
+
+    /**
+     * Mask-based equivalent of grant(): `valid` holds the requesting
+     * indices; `requests` supplies priority/age for set bits and may
+     * be nullptr when every requester has default priority (all-equal
+     * priorities reduce to the round-robin tie break). State evolution
+     * matches grant() on the same request set.
+     */
+    int grantMasked(std::uint32_t valid, const Request *requests);
 
     /** Effective priority including the aging boost. */
     std::int64_t effectivePriority(const Request &req) const;

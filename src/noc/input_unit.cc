@@ -9,6 +9,8 @@ InputUnit::InputUnit(int num_vcs, int vc_depth) : depth(vc_depth)
     INPG_ASSERT(num_vcs > 0 && vc_depth > 0,
                 "bad input unit shape: %d VCs x %d flits", num_vcs,
                 vc_depth);
+    INPG_ASSERT(num_vcs <= 32, "candidate masks hold at most 32 VCs, got %d",
+                num_vcs);
     vcs.resize(static_cast<std::size_t>(num_vcs));
 }
 
@@ -31,6 +33,7 @@ InputUnit::receiveFlit(const FlitPtr &flit, Cycle now)
     flit->bufferedAt = now;
     ch.buffer.push_back(flit);
     ++occupancy;
+    refreshMask(flit->vc);
 }
 
 FlitPtr
@@ -42,21 +45,8 @@ InputUnit::popFlit(VcId vc_id)
     ch.buffer.pop_front();
     INPG_ASSERT(occupancy > 0, "occupancy underflow");
     --occupancy;
+    refreshMask(vc_id);
     return flit;
-}
-
-VirtualChannel &
-InputUnit::vc(VcId id)
-{
-    INPG_ASSERT(id >= 0 && id < numVcs(), "VC id %d out of range", id);
-    return vcs[static_cast<std::size_t>(id)];
-}
-
-const VirtualChannel &
-InputUnit::vc(VcId id) const
-{
-    INPG_ASSERT(id >= 0 && id < numVcs(), "VC id %d out of range", id);
-    return vcs[static_cast<std::size_t>(id)];
 }
 
 } // namespace inpg

@@ -6,9 +6,11 @@
 #ifndef INPG_NOC_INPUT_UNIT_HH
 #define INPG_NOC_INPUT_UNIT_HH
 
+#include <cstdint>
 #include <deque>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "noc/flit.hh"
 #include "noc/routing.hh"
@@ -55,8 +57,21 @@ class InputUnit
     /** Pop the head flit of a VC (switch traversal). */
     FlitPtr popFlit(VcId vc);
 
-    VirtualChannel &vc(VcId id);
-    const VirtualChannel &vc(VcId id) const;
+    // Hot accessors: called per VC per allocation stage per cycle;
+    // inline so the router loops compile to direct indexing.
+    VirtualChannel &
+    vc(VcId id)
+    {
+        INPG_ASSERT(id >= 0 && id < numVcs(), "VC id %d out of range", id);
+        return vcs[static_cast<std::size_t>(id)];
+    }
+
+    const VirtualChannel &
+    vc(VcId id) const
+    {
+        INPG_ASSERT(id >= 0 && id < numVcs(), "VC id %d out of range", id);
+        return vcs[static_cast<std::size_t>(id)];
+    }
 
     int numVcs() const { return static_cast<int>(vcs.size()); }
     int vcDepth() const { return depth; }
@@ -64,10 +79,50 @@ class InputUnit
     /** Total buffered flits across VCs (for stats/invariants). */
     std::size_t totalOccupancy() const { return occupancy; }
 
+    /** VCs needing route computation or an output VC (VA stage). */
+    std::uint32_t vaCandidates() const { return pendingMask | waitMask; }
+
+    /** Active VCs with a buffered flit (SA-I stage). */
+    std::uint32_t saCandidates() const { return activeMask; }
+
+    /**
+     * Re-derive this VC's candidate-mask bits from its state and
+     * buffer. Must be called after every state transition or buffer
+     * push/pop; receiveFlit/popFlit do so themselves, the router does
+     * it after writing VirtualChannel::state directly. The masks are
+     * pure derived state -- always maintained, so runs that toggle
+     * NocConfig::fastAllocScan mid-stream still agree.
+     */
+    void
+    refreshMask(VcId id)
+    {
+        const std::uint32_t bit = 1u << static_cast<std::uint32_t>(id);
+        const VirtualChannel &ch = vcs[static_cast<std::size_t>(id)];
+        pendingMask &= ~bit;
+        waitMask &= ~bit;
+        activeMask &= ~bit;
+        switch (ch.state) {
+          case VirtualChannel::State::Idle:
+            if (!ch.buffer.empty())
+                pendingMask |= bit;
+            break;
+          case VirtualChannel::State::WaitVc:
+            waitMask |= bit;
+            break;
+          case VirtualChannel::State::Active:
+            if (!ch.buffer.empty())
+                activeMask |= bit;
+            break;
+        }
+    }
+
   private:
     std::vector<VirtualChannel> vcs;
     int depth;
     std::size_t occupancy = 0;
+    std::uint32_t pendingMask = 0; ///< Idle VCs holding a (head) flit
+    std::uint32_t waitMask = 0;    ///< VCs in WaitVc
+    std::uint32_t activeMask = 0;  ///< Active VCs holding a flit
 };
 
 } // namespace inpg

@@ -8,6 +8,11 @@ NetworkInterface::NetworkInterface(NodeId node_id, const NocConfig &config)
     : id(node_id), cfg(config), routerPort(cfg.totalVcs(), cfg.vcDepth)
 {
     stats = StatGroup(format("ni%d", node_id));
+    packetsQueuedCtr = &stats.counter("packets_queued");
+    packetsDeliveredCtr = &stats.counter("packets_delivered");
+    packetsSentCtr = &stats.counter("packets_sent");
+    flitsSentCtr = &stats.counter("flits_sent");
+    packetLatencySample = &stats.sample("packet_latency");
     injectQueues.resize(static_cast<std::size_t>(cfg.numVnets));
     reassembly.resize(static_cast<std::size_t>(cfg.totalVcs()));
 }
@@ -34,7 +39,7 @@ NetworkInterface::sendPacket(const PacketPtr &pkt, Cycle now)
                 "packet dst %d out of range", pkt->dst);
     pkt->injectCycle = now;
     injectQueues[static_cast<std::size_t>(pkt->vnet)].push_back(pkt);
-    ++stats.counter("packets_queued");
+    ++*packetsQueuedCtr;
     wakeSelf();
 }
 
@@ -105,8 +110,8 @@ NetworkInterface::ejectFlits(Cycle now)
                         static_cast<unsigned long long>(pkt->id),
                         buf.size(), pkt->numFlits);
             buf.clear();
-            ++stats.counter("packets_delivered");
-            stats.sample("packet_latency").add(
+            ++*packetsDeliveredCtr;
+            packetLatencySample->add(
                 static_cast<double>(now - pkt->injectCycle));
             if (deliver)
                 deliver(pkt, now);
@@ -173,12 +178,12 @@ NetworkInterface::injectOneFlit(Cycle now)
             pkt->networkEntryCycle = now;
         routerPort.decrementCredit(fl.vc);
         txChannel->pushFlit(std::move(flit), now);
-        ++stats.counter("flits_sent");
+        ++*flitsSentCtr;
 
         ++fl.nextSeq;
         if (fl.nextSeq == pkt->numFlits) {
             routerPort.freeVc(fl.vc);
-            ++stats.counter("packets_sent");
+            ++*packetsSentCtr;
             inflight.erase(inflight.begin() +
                            static_cast<std::ptrdiff_t>(i));
             inflightPointer = n > 1 ? i % (n - 1) : 0;

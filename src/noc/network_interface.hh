@@ -11,6 +11,7 @@
 #ifndef INPG_NOC_NETWORK_INTERFACE_HH
 #define INPG_NOC_NETWORK_INTERFACE_HH
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <vector>
@@ -91,6 +92,13 @@ class NetworkInterface : public Ticking
     std::vector<std::vector<FlitPtr>> reassembly;
 
     std::size_t inflightPointer = 0;
+
+    /** Cached hot stat handles (string lookup once at construction). */
+    std::uint64_t *packetsQueuedCtr = nullptr;
+    std::uint64_t *packetsDeliveredCtr = nullptr;
+    std::uint64_t *packetsSentCtr = nullptr;
+    std::uint64_t *flitsSentCtr = nullptr;
+    SampleStat *packetLatencySample = nullptr;
 };
 
 } // namespace inpg

@@ -14,26 +14,6 @@ OutputUnit::OutputUnit(int num_vcs, int vc_depth) : depth(vc_depth)
         s.credits = vc_depth;
 }
 
-OutputUnit::OutVcState &
-OutputUnit::state(VcId vc)
-{
-    INPG_ASSERT(vc >= 0 && vc < numVcs(), "VC id %d out of range", vc);
-    return states[static_cast<std::size_t>(vc)];
-}
-
-const OutputUnit::OutVcState &
-OutputUnit::state(VcId vc) const
-{
-    INPG_ASSERT(vc >= 0 && vc < numVcs(), "VC id %d out of range", vc);
-    return states[static_cast<std::size_t>(vc)];
-}
-
-bool
-OutputUnit::isVcFree(VcId vc) const
-{
-    return !state(vc).busy;
-}
-
 void
 OutputUnit::allocateVc(VcId vc)
 {
@@ -48,12 +28,6 @@ OutputUnit::freeVc(VcId vc)
     OutVcState &s = state(vc);
     INPG_ASSERT(s.busy, "freeing a free output VC %d", vc);
     s.busy = false;
-}
-
-int
-OutputUnit::credits(VcId vc) const
-{
-    return state(vc).credits;
 }
 
 void

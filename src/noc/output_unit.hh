@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "noc/credit.hh"
 #include "noc/link.hh"
@@ -33,8 +34,11 @@ class OutputUnit
 
     Channel *outChannel() const { return channel; }
 
-    /** True if the VC is unbound and can be granted to a new packet. */
-    bool isVcFree(VcId vc) const;
+    /**
+     * True if the VC is unbound and can be granted to a new packet.
+     * Inline: probed per candidate VC in the VA stage every cycle.
+     */
+    bool isVcFree(VcId vc) const { return !state(vc).busy; }
 
     /** Bind a VC to a packet (VC allocation). */
     void allocateVc(VcId vc);
@@ -42,8 +46,8 @@ class OutputUnit
     /** Release a VC binding (tail flit traversed the switch). */
     void freeVc(VcId vc);
 
-    /** Credits remaining on a VC. */
-    int credits(VcId vc) const;
+    /** Credits remaining on a VC. Inline: probed per SA candidate. */
+    int credits(VcId vc) const { return state(vc).credits; }
 
     /** Consume one credit (a flit was sent on this VC). */
     void decrementCredit(VcId vc);
@@ -70,8 +74,19 @@ class OutputUnit
     int depth;
     VcId scanPointer = 0;
 
-    OutVcState &state(VcId vc);
-    const OutVcState &state(VcId vc) const;
+    OutVcState &
+    state(VcId vc)
+    {
+        INPG_ASSERT(vc >= 0 && vc < numVcs(), "VC id %d out of range", vc);
+        return states[static_cast<std::size_t>(vc)];
+    }
+
+    const OutVcState &
+    state(VcId vc) const
+    {
+        INPG_ASSERT(vc >= 0 && vc < numVcs(), "VC id %d out of range", vc);
+        return states[static_cast<std::size_t>(vc)];
+    }
 };
 
 } // namespace inpg

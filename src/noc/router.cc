@@ -1,6 +1,7 @@
 #include "noc/router.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 
@@ -12,6 +13,8 @@ Router::Router(NodeId node_id, const NocConfig &config_in,
 {
     INPG_ASSERT(routing != nullptr, "router %d needs a routing algorithm",
                 node_id);
+    if (cfg.precomputeRoutes)
+        routeTable = routing->buildTable(node_id, cfg.numNodes());
     stats = StatGroup(format("router%d", node_id));
     inputs.reserve(NUM_PORTS + 1);
     inChannels.reserve(NUM_PORTS + 1);
@@ -175,7 +178,10 @@ Router::drainFlits(Cycle now)
 void
 Router::routeCompute(const FlitPtr &flit, VirtualChannel &ch)
 {
-    ch.outPort = router->route(id, flit->packet->dst);
+    const NodeId dst = flit->packet->dst;
+    ch.outPort = routeTable.empty()
+                     ? router->route(id, dst)
+                     : routeTable[static_cast<std::size_t>(dst)];
     ch.outVc = INVALID_VC;
     ch.state = VirtualChannel::State::WaitVc;
     ch.headEnqueuedAt = flit->bufferedAt;
@@ -206,46 +212,115 @@ Router::drainGeneratorQueue(Cycle now)
 }
 
 void
+Router::tryAllocateVc(InputUnit &iu, VcId v, Cycle now)
+{
+    VirtualChannel &ch = iu.vc(v);
+    // A VC whose front flit is the head of a new packet (re)enters
+    // route computation; this covers back-to-back packets sharing
+    // a VC buffer.
+    if (ch.state == VirtualChannel::State::Idle && ch.hasFlit()) {
+        const FlitPtr &front = ch.buffer.front();
+        INPG_ASSERT(isHeadFlit(front->type),
+                    "non-head flit at front of idle VC %d", v);
+        routeCompute(front, ch);
+        iu.refreshMask(v);
+    }
+    if (ch.state != VirtualChannel::State::WaitVc)
+        return;
+    if (now <= ch.headEnqueuedAt)
+        return; // stage-1 charge: eligible the cycle after buffering
+    OutputUnit &ou = *outputs[static_cast<std::size_t>(ch.outPort)];
+    VnetId vnet = cfg.vnetOfVc(v);
+    VcId out_vc =
+        ou.findFreeVcInRange(cfg.vnetVcLo(vnet), cfg.vnetVcHi(vnet));
+    if (out_vc == INVALID_VC)
+        return;
+    ou.allocateVc(out_vc);
+    ch.outVc = out_vc;
+    ch.state = VirtualChannel::State::Active;
+    iu.refreshMask(v);
+    ++*vaGrantsCtr;
+}
+
+void
 Router::allocateVcs(Cycle now)
 {
+    if (cfg.fastAllocScan) {
+        allocateVcsFast(now);
+        return;
+    }
     const std::size_t nports = static_cast<std::size_t>(numInPorts());
     for (std::size_t k = 0; k < nports; ++k) {
         std::size_t p = (vaPointer + k) % nports;
         InputUnit &iu = *inputs[p];
-        for (VcId v = 0; v < iu.numVcs(); ++v) {
-            VirtualChannel &ch = iu.vc(v);
-            // A VC whose front flit is the head of a new packet (re)enters
-            // route computation; this covers back-to-back packets sharing
-            // a VC buffer.
-            if (ch.state == VirtualChannel::State::Idle && ch.hasFlit()) {
-                const FlitPtr &front = ch.buffer.front();
-                INPG_ASSERT(isHeadFlit(front->type),
-                            "non-head flit at front of idle VC %d", v);
-                routeCompute(front, ch);
-            }
-            if (ch.state != VirtualChannel::State::WaitVc)
-                continue;
-            if (now <= ch.headEnqueuedAt)
-                continue; // stage-1 charge: eligible the cycle after buffering
-            OutputUnit &ou =
-                *outputs[static_cast<std::size_t>(ch.outPort)];
-            VnetId vnet = cfg.vnetOfVc(v);
-            VcId out_vc =
-                ou.findFreeVcInRange(cfg.vnetVcLo(vnet), cfg.vnetVcHi(vnet));
-            if (out_vc == INVALID_VC)
-                continue;
-            ou.allocateVc(out_vc);
-            ch.outVc = out_vc;
-            ch.state = VirtualChannel::State::Active;
-            ++*vaGrantsCtr;
-        }
+        for (VcId v = 0; v < iu.numVcs(); ++v)
+            tryAllocateVc(iu, v, now);
     }
     vaPointer = (vaPointer + 1) % nports;
 }
 
 void
+Router::allocateVcsFast(Cycle now)
+{
+    const std::size_t nports = static_cast<std::size_t>(numInPorts());
+    std::size_t p = vaPointer;
+    for (std::size_t k = 0; k < nports; ++k) {
+        InputUnit &iu = *inputs[p];
+        // Snapshot is safe: handling one VC never adds another VC of
+        // this port to the candidate set (VA transitions only move the
+        // handled VC itself between Idle/WaitVc/Active).
+        for (std::uint32_t m = iu.vaCandidates(); m; m &= m - 1)
+            tryAllocateVc(iu, static_cast<VcId>(std::countr_zero(m)),
+                          now);
+        p = p + 1 == nports ? 0 : p + 1;
+    }
+    vaPointer = vaPointer + 1 == nports ? 0 : vaPointer + 1;
+}
+
+void
+Router::switchTraverse(int inport, VcId v, int outport, Cycle now)
+{
+    const std::size_t p = static_cast<std::size_t>(inport);
+    InputUnit &iu = *inputs[p];
+    VirtualChannel &ch = iu.vc(v);
+    OutputUnit &ou = *outputs[static_cast<std::size_t>(outport)];
+    INPG_ASSERT(ou.outChannel() != nullptr,
+                "router %d: traversal into unconnected port %d", id,
+                outport);
+
+    FlitPtr flit = iu.popFlit(v);
+    const bool tail = isTailFlit(flit->type);
+
+    if (isHeadFlit(flit->type)) {
+        onHeadFlitGranted(flit, inport, static_cast<Direction>(outport),
+                          now);
+        ++*packetsRoutedCtr;
+    }
+
+    // Return a buffer credit upstream (none for the generator port).
+    if (Channel *up = inChannels[p])
+        up->pushCredit(Credit{v, tail}, now);
+
+    VcId out_vc = ch.outVc;
+    flit->vc = out_vc;
+    ou.decrementCredit(out_vc);
+    if (tail) {
+        ou.freeVc(out_vc);
+        ch.state = VirtualChannel::State::Idle;
+        ch.outVc = INVALID_VC;
+        iu.refreshMask(v);
+    }
+    ou.outChannel()->pushFlit(std::move(flit), now);
+    ++*flitsSentCtr;
+}
+
+void
 Router::allocateSwitch(Cycle now)
 {
+    if (cfg.fastAllocScan) {
+        allocateSwitchFast(now);
+        return;
+    }
     const int nports = numInPorts();
 
     // SA-I: pick at most one ready VC per input port. Hierarchical
@@ -256,8 +331,6 @@ Router::allocateSwitch(Cycle now)
     std::fill(inportWinner.begin(), inportWinner.end(), INVALID_VC);
     for (int p = 0; p < nports; ++p) {
         InputUnit &iu = *inputs[static_cast<std::size_t>(p)];
-        if (iu.totalOccupancy() == 0)
-            continue;
         std::vector<PriorityArbiter::Request> &reqs = saVcReqScratch;
         std::fill(reqs.begin(), reqs.end(), PriorityArbiter::Request{});
         bool anyCandidate = false;
@@ -280,9 +353,7 @@ Router::allocateSwitch(Cycle now)
                 r.age = now - ch.headEnqueuedAt;
             }
         }
-        if (!anyCandidate)
-            continue;
-        if (cfg.switchPolicy == SwitchPolicy::Priority) {
+        if (anyCandidate && cfg.switchPolicy == SwitchPolicy::Priority) {
             // Pick the vnet round-robin among those with candidates,
             // then mask out every other vnet's VCs.
             std::size_t &ptr = saInportVnetPtr[static_cast<std::size_t>(p)];
@@ -358,41 +429,118 @@ Router::allocateSwitch(Cycle now)
         int winner = saOutportArb[static_cast<std::size_t>(op)]->grant(reqs);
         if (winner < 0)
             continue;
-
-        // Switch traversal for the winning flit.
-        std::size_t p = static_cast<std::size_t>(winner);
-        VcId v = inportWinner[p];
-        InputUnit &iu = *inputs[p];
-        VirtualChannel &ch = iu.vc(v);
-        OutputUnit &ou = *outputs[static_cast<std::size_t>(op)];
-        INPG_ASSERT(ou.outChannel() != nullptr,
-                    "router %d: traversal into unconnected port %d", id,
-                    op);
-
-        FlitPtr flit = iu.popFlit(v);
-        const bool tail = isTailFlit(flit->type);
-
-        if (isHeadFlit(flit->type)) {
-            onHeadFlitGranted(flit, winner, static_cast<Direction>(op),
-                              now);
-            ++*packetsRoutedCtr;
-        }
-
-        // Return a buffer credit upstream (none for the generator port).
-        if (Channel *up = inChannels[p])
-            up->pushCredit(Credit{v, tail}, now);
-
-        VcId out_vc = ch.outVc;
-        flit->vc = out_vc;
-        ou.decrementCredit(out_vc);
-        if (tail) {
-            ou.freeVc(out_vc);
-            ch.state = VirtualChannel::State::Idle;
-            ch.outVc = INVALID_VC;
-        }
-        ou.outChannel()->pushFlit(std::move(flit), now);
-        ++*flitsSentCtr;
+        switchTraverse(winner, inportWinner[static_cast<std::size_t>(winner)],
+                       op, now);
     }
 }
+
+void
+Router::allocateSwitchFast(Cycle now)
+{
+    const int nports = numInPorts();
+    const bool prio = cfg.switchPolicy == SwitchPolicy::Priority;
+    std::vector<VcId> &inportWinner = inportWinnerScratch;
+
+    // SA-I over the Active-with-flit masks. Request priorities/ages are
+    // written into the scratch slots only for candidate bits; the mask
+    // handed to the arbiter governs which slots are read, so the
+    // remaining stale entries are never consulted.
+    std::array<std::uint32_t, NUM_PORTS> outportCand{};
+    bool anyWinner = false;
+    for (int p = 0; p < nports; ++p) {
+        inportWinner[static_cast<std::size_t>(p)] = INVALID_VC;
+        InputUnit &iu = *inputs[static_cast<std::size_t>(p)];
+        std::uint32_t valid = 0;
+        for (std::uint32_t m = iu.saCandidates(); m; m &= m - 1) {
+            const VcId v = static_cast<VcId>(std::countr_zero(m));
+            VirtualChannel &ch = iu.vc(v);
+            const FlitPtr &front = ch.buffer.front();
+            if (now <= front->bufferedAt)
+                continue;
+            OutputUnit &ou =
+                *outputs[static_cast<std::size_t>(ch.outPort)];
+            if (ou.credits(ch.outVc) <= 0)
+                continue;
+            valid |= 1u << static_cast<std::uint32_t>(v);
+            if (prio) {
+                auto &r = saVcReqScratch[static_cast<std::size_t>(v)];
+                r.priority = front->packet->priority;
+                r.age = now - ch.headEnqueuedAt;
+            }
+        }
+        if (!valid)
+            continue;
+        if (prio) {
+            // Vnet rotation: keep only the first vnet (from the
+            // pointer) that has a candidate.
+            std::size_t &ptr = saInportVnetPtr[static_cast<std::size_t>(p)];
+            const std::size_t nv = static_cast<std::size_t>(cfg.numVnets);
+            for (std::size_t k = 0; k < nv; ++k) {
+                std::size_t vn = ptr + k >= nv ? ptr + k - nv : ptr + k;
+                const std::uint32_t vm =
+                    vnetVcMask(static_cast<VnetId>(vn));
+                if (valid & vm) {
+                    valid &= vm;
+                    ptr = vn + 1 == nv ? 0 : vn + 1;
+                    break;
+                }
+            }
+        }
+        const int w = saInportArb[static_cast<std::size_t>(p)]->grantMasked(
+            valid, prio ? saVcReqScratch.data() : nullptr);
+        INPG_ASSERT(w != INVALID_VC, "no grant from nonzero request mask");
+        inportWinner[static_cast<std::size_t>(p)] = w;
+        anyWinner = true;
+        const auto op = static_cast<std::size_t>(iu.vc(w).outPort);
+        outportCand[op] |= 1u << static_cast<std::uint32_t>(p);
+    }
+    // An all-invalid grant() touches no arbiter state, so outports
+    // without candidates need no SA-II visit.
+    if (!anyWinner)
+        return;
+
+    // SA-II over the per-outport winner masks (bit = input port).
+    for (int op = 0; op < NUM_PORTS; ++op) {
+        std::uint32_t valid = outportCand[static_cast<std::size_t>(op)];
+        if (!valid)
+            continue;
+        if (prio) {
+            for (std::uint32_t m = valid; m; m &= m - 1) {
+                const auto p =
+                    static_cast<std::size_t>(std::countr_zero(m));
+                const VirtualChannel &ch = inputs[p]->vc(inportWinner[p]);
+                auto &r = saPortReqScratch[p];
+                r.priority = ch.buffer.front()->packet->priority;
+                r.age = now - ch.headEnqueuedAt;
+            }
+            std::size_t &ptr = saOutportVnetPtr[static_cast<std::size_t>(op)];
+            const std::size_t nv = static_cast<std::size_t>(cfg.numVnets);
+            for (std::size_t k = 0; k < nv; ++k) {
+                std::size_t vn = ptr + k >= nv ? ptr + k - nv : ptr + k;
+                std::uint32_t in_vnet = 0;
+                for (std::uint32_t m = valid; m; m &= m - 1) {
+                    const auto p =
+                        static_cast<std::size_t>(std::countr_zero(m));
+                    if (cfg.vnetOfVc(inportWinner[p]) ==
+                        static_cast<VnetId>(vn))
+                        in_vnet |= 1u << p;
+                }
+                if (in_vnet) {
+                    valid = in_vnet;
+                    ptr = vn + 1 == nv ? 0 : vn + 1;
+                    break;
+                }
+            }
+        }
+        const int winner =
+            saOutportArb[static_cast<std::size_t>(op)]->grantMasked(
+                valid, prio ? saPortReqScratch.data() : nullptr);
+        INPG_ASSERT(winner >= 0, "no grant from nonzero request mask");
+        switchTraverse(winner,
+                       inportWinner[static_cast<std::size_t>(winner)], op,
+                       now);
+    }
+}
+
 
 } // namespace inpg

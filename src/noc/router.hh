@@ -19,6 +19,7 @@
 #define INPG_NOC_ROUTER_HH
 
 #include <array>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -139,11 +140,38 @@ class Router : public Ticking
     void routeCompute(const FlitPtr &flit, VirtualChannel &ch);
     void allocateVcs(Cycle now);
     void allocateSwitch(Cycle now);
+    // Bitmask-driven variants of the allocation stages, selected by
+    // cfg.fastAllocScan. Same decisions and arbiter-state evolution as
+    // the scan loops; they only skip slots the masks prove empty.
+    void allocateVcsFast(Cycle now);
+    void allocateSwitchFast(Cycle now);
+    /** One VA attempt for a routed VC; shared by both VA variants. */
+    void tryAllocateVc(InputUnit &iu, VcId v, Cycle now);
+
+    /** Bitmask of the VC ids belonging to a virtual network. */
+    std::uint32_t
+    vnetVcMask(VnetId vn) const
+    {
+        return ((1u << static_cast<std::uint32_t>(cfg.vcsPerVnet)) - 1)
+               << (static_cast<std::uint32_t>(vn) *
+                   static_cast<std::uint32_t>(cfg.vcsPerVnet));
+    }
+    /** Switch traversal of SA winner (inport, vc) -> outport. */
+    void switchTraverse(int inport, VcId v, int outport, Cycle now);
     void drainGeneratorQueue(Cycle now);
 
     NodeId id;
     NocConfig cfg;
     const RoutingAlgorithm *router;
+
+    /**
+     * Destination-indexed output-port table (filled at construction
+     * when cfg.precomputeRoutes; empty otherwise, falling back to the
+     * virtual route() call). iNPG destination rewrites happen in
+     * onHeadFlitArrived, before route computation, so a static table
+     * stays correct.
+     */
+    std::vector<Direction> routeTable;
 
     std::vector<std::unique_ptr<InputUnit>> inputs;
     std::array<std::unique_ptr<OutputUnit>, NUM_PORTS> outputs;

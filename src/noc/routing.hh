@@ -9,6 +9,7 @@
 #define INPG_NOC_ROUTING_HH
 
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -80,6 +81,20 @@ class RoutingAlgorithm
      * @return output port to take from `here` (Local when here == dst).
      */
     virtual Direction route(NodeId here, NodeId dst) const = 0;
+
+    /**
+     * Materialize this router's routing decisions as a dense
+     * destination-indexed table (one byte per destination) so the RC
+     * pipeline stage can replace the virtual call with an array index.
+     */
+    std::vector<Direction>
+    buildTable(NodeId here, int num_nodes) const
+    {
+        std::vector<Direction> table(static_cast<std::size_t>(num_nodes));
+        for (NodeId dst = 0; dst < num_nodes; ++dst)
+            table[static_cast<std::size_t>(dst)] = route(here, dst);
+        return table;
+    }
 };
 
 /** X-first-then-Y dimension-order routing. */

@@ -6,53 +6,113 @@
  * evaluation: cache array access completion, thread sleep/wakeup, CS body
  * execution. Events scheduled for the same cycle fire in scheduling
  * order (FIFO), which keeps runs reproducible.
+ *
+ * Implementation: a single-level timing wheel of WHEEL_SIZE power-of-two
+ * buckets covering the cycles [wheelBase, wheelBase + WHEEL_SIZE), with
+ * a min-heap overflow for events beyond the window. Short-latency events
+ * (the steady-state protocol traffic: L1/L2 access completion, link
+ * hops) resolve to one array index with no comparisons; long sleeps park
+ * in the overflow heap and are promoted exactly once when the window
+ * reaches them. Callbacks are SmallCallback (small-buffer optimized), so
+ * the schedule path performs no heap allocation.
+ *
+ * Execution order is bit-identical to a (cycle, insertion-sequence)
+ * min-heap: buckets are drained in cycle order; within a bucket, entries
+ * promoted from the overflow heap (popped in (cycle, seq) order) always
+ * precede directly-scheduled entries (which, by the window invariant,
+ * were scheduled later and thus carry higher sequence numbers).
+ *
+ * setReferenceMode(true) switches an (empty) queue to the pre-wheel
+ * design -- a binary heap of heap-allocated callbacks -- kept as the
+ * differential-testing and benchmarking baseline.
  */
 
 #ifndef INPG_SIM_EVENT_QUEUE_HH
 #define INPG_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "common/small_function.hh"
 #include "common/types.hh"
 
 namespace inpg {
 
-/** Min-heap of (cycle, insertion-sequence) ordered callbacks. */
+/** Timing-wheel event queue; FIFO within a cycle (see file comment). */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SmallCallback;
 
-    /** Schedule a callback at an absolute cycle (>= current). */
+    /**
+     * Schedule a callback at an absolute cycle. `when` must be no
+     * earlier than the cycle of the most recent runDue() call (events
+     * scheduled *at* that cycle from outside runDue fire on its next
+     * invocation, exactly as with the reference heap).
+     */
     void schedule(Cycle when, Callback fn);
 
     /** Earliest pending event cycle, or CYCLE_NEVER when empty. */
     Cycle nextEventCycle() const;
 
     /** Number of pending events. */
-    std::size_t size() const { return heap.size(); }
+    std::size_t size() const { return count; }
 
-    bool empty() const { return heap.empty(); }
+    bool empty() const { return count == 0; }
 
     /**
-     * Run every event scheduled at or before `now`, including events that
-     * those callbacks schedule for `now` itself.
+     * Run every event scheduled at or before `now`, including events
+     * that those callbacks schedule for cycles <= `now`. Successive
+     * calls must use non-decreasing `now`.
      */
     void runDue(Cycle now);
 
-    /** Drop all pending events. */
+    /** Drop all pending events (O(occupied buckets), not O(n log n)). */
     void clear();
 
+    /**
+     * Switch to/from the reference binary-heap scheduler (pre-wheel
+     * behavior, one heap allocation per schedule). Only legal while the
+     * queue is empty. For A/B benchmarking and differential tests.
+     */
+    void setReferenceMode(bool enabled);
+
+    bool referenceMode() const { return refMode; }
+
+    // ---- schedule-path instrumentation (host-side, free counters) ----
+
+    /** Events scheduled over the queue's lifetime. */
+    std::uint64_t scheduledTotal() const { return statScheduled; }
+
+    /** Events executed over the queue's lifetime. */
+    std::uint64_t executedTotal() const { return statExecuted; }
+
+    /**
+     * Heap allocations performed on the schedule path: callbacks too
+     * large for the SmallCallback inline buffer, plus (in reference
+     * mode) the per-entry callback box. Zero in steady-state wheel
+     * operation.
+     */
+    std::uint64_t scheduleHeapAllocs() const { return statHeapAllocs; }
+
+    /** Events that took the far-future overflow heap path. */
+    std::uint64_t overflowScheduled() const { return statOverflow; }
+
   private:
+    static constexpr std::size_t WHEEL_BITS = 8;
+    static constexpr std::size_t WHEEL_SIZE = std::size_t{1} << WHEEL_BITS;
+    static constexpr Cycle WHEEL_MASK = WHEEL_SIZE - 1;
+    static constexpr std::size_t OCC_WORDS = WHEEL_SIZE / 64;
+
     struct Entry {
         Cycle when;
         std::uint64_t seq;
         Callback fn;
     };
 
+    /** Min-first on (when, seq) for std::push_heap/pop_heap. */
     struct Later {
         bool
         operator()(const Entry &a, const Entry &b) const
@@ -63,8 +123,50 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    struct RefEntry {
+        Cycle when;
+        std::uint64_t seq;
+        std::unique_ptr<Callback> fn;
+    };
+
+    struct RefLater {
+        bool
+        operator()(const RefEntry &a, const RefEntry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    void pushWheel(Entry &&e);
+    void advanceBaseTo(Cycle base);
+    void promoteOverflow();
+    Cycle wheelNextCycle() const;
+    void drainStale();
+    void runDueReference(Cycle now);
+
+    std::array<std::vector<Entry>, WHEEL_SIZE> buckets;
+    std::array<std::uint64_t, OCC_WORDS> occupied{};
+    std::vector<Entry> overflow; ///< binary min-heap on (when, seq)
+    /**
+     * Events scheduled at wheelBase - 1 (a component scheduling "at
+     * now" during the tick phase, after runDue(now) already advanced
+     * the window); they run first on the next runDue, in seq order.
+     */
+    std::vector<Entry> stale;
+    Cycle wheelBase = 0;
+    std::size_t wheelCount = 0;
+    std::size_t count = 0;
     std::uint64_t nextSeq = 0;
+
+    bool refMode = false;
+    std::vector<RefEntry> refHeap;
+
+    std::uint64_t statScheduled = 0;
+    std::uint64_t statExecuted = 0;
+    std::uint64_t statHeapAllocs = 0;
+    std::uint64_t statOverflow = 0;
 };
 
 } // namespace inpg

@@ -104,6 +104,24 @@ class Simulator : public ActivityScheduler
     /** Number of distinct fast-forward jumps taken. */
     std::uint64_t fastForwardJumps() const { return ffJumps; }
 
+    /**
+     * Host-side wall-clock breakdown of where simulation time goes,
+     * classified by tick-name prefix. Accumulated only while a profile
+     * is attached (setHostProfile); the unprofiled step() path is
+     * untouched.
+     */
+    struct HostPhaseProfile {
+        double eventsSec = 0;  ///< EventQueue::runDue
+        double routersSec = 0; ///< router%d ticks (incl. big routers)
+        double nisSec = 0;     ///< ni%d ticks
+        double dirsSec = 0;    ///< dir%d ticks
+        double otherSec = 0;   ///< cores / workload / everything else
+        std::uint64_t profiledCycles = 0;
+    };
+
+    /** Attach (or detach with nullptr) a phase-profile accumulator. */
+    void setHostProfile(HostPhaseProfile *p) { profile = p; }
+
     /** Components currently in the active set. */
     std::size_t activeComponents() const { return activeCount; }
 
@@ -115,10 +133,21 @@ class Simulator : public ActivityScheduler
     void suspendComponent(std::size_t slot) override;
 
   private:
+    /** Tick-name-derived bucket of HostPhaseProfile. */
+    enum class PhaseClass : std::uint8_t {
+        Router,
+        Ni,
+        Dir,
+        Other,
+    };
+
     struct Slot {
         Ticking *component = nullptr;
         bool active = true;
+        PhaseClass phase = PhaseClass::Other;
     };
+
+    void stepProfiled();
 
     /**
      * Cycle at which the next stimulus can occur once the active set is
@@ -134,6 +163,8 @@ class Simulator : public ActivityScheduler
     bool ffEnabled = true;
     std::uint64_t ffCycles = 0;
     std::uint64_t ffJumps = 0;
+
+    HostPhaseProfile *profile = nullptr;
 };
 
 } // namespace inpg

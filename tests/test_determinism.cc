@@ -43,16 +43,22 @@ struct Fingerprint {
 
 Fingerprint
 runOnce(Mechanism mech, LockKind lock, bool fast_forward,
-        std::uint64_t *ff_cycles = nullptr)
+        std::uint64_t *ff_cycles = nullptr, bool fast_structures = true)
 {
     SystemConfig cfg;
     cfg.noc.meshWidth = 4;
     cfg.noc.meshHeight = 4;
     cfg.mechanism = mech;
     cfg.lockKind = lock;
+    // Hot-path data structures (timing wheel, flat hash, precomputed
+    // routes, mask-driven allocation) vs their reference versions.
+    cfg.noc.precomputeRoutes = fast_structures;
+    cfg.noc.fastAllocScan = fast_structures;
+    cfg.coh.flatContainers = fast_structures;
     cfg.finalize();
 
     System system(cfg);
+    system.sim().events().setReferenceMode(!fast_structures);
     system.sim().setFastForward(fast_forward);
 
     Workload::Params wp;
@@ -119,6 +125,27 @@ TEST(Determinism, FastForwardIsInvisibleForSpinLocks)
     Fingerprint off = runOnce(Mechanism::Original, LockKind::Tas, false);
     Fingerprint on = runOnce(Mechanism::Original, LockKind::Tas, true);
     EXPECT_TRUE(off == on);
+}
+
+TEST(Determinism, HotPathStructuresAreInvisibleForSpinLocks)
+{
+    // Timing wheel vs reference heap, flat-hash vs tree/hash maps,
+    // precomputed vs per-flit routing, mask-driven vs full-scan
+    // allocation: a busy TAS run must be bit-identical either way.
+    Fingerprint fast = runOnce(Mechanism::Original, LockKind::Tas, true);
+    Fingerprint ref =
+        runOnce(Mechanism::Original, LockKind::Tas, true, nullptr, false);
+    EXPECT_TRUE(fast == ref);
+}
+
+TEST(Determinism, HotPathStructuresAreInvisibleWithInpgOcor)
+{
+    // iNPG+OCOR enables the Priority switch policy, covering the
+    // priority/aging arbitration path of the mask-based allocators.
+    Fingerprint fast = runOnce(Mechanism::InpgOcor, LockKind::Qsl, true);
+    Fingerprint ref =
+        runOnce(Mechanism::InpgOcor, LockKind::Qsl, true, nullptr, false);
+    EXPECT_TRUE(fast == ref);
 }
 
 TEST(Determinism, SweepMatchesSerialRuns)
