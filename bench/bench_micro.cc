@@ -372,15 +372,10 @@ runHotpathWorkload(bool optimized, Simulator::HostPhaseProfile *profile)
     cfg.noc.meshWidth = 4;
     cfg.noc.meshHeight = 4;
     cfg.lockKind = LockKind::Tas;
-    cfg.noc.precomputeRoutes = optimized;
-    cfg.noc.fastAllocScan = optimized;
-    cfg.coh.flatContainers = optimized;
+    cfg.impl = optimized ? ImplMode::Fast : ImplMode::Reference;
     cfg.finalize();
 
     System system(cfg);
-    // The queue is still empty right after construction, so the
-    // scheduler flavor can be chosen per run.
-    system.sim().events().setReferenceMode(!optimized);
     system.sim().setHostProfile(profile);
 
     Workload::Params wp;

@@ -7,11 +7,19 @@
  * test-and-set lock (the primitive with the heaviest lock coherence
  * traffic). Pass lock=qsl for the paper's default platform setup.
  *
+ * Every run records per-acquire LCO attribution (the typed
+ * RunResult::lco summary -- no text parsing) and writes a
+ * Perfetto-loadable Chrome trace plus a JSON stats snapshot of the
+ * iNPG run.
+ *
  * Usage: quickstart [benchmark=face] [lock=tas] [mesh_width=8]
- *                   [mesh_height=8] [cs_scale=0.1] [seed=1] ...
+ *                   [mesh_height=8] [cs_scale=0.1] [seed=1]
+ *                   [trace_out=quickstart_trace.json]
+ *                   [stats_json=quickstart_stats.json] ...
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "common/config.hh"
@@ -20,6 +28,21 @@
 #include "harness/table_printer.hh"
 
 using namespace inpg;
+
+namespace {
+
+/** Leg share of the mean acquire, in percent. */
+std::string
+legPct(const LcoSummary &s, Cycle LcoLegs::*leg)
+{
+    if (s.totalLatency == 0)
+        return "-";
+    return fixed(100.0 * static_cast<double>(s.legs.*leg) /
+                     static_cast<double>(s.totalLatency),
+                 1);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -32,8 +55,13 @@ main(int argc, char **argv)
         benchmarkByName(overrides.getString("benchmark", "face"));
     if (!overrides.has("lock"))
         rc.system.lockKind = LockKind::Tas;
+    rc.system.telemetry.lco = true; // typed LCO attribution below
     rc.system.applyOverrides(overrides);
     rc.csScale = overrides.getDouble("cs_scale", 0.1);
+    rc.traceOutPath =
+        overrides.getString("trace_out", "quickstart_trace.json");
+    const std::string stats_json =
+        overrides.getString("stats_json", "quickstart_stats.json");
 
     std::cout << "iNPG quickstart -- benchmark '" << rc.profile.fullName
               << "' on a " << rc.system.noc.meshWidth << "x"
@@ -67,6 +95,49 @@ main(int argc, char **argv)
         });
     }
     std::cout << "\n" << table.render() << "\n";
+
+    // Per-acquire LCO attribution, straight off the typed summary.
+    TablePrinter lco_table(
+        "Lock-acquire latency attribution (% of mean acquire)");
+    lco_table.header({"mechanism", "acquires", "mean cyc", "l1", "req",
+                      "dir", "resp", "invack", "spin", "sleep",
+                      "early-inv acq"});
+    for (const auto &r : results) {
+        const LcoSummary &s = r.lco;
+        lco_table.row({
+            mechanismName(r.mechanism),
+            std::to_string(s.acquires),
+            fixed(s.meanLatency(), 0),
+            legPct(s, &LcoLegs::l1Access),
+            legPct(s, &LcoLegs::reqNetwork),
+            legPct(s, &LcoLegs::dirService),
+            legPct(s, &LcoLegs::respNetwork),
+            legPct(s, &LcoLegs::invAckWait),
+            legPct(s, &LcoLegs::spinWait),
+            legPct(s, &LcoLegs::sleepWait),
+            std::to_string(s.acquiresWithEarlyInv),
+        });
+    }
+    std::cout << lco_table.render() << "\n";
+
+    if (!stats_json.empty()) {
+        // Snapshot of the iNPG run (ALL_MECHANISMS order: index 2).
+        std::ofstream out(stats_json);
+        out << results[2].stats.dump(2) << "\n";
+        std::cout << "Stats snapshot (iNPG run): " << stats_json
+                  << "\n";
+    }
+    if (!rc.traceOutPath.empty()) {
+        std::cout << "Chrome traces (load in Perfetto / "
+                     "chrome://tracing): "
+                  << traceOutPathFor(rc.traceOutPath,
+                                     Mechanism::Original)
+                  << " ... "
+                  << traceOutPathFor(rc.traceOutPath,
+                                     Mechanism::InpgOcor)
+                  << "\n";
+    }
+
     std::cout << "CS entries per run: " << results[0].csCompleted
               << " (cs_scale=" << rc.csScale << ")\n";
     if (results[0].csCompleted <

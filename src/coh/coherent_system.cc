@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "inpg/big_router.hh"
+#include "telemetry/telemetry.hh"
 
 namespace inpg {
 
@@ -124,6 +125,20 @@ CoherentSystem::setOpLog(const L1Controller::OpLogFn &fn)
 {
     for (auto &l1 : l1s)
         l1->setOpLog(fn);
+}
+
+void
+CoherentSystem::setTelemetry(Telemetry *t)
+{
+    net->setTelemetry(t);
+    if (t && t->trace) {
+        for (const auto &d : dirs) {
+            t->trace->nameTrack(
+                TrackGroup::Directories,
+                static_cast<std::uint32_t>(d->nodeId()),
+                format("dir %d", d->nodeId()));
+        }
+    }
 }
 
 } // namespace inpg

@@ -43,6 +43,10 @@ class CoherentSystem
     const CohConfig &cohConfig() const { return cohCfg; }
 
     int numCores() const { return static_cast<int>(l1s.size()); }
+    int numMemoryControllers() const
+    {
+        return static_cast<int>(mcs.size());
+    }
 
     /** Directory of the home node for an address. */
     Directory &homeOf(Addr addr);
@@ -55,6 +59,13 @@ class CoherentSystem
 
     /** Attach one op-log sink to every L1. */
     void setOpLog(const L1Controller::OpLogFn &fn);
+
+    /**
+     * Forward the telemetry facade into the NoC (packet tracking) and
+     * name the coherence-side trace tracks. The L1s and directories
+     * read it lazily through the simulator.
+     */
+    void setTelemetry(Telemetry *t);
 
   private:
     CohConfig cohCfg;

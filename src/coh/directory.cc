@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/trace.hh"
+#include "telemetry/telemetry.hh"
 
 namespace inpg {
 
@@ -60,6 +61,11 @@ Directory::receiveMessage(const CohMsgPtr &msg, Cycle now)
     (void)now;
     queue.push_back(msg);
     ++stats.counter("msgs_received");
+    if (msg->kind == CohMsgKind::GetS || msg->kind == CohMsgKind::GetX) {
+        Telemetry *t = sim.telemetry();
+        if (t && t->lco)
+            t->lco->dirArrived(msg->requester, now);
+    }
     wakeSelf();
 }
 
@@ -83,6 +89,13 @@ Directory::tick(Cycle now)
     const Cycle cost = msg->kind == CohMsgKind::InvAck ? cfg.dirAckLatency
                                                        : cfg.l2Latency;
     busyUntil = now + cost;
+
+    if (Telemetry *t = sim.telemetry(); t && t->trace) {
+        t->trace->duration(TrackGroup::Directories,
+                           static_cast<std::uint32_t>(node),
+                           cohMsgKindName(msg->kind), now, cost,
+                           static_cast<std::uint64_t>(msg->requester));
+    }
 
     DirEntry &e = entryFor(cfg.lineBase(msg->addr));
     if (e.cold &&
@@ -111,6 +124,13 @@ Directory::process(const CohMsgPtr &msg, Cycle now)
     INPG_TRACE_LINE("dir", now, "DIR %d PROC %s", node,
                     msg->toString().c_str());
     DirEntry &e = entryFor(cfg.lineBase(msg->addr));
+    if (msg->kind == CohMsgKind::GetS || msg->kind == CohMsgKind::GetX) {
+        // Fires when the bank finishes serving the request, so the
+        // closed span covers queue wait + occupancy (+ DRAM).
+        Telemetry *t = sim.telemetry();
+        if (t && t->lco)
+            t->lco->dirServed(msg->requester, now);
+    }
     switch (msg->kind) {
       case CohMsgKind::GetS:
         processGetS(msg, e, now);
@@ -176,8 +196,14 @@ void
 Directory::processGetX(const CohMsgPtr &msg, DirEntry &e, Cycle now)
 {
     ++stats.counter("getx");
-    if (msg->earlyInvalidated)
+    if (msg->earlyInvalidated) {
         ++stats.counter("getx_early_invalidated");
+        // The big router pre-invalidated on this request's behalf:
+        // mark the requester's acquire as big-router-served.
+        Telemetry *t = sim.telemetry();
+        if (t && t->lco)
+            t->lco->earlyInvSeen(msg->requester);
+    }
     const CoreId req = msg->requester;
 
     // Demotable lock acquires are answered with a shared copy while the

@@ -4,8 +4,21 @@
 
 #include "common/logging.hh"
 #include "common/trace.hh"
+#include "telemetry/telemetry.hh"
 
 namespace inpg {
+
+namespace {
+
+/** LCO tracker when telemetry is enabled with lco, else nullptr. */
+inline LcoTracker *
+lcoOf(Simulator &sim)
+{
+    Telemetry *t = sim.telemetry();
+    return t ? t->lco : nullptr;
+}
+
+} // namespace
 
 const char *
 l1StateName(L1State s)
@@ -120,6 +133,8 @@ L1Controller::startOperation(Pending &&op)
                 core);
     op.issuedAt = sim.now();
     ++stats.counter("ops_issued");
+    if (LcoTracker *lco = lcoOf(sim))
+        lco->opIssued(core, op.issuedAt);
     pending.emplace(std::move(op));
     // The L1 array access takes l1Latency cycles; hit/miss is decided
     // when it completes (the line may change state in between).
@@ -200,6 +215,8 @@ L1Controller::beginMiss(Pending &&op)
     const NodeId home = cfg.homeOf(op.addr);
     const int prio = nextPriority;
     nextPriority = 0;
+    if (LcoTracker *lco = lcoOf(sim))
+        lco->requestSent(core, now);
     pending.emplace(std::move(op));
     send(msg, home, now, prio);
 }
@@ -211,6 +228,8 @@ L1Controller::executePendingOp(Cycle now)
                 "executing op without data on core %d", core);
     Pending op = std::move(*pending);
     pending.reset();
+    if (LcoTracker *lco = lcoOf(sim))
+        lco->opCompleted(core, now);
 
     Line &l = line(op.addr);
 
@@ -501,6 +520,11 @@ L1Controller::handleInv(const CohMsgPtr &msg, Cycle now)
     if (pending && pending->addr == msg->addr)
         pending->invWhileFilling = true;
 
+    if (msg->fromBigRouter) {
+        if (LcoTracker *lco = lcoOf(sim))
+            lco->earlyInvSeen(msg->requester);
+    }
+
     auto ack = std::make_shared<CoherenceMsg>();
     ack->kind = CohMsgKind::InvAck;
     ack->addr = msg->addr;
@@ -565,6 +589,8 @@ L1Controller::handleData(const CohMsgPtr &msg, Cycle now)
                     (!pending->exclusive || msg->demoted),
                 "core %d got unexpected %s", core,
                 msg->toString().c_str());
+    if (LcoTracker *lco = lcoOf(sim))
+        lco->responseArrived(core, now);
     Line &l = line(msg->addr);
     pending->hasData = true;
     pending->data = msg->value;
@@ -584,6 +610,8 @@ L1Controller::handleDataExcl(const CohMsgPtr &msg, Cycle now)
     INPG_ASSERT(pending && pending->addr == msg->addr,
                 "core %d got unexpected %s", core,
                 msg->toString().c_str());
+    if (LcoTracker *lco = lcoOf(sim))
+        lco->responseArrived(core, now);
     if (!pending->exclusive) {
         // GetS answered exclusively: no other copy exists.
         INPG_ASSERT(msg->ackCount == 0, "DataExcl for a read with acks");
@@ -617,6 +645,8 @@ L1Controller::handleAckCount(const CohMsgPtr &msg, Cycle now)
                 msg->toString().c_str());
     INPG_ASSERT(!pending->hasAckInfo, "core %d got duplicate ack info",
                 core);
+    if (LcoTracker *lco = lcoOf(sim))
+        lco->responseArrived(core, now);
     pending->hasAckInfo = true;
     pending->ackCount = msg->ackCount;
     if (msg->ownerUpgrade) {
@@ -647,6 +677,8 @@ L1Controller::handleInvAck(const CohMsgPtr &msg, Cycle now)
         cohStats->recordInvAckRtt(msg->requester,
                                   now - msg->invGeneratedAt,
                                   msg->fromBigRouter);
+    if (LcoTracker *lco = lcoOf(sim))
+        lco->invAckArrived(core, now, msg->fromBigRouter);
     maybeCompleteExclusive(now);
 }
 

@@ -46,7 +46,13 @@ Config::loadArgs(int argc, const char *const *argv)
         auto eq = token.find('=');
         if (eq == std::string::npos)
             continue;
-        set(trim(token.substr(0, eq)), trim(token.substr(eq + 1)));
+        // Accept GNU-style spellings: "--trace-out=f" == "trace_out=f".
+        std::string key = trim(token.substr(0, eq));
+        key.erase(0, key.find_first_not_of('-'));
+        for (char &c : key)
+            if (c == '-')
+                c = '_';
+        set(key, trim(token.substr(eq + 1)));
     }
 }
 

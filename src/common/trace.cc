@@ -1,7 +1,9 @@
 #include "common/trace.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <set>
 
 #include "common/logging.hh"
@@ -11,9 +13,20 @@ namespace inpg {
 
 namespace {
 
+/**
+ * Process-wide state. The sweep runner traces from several worker
+ * threads at once, so emission and all mutation are serialized by
+ * `mtx`; the hot enabled() check stays lock-free via the mirrored
+ * atomics (a disabled channel costs three relaxed loads and never
+ * takes the lock). Sinks run under the lock -- that is what keeps
+ * concurrent lines from tearing -- so a sink must not call back into
+ * Trace.
+ */
 struct TraceState {
-    bool envChecked = false;
-    bool allEnabled = false;
+    std::atomic<bool> envChecked{false};
+    std::atomic<bool> allEnabled{false};
+    std::atomic<std::size_t> channelCount{0};
+    std::mutex mtx; ///< guards channels, sink, and emission
     std::set<std::string> channels;
     Trace::Sink sink;
 };
@@ -28,7 +41,7 @@ state()
 void
 lazyInit()
 {
-    if (!state().envChecked)
+    if (!state().envChecked.load(std::memory_order_acquire))
         Trace::initFromEnvironment();
 }
 
@@ -38,59 +51,75 @@ void
 Trace::initFromEnvironment()
 {
     TraceState &s = state();
-    s.envChecked = true;
+    std::lock_guard<std::mutex> lock(s.mtx);
     const char *env = std::getenv("INPG_TRACE");
-    if (!env)
-        return;
-    std::string spec = trim(env);
-    if (spec.empty())
-        return;
-    // Backwards compatible: INPG_TRACE=1 means everything.
-    if (spec == "1" || toLower(spec) == "all") {
-        s.allEnabled = true;
-        return;
+    if (env) {
+        std::string spec = trim(env);
+        // Backwards compatible: INPG_TRACE=1 means everything.
+        if (spec == "1" || toLower(spec) == "all") {
+            s.allEnabled.store(true, std::memory_order_relaxed);
+        } else {
+            for (const auto &ch : split(spec, ','))
+                if (!trim(ch).empty())
+                    s.channels.insert(toLower(trim(ch)));
+            s.channelCount.store(s.channels.size(),
+                                 std::memory_order_relaxed);
+        }
     }
-    for (const auto &ch : split(spec, ','))
-        if (!trim(ch).empty())
-            s.channels.insert(toLower(trim(ch)));
+    s.envChecked.store(true, std::memory_order_release);
 }
 
 void
 Trace::enable(const std::string &channel)
 {
     lazyInit();
-    if (toLower(channel) == "all")
-        state().allEnabled = true;
-    else
-        state().channels.insert(toLower(channel));
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    if (toLower(channel) == "all") {
+        s.allEnabled.store(true, std::memory_order_relaxed);
+    } else {
+        s.channels.insert(toLower(channel));
+        s.channelCount.store(s.channels.size(),
+                             std::memory_order_relaxed);
+    }
 }
 
 void
 Trace::disable(const std::string &channel)
 {
     lazyInit();
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
     if (toLower(channel) == "all") {
-        state().allEnabled = false;
-        state().channels.clear();
+        s.allEnabled.store(false, std::memory_order_relaxed);
+        s.channels.clear();
     } else {
-        state().channels.erase(toLower(channel));
+        s.channels.erase(toLower(channel));
     }
+    s.channelCount.store(s.channels.size(), std::memory_order_relaxed);
 }
 
 bool
 Trace::enabled(const std::string &channel)
 {
     lazyInit();
-    const TraceState &s = state();
-    return s.allEnabled || s.channels.count(toLower(channel)) > 0;
+    TraceState &s = state();
+    if (s.allEnabled.load(std::memory_order_relaxed))
+        return true;
+    if (s.channelCount.load(std::memory_order_relaxed) == 0)
+        return false;
+    std::lock_guard<std::mutex> lock(s.mtx);
+    return s.channels.count(toLower(channel)) > 0;
 }
 
 Trace::Sink
 Trace::setSink(Sink sink)
 {
     lazyInit();
-    Sink previous = state().sink;
-    state().sink = std::move(sink);
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    Sink previous = std::move(s.sink);
+    s.sink = std::move(sink);
     return previous;
 }
 
@@ -98,11 +127,15 @@ void
 Trace::emit(const std::string &channel, Cycle now,
             const std::string &message)
 {
+    // Format outside the lock; deliver under it so concurrent workers
+    // never interleave within one line (or within one sink call).
     std::string line = format("[%llu] %s: %s",
                               static_cast<unsigned long long>(now),
                               channel.c_str(), message.c_str());
-    if (state().sink)
-        state().sink(line);
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    if (s.sink)
+        s.sink(line);
     else
         std::fprintf(stderr, "%s\n", line.c_str());
 }

@@ -12,6 +12,11 @@
  * Emission goes to stderr by default; tests can capture it by
  * installing a sink. The INPG_TRACE_LINE macro stays cheap when the
  * channel is disabled (single branch, no formatting).
+ *
+ * Thread safety: emission and all mutation are serialized process-wide
+ * (the parallel sweep runner traces from several workers at once), so
+ * lines never tear or interleave mid-line. Sinks are invoked under the
+ * internal lock and must not call back into Trace.
  */
 
 #ifndef INPG_COMMON_TRACE_HH

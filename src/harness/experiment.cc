@@ -4,13 +4,72 @@
 
 #include "common/logging.hh"
 #include "harness/sweep_runner.hh"
+#include "telemetry/trace_event.hh"
+#include "workload/phase_recorder.hh"
 
 namespace inpg {
+
+namespace {
+
+/**
+ * Emit each worker's phase timeline as one Chrome-trace track: a
+ * duration slice per Parallel/Coh/Sleep/Cse interval. Done at export
+ * time from the PhaseRecorder history, so the hot path records
+ * nothing extra.
+ */
+void
+exportThreadTimelines(const Workload &workload, Cycle end,
+                      TraceEventSink &sink)
+{
+    for (const auto &tc : workload.threads()) {
+        const auto tid =
+            static_cast<std::uint32_t>(tc->threadId());
+        sink.nameTrack(TrackGroup::Threads, tid,
+                       format("thread %d", tc->threadId()));
+        const auto &events = tc->recorder().timeline();
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            if (events[i].phase == ThreadPhase::Done) {
+                sink.instant(TrackGroup::Threads, tid, "done",
+                             events[i].at);
+                continue;
+            }
+            const Cycle stop = i + 1 < events.size()
+                                   ? events[i + 1].at
+                                   : end;
+            if (stop > events[i].at) {
+                sink.duration(TrackGroup::Threads, tid,
+                              threadPhaseName(events[i].phase),
+                              events[i].at, stop - events[i].at);
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::string
+traceOutPathFor(const std::string &base, Mechanism m)
+{
+    std::string tag = mechanismName(m);
+    for (char &c : tag)
+        if (c == '+')
+            c = '_';
+    const auto dot = base.rfind('.');
+    const auto slash = base.find_last_of("/\\");
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return base + "." + tag;
+    return base.substr(0, dot) + "." + tag + base.substr(dot);
+}
 
 RunResult
 runBenchmark(const RunConfig &run_cfg)
 {
     SystemConfig sys_cfg = run_cfg.system;
+    if (!run_cfg.traceOutPath.empty()) {
+        sys_cfg.telemetry.traceEvents = true;
+        sys_cfg.telemetry.packets = true;
+    }
     sys_cfg.finalize();
     System system(sys_cfg);
 
@@ -57,6 +116,16 @@ runBenchmark(const RunConfig &run_cfg)
         r.sleeps += lock->stats.value("sleeps");
         r.wakeups += lock->stats.value("wakeups");
     }
+
+    Telemetry *telem = system.telemetry();
+    if (telem && telem->lco)
+        r.lco = telem->lco->summary();
+    if (telem && telem->trace && !run_cfg.traceOutPath.empty()) {
+        exportThreadTimelines(workload, system.sim().now(),
+                              *telem->trace);
+        telem->trace->writeJsonFile(run_cfg.traceOutPath);
+    }
+    r.stats = system.statsSnapshot();
     return r;
 }
 
@@ -64,12 +133,17 @@ std::vector<RunResult>
 runAllMechanisms(RunConfig cfg)
 {
     // The four mechanism runs are independent; fan them across the
-    // sweep pool (results come back in ALL_MECHANISMS order).
+    // sweep pool (results come back in ALL_MECHANISMS order). A shared
+    // trace path would be written by four workers at once, so each run
+    // gets "<stem>.<mechanism><ext>" instead.
     std::vector<RunConfig> configs;
     configs.reserve(std::size(ALL_MECHANISMS));
     for (Mechanism m : ALL_MECHANISMS) {
         cfg.system.mechanism = m;
         configs.push_back(cfg);
+        if (!cfg.traceOutPath.empty())
+            configs.back().traceOutPath =
+                traceOutPathFor(cfg.traceOutPath, m);
     }
     return runSweep(configs);
 }

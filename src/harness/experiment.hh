@@ -11,6 +11,8 @@
 
 #include "common/histogram.hh"
 #include "harness/system.hh"
+#include "telemetry/json.hh"
+#include "telemetry/lco_attribution.hh"
 #include "workload/benchmark_profile.hh"
 #include "workload/workload.hh"
 
@@ -60,6 +62,20 @@ struct RunResult {
     std::uint64_t sleeps = 0;
     std::uint64_t wakeups = 0;
 
+    /**
+     * Machine-readable stats snapshot (System::statsSnapshot()): every
+     * component StatGroup, derived scalars, kernel histograms, and --
+     * when LCO attribution is on -- the "lco" section. Always
+     * populated; consumers no longer parse the text dump.
+     */
+    JsonValue stats;
+
+    /**
+     * Per-lock-acquire LCO attribution roll-up; all-zero unless
+     * `telemetry=lco` (or more) was enabled on the run.
+     */
+    LcoSummary lco;
+
     /** Fraction of (thread x ROI) time spent in a phase. */
     double
     phaseFraction(Cycle phase_cycles, int threads) const
@@ -80,6 +96,12 @@ struct RunConfig {
     NodeId lockHome = INVALID_NODE;
     /** Simulation watchdog. */
     Cycle maxCycles = 200000000;
+    /**
+     * When non-empty, write a Chrome-trace (Perfetto-loadable) JSON of
+     * the run here; trace-event + packet telemetry are force-enabled
+     * for the run (they never change simulated results).
+     */
+    std::string traceOutPath;
 };
 
 /**
@@ -90,9 +112,15 @@ RunResult runBenchmark(const RunConfig &cfg);
 
 /**
  * Run the same profile under all four mechanisms (paper's comparative
- * setup); results indexed by ALL_MECHANISMS order.
+ * setup); results indexed by ALL_MECHANISMS order. When
+ * cfg.traceOutPath is set, each mechanism's trace goes to
+ * traceOutPathFor(path, mechanism) -- the runs execute concurrently
+ * and must not share one file.
  */
 std::vector<RunResult> runAllMechanisms(RunConfig cfg);
+
+/** "<stem>.<mechanism><ext>" trace file name ('+' becomes '_'). */
+std::string traceOutPathFor(const std::string &base, Mechanism m);
 
 } // namespace inpg
 

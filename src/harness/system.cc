@@ -8,11 +8,21 @@ namespace inpg {
 System::System(SystemConfig config) : cfg(std::move(config))
 {
     cfg.finalize();
+    // The queue mode must flip before any component can schedule.
+    if (cfg.impl == ImplMode::Reference)
+        kernel.events().setReferenceMode(true);
+    if (cfg.telemetry.any()) {
+        telem = std::make_unique<Telemetry>(cfg.telemetry,
+                                            cfg.numCores());
+        kernel.setTelemetry(telem.get());
+    }
     RouterFactory factory = nullptr;
     if (usesInpg(cfg.mechanism) && cfg.inpg.numBigRouters > 0)
         factory = makeInpgRouterFactory(cfg.inpg, cfg.coh);
     memSys = std::make_unique<CoherentSystem>(cfg.noc, cfg.coh, kernel,
                                               std::move(factory));
+    if (telem)
+        memSys->setTelemetry(telem.get());
     lockMgr = std::make_unique<LockManager>(*memSys, kernel, cfg.sync);
 }
 
@@ -50,6 +60,65 @@ System::totalEarlyInvs() const
             total += br->generator().stats.value("early_invs_generated");
     }
     return total;
+}
+
+StatsRegistry
+System::buildStatsRegistry() const
+{
+    StatsRegistry reg;
+    for (const auto &lock : lockMgr->locks())
+        reg.addGroup(format("lock.%s", lock->name().c_str()),
+                     &lock->stats);
+    Network &net = memSys->network();
+    for (NodeId n = 0; n < net.numNodes(); ++n) {
+        reg.addGroup(format("l1.%d", n), &memSys->l1(n).stats);
+        reg.addGroup(format("dir.%d", n), &memSys->directory(n).stats);
+        reg.addGroup(format("router.%d", n), &net.router(n).stats);
+        reg.addGroup(format("ni.%d", n), &net.ni(n).stats);
+        if (auto *br = dynamic_cast<BigRouter *>(&net.router(n))) {
+            reg.addGroup(format("inpg.gen.%d", n),
+                         &br->generator().stats);
+            reg.addGroup(format("inpg.table.%d", n),
+                         &br->generator().barrierTable().stats);
+        }
+    }
+    for (int i = 0; i < memSys->numMemoryControllers(); ++i)
+        reg.addGroup(format("mc.%d", i),
+                     &memSys->memoryController(i).stats);
+    if (telem && telem->packets)
+        reg.addGroup("noc.packets", &telem->packets->statGroup());
+    if (telem && telem->kernel) {
+        reg.addHistogram("kernel.events_per_cycle",
+                         &telem->kernel->eventsPerCycleHist());
+        reg.addHistogram("kernel.wheel_occupancy",
+                         &telem->kernel->wheelOccupancyHist());
+        reg.addHistogram("kernel.ff_skip",
+                         &telem->kernel->ffSkipHist());
+    }
+    const Simulator *k = &kernel;
+    reg.addScalar("sim.cycles",
+                  [k] { return static_cast<double>(k->now()); });
+    reg.addScalar("sim.events_executed", [k] {
+        return static_cast<double>(k->events().executedTotal());
+    });
+    return reg;
+}
+
+JsonValue
+System::statsSnapshot() const
+{
+    JsonValue doc = buildStatsRegistry().snapshot();
+    if (telem && telem->lco)
+        doc["lco"] = telem->lco->summary().toJson();
+    if (telem && telem->trace) {
+        JsonValue tr = JsonValue::object();
+        tr["events"] =
+            static_cast<std::uint64_t>(telem->trace->eventCount());
+        tr["dropped"] =
+            static_cast<std::uint64_t>(telem->trace->droppedCount());
+        doc["trace"] = tr;
+    }
+    return doc;
 }
 
 } // namespace inpg

@@ -1,11 +1,24 @@
 #include "harness/system_config.hh"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
 
 namespace inpg {
+
+ImplMode
+parseImplMode(const std::string &name)
+{
+    std::string n = toLower(trim(name));
+    if (n == "fast" || n == "optimized")
+        return ImplMode::Fast;
+    if (n == "reference" || n == "ref")
+        return ImplMode::Reference;
+    fatal("unknown implementation mode '%s' (fast|reference)",
+          name.c_str());
+}
 
 Mechanism
 parseMechanism(const std::string &name)
@@ -52,6 +65,27 @@ SystemConfig::finalize()
     // deployment on usesInpg(mechanism) instead.
     if (inpg.numBigRouters > noc.numNodes())
         inpg.numBigRouters = noc.numNodes();
+
+    // One switch for every host-side data-structure flavor. The
+    // environment wins over programmatic configuration; an explicit
+    // env value forces all per-structure toggles so a whole sweep can
+    // be flipped without touching code. Without the env, Fast (the
+    // default) leaves hand-set toggles alone -- the determinism A/B
+    // tests drive the individual flags directly -- while Reference
+    // forces every structure onto the reference path.
+    if (const char *env = std::getenv("INPG_IMPL")) {
+        impl = parseImplMode(env);
+        const bool fast = impl == ImplMode::Fast;
+        noc.precomputeRoutes = fast;
+        noc.fastAllocScan = fast;
+        coh.flatContainers = fast;
+    } else if (impl == ImplMode::Reference) {
+        noc.precomputeRoutes = false;
+        noc.fastAllocScan = false;
+        coh.flatContainers = false;
+    }
+    if (const char *env = std::getenv("INPG_TELEMETRY"))
+        telemetry.applySpec(env);
 }
 
 void
@@ -104,6 +138,15 @@ SystemConfig::applyOverrides(const Config &cfg)
         mechanism = parseMechanism(cfg.getString("mechanism"));
     if (cfg.has("lock"))
         lockKind = parseLockKind(cfg.getString("lock"));
+    if (cfg.has("impl")) {
+        impl = parseImplMode(cfg.getString("impl"));
+        const bool fast = impl == ImplMode::Fast;
+        noc.precomputeRoutes = fast;
+        noc.fastAllocScan = fast;
+        coh.flatContainers = fast;
+    }
+    if (cfg.has("telemetry"))
+        telemetry.applySpec(cfg.getString("telemetry"));
     finalize();
 }
 

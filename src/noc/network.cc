@@ -1,6 +1,7 @@
 #include "noc/network.hh"
 
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace inpg {
 
@@ -128,6 +129,31 @@ Network::niCounterTotal(const std::string &key) const
     for (const auto &ni_ptr : nis)
         total += ni_ptr->stats.value(key);
     return total;
+}
+
+void
+Network::setTelemetry(Telemetry *t)
+{
+    PacketLifetimeTracker *tracker = t ? t->packets : nullptr;
+    for (auto &r : routers)
+        r->setPacketTracker(tracker);
+    for (auto &ni_ptr : nis)
+        ni_ptr->setPacketTracker(tracker);
+    if (t && t->trace) {
+        for (const auto &r : routers) {
+            t->trace->nameTrack(
+                TrackGroup::Routers,
+                static_cast<std::uint32_t>(r->nodeId()),
+                format("%srouter %d", r->isBigRouter() ? "big " : "",
+                       r->nodeId()));
+        }
+        for (const auto &ni_ptr : nis) {
+            t->trace->nameTrack(
+                TrackGroup::NetworkInterfaces,
+                static_cast<std::uint32_t>(ni_ptr->nodeId()),
+                format("ni %d", ni_ptr->nodeId()));
+        }
+    }
 }
 
 double

@@ -75,6 +75,13 @@ class Network
     /** Mean end-to-end packet latency observed at the NIs. */
     double meanPacketLatency() const;
 
+    /**
+     * Attach (or detach with nullptr) the telemetry facade: forwards
+     * the packet-lifetime tracker to every router and NI and names
+     * their trace tracks.
+     */
+    void setTelemetry(Telemetry *t);
+
   private:
     NocConfig cfg;
     MeshShape meshShape;

@@ -1,6 +1,7 @@
 #include "noc/network_interface.hh"
 
 #include "common/logging.hh"
+#include "telemetry/packet_lifetime.hh"
 
 namespace inpg {
 
@@ -40,6 +41,8 @@ NetworkInterface::sendPacket(const PacketPtr &pkt, Cycle now)
     pkt->injectCycle = now;
     injectQueues[static_cast<std::size_t>(pkt->vnet)].push_back(pkt);
     ++*packetsQueuedCtr;
+    if (pktTel)
+        pktTel->onPacketQueued(*pkt, now);
     wakeSelf();
 }
 
@@ -113,6 +116,8 @@ NetworkInterface::ejectFlits(Cycle now)
             ++*packetsDeliveredCtr;
             packetLatencySample->add(
                 static_cast<double>(now - pkt->injectCycle));
+            if (pktTel)
+                pktTel->onPacketEjected(*pkt, now);
             if (deliver)
                 deliver(pkt, now);
         }
@@ -174,8 +179,11 @@ NetworkInterface::injectOneFlit(Cycle now)
 
         FlitPtr flit = makeFlit(pkt, type, fl.nextSeq);
         flit->vc = fl.vc;
-        if (fl.nextSeq == 0)
+        if (fl.nextSeq == 0) {
             pkt->networkEntryCycle = now;
+            if (pktTel)
+                pktTel->onNetworkEntry(pkt->id, now);
+        }
         routerPort.decrementCredit(fl.vc);
         txChannel->pushFlit(std::move(flit), now);
         ++*flitsSentCtr;

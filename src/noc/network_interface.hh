@@ -25,6 +25,8 @@
 
 namespace inpg {
 
+class PacketLifetimeTracker;
+
 /** Endpoint adapter between tile controllers and the router fabric. */
 class NetworkInterface : public Ticking
 {
@@ -59,6 +61,9 @@ class NetworkInterface : public Ticking
     /** True when no packet is queued, serializing, or reassembling. */
     bool idle() const;
 
+    /** Attach (or detach with nullptr) the packet-lifetime tracker. */
+    void setPacketTracker(PacketLifetimeTracker *t) { pktTel = t; }
+
     StatGroup stats;
 
   private:
@@ -92,6 +97,9 @@ class NetworkInterface : public Ticking
     std::vector<std::vector<FlitPtr>> reassembly;
 
     std::size_t inflightPointer = 0;
+
+    /** Packet-lifetime telemetry; null when telemetry is off. */
+    PacketLifetimeTracker *pktTel = nullptr;
 
     /** Cached hot stat handles (string lookup once at construction). */
     std::uint64_t *packetsQueuedCtr = nullptr;

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "telemetry/packet_lifetime.hh"
 
 namespace inpg {
 
@@ -167,8 +168,11 @@ Router::drainFlits(Cycle now)
             continue;
         while (ch->flits.ready(now)) {
             FlitPtr flit = ch->flits.pop(now);
-            if (isHeadFlit(flit->type))
+            if (isHeadFlit(flit->type)) {
                 onHeadFlitArrived(flit, p, now);
+                if (pktTel)
+                    pktTel->onRouterArrive(id, flit->packet->id, now);
+            }
             inputs[static_cast<std::size_t>(p)]->receiveFlit(flit, now);
             ++*flitsReceivedCtr;
         }
@@ -203,6 +207,12 @@ Router::drainGeneratorQueue(Cycle now)
             FlitPtr flit = makeFlit(pkt, FlitType::HeadTail, 0);
             flit->vc = vc;
             pkt->networkEntryCycle = now;
+            if (pktTel) {
+                // Generator packets bypass the source NI; open their
+                // lifetime record here so hop stamps have a home.
+                pktTel->onPacketQueued(*pkt, now);
+                pktTel->onRouterArrive(id, pkt->id, now);
+            }
             iu.receiveFlit(flit, now);
             ++stats.counter("gen_packets_injected");
             genQueue.pop_front();
@@ -240,6 +250,8 @@ Router::tryAllocateVc(InputUnit &iu, VcId v, Cycle now)
     ch.state = VirtualChannel::State::Active;
     iu.refreshMask(v);
     ++*vaGrantsCtr;
+    if (pktTel)
+        pktTel->onVaGrant(id, ch.buffer.front()->packet->id, now);
 }
 
 void
@@ -295,6 +307,8 @@ Router::switchTraverse(int inport, VcId v, int outport, Cycle now)
         onHeadFlitGranted(flit, inport, static_cast<Direction>(outport),
                           now);
         ++*packetsRoutedCtr;
+        if (pktTel)
+            pktTel->onRouterDepart(id, flit->packet->id, now);
     }
 
     // Return a buffer credit upstream (none for the generator port).

@@ -36,6 +36,8 @@
 
 namespace inpg {
 
+class PacketLifetimeTracker;
+
 /** Baseline ("normal") NoC router. */
 class Router : public Ticking
 {
@@ -73,6 +75,9 @@ class Router : public Ticking
 
     /** Sum of flits buffered across all input units (invariant checks). */
     std::size_t bufferedFlits() const;
+
+    /** Attach (or detach with nullptr) the packet-lifetime tracker. */
+    void setPacketTracker(PacketLifetimeTracker *t) { pktTel = t; }
 
   protected:
     /**
@@ -202,6 +207,9 @@ class Router : public Ticking
      *  OCOR reorders competing requests without starving responses). */
     std::vector<std::size_t> saInportVnetPtr;
     std::array<std::size_t, NUM_PORTS> saOutportVnetPtr{};
+
+    /** Packet-lifetime telemetry; null when telemetry is off. */
+    PacketLifetimeTracker *pktTel = nullptr;
 
     /** Cached hot counters (string lookup once at construction). */
     std::uint64_t *flitsReceivedCtr = nullptr;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace inpg {
 
@@ -63,13 +64,27 @@ Simulator::suspendComponent(std::size_t slot)
 }
 
 void
+Simulator::setTelemetry(Telemetry *t)
+{
+    tel = t;
+    kernelProf = t ? t->kernel : nullptr;
+}
+
+void
 Simulator::step()
 {
     if (profile) {
         stepProfiled();
         return;
     }
-    eventQueue.runDue(currentCycle);
+    if (kernelProf) {
+        const std::uint64_t before = eventQueue.executedTotal();
+        eventQueue.runDue(currentCycle);
+        kernelProf->onCycle(eventQueue.executedTotal() - before,
+                            eventQueue.size());
+    } else {
+        eventQueue.runDue(currentCycle);
+    }
     // Index loop: a tick may wake components in either direction. A
     // freshly woken component's tick is a no-op this cycle (its new
     // input is latched for a later cycle), so ticking it now or next
@@ -124,6 +139,8 @@ Simulator::run(Cycle n)
         if (ffEnabled && activeCount == 0) {
             const Cycle target = std::min(limit, idleHorizon());
             if (target > currentCycle) {
+                if (kernelProf)
+                    kernelProf->onFastForward(target - currentCycle);
                 ffCycles += target - currentCycle;
                 ++ffJumps;
                 currentCycle = target;
@@ -145,6 +162,8 @@ Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles,
         if (ffEnabled && activeCount == 0) {
             const Cycle target = std::min(limit, idleHorizon());
             if (target > currentCycle) {
+                if (kernelProf)
+                    kernelProf->onFastForward(target - currentCycle);
                 if (mode == PredicateMode::StateChange) {
                     // Nothing can flip the predicate before `target`.
                     ffCycles += target - currentCycle;

@@ -30,6 +30,9 @@
 
 namespace inpg {
 
+class Telemetry;
+class KernelProfile;
+
 /** Cycle-driven kernel with an auxiliary event queue. */
 class Simulator : public ActivityScheduler
 {
@@ -47,6 +50,7 @@ class Simulator : public ActivityScheduler
 
     /** Event queue for timed callbacks. */
     EventQueue &events() { return eventQueue; }
+    const EventQueue &events() const { return eventQueue; }
 
     /** Schedule a callback `delay` cycles from now (delay >= 0). */
     void
@@ -122,6 +126,18 @@ class Simulator : public ActivityScheduler
     /** Attach (or detach with nullptr) a phase-profile accumulator. */
     void setHostProfile(HostPhaseProfile *p) { profile = p; }
 
+    /**
+     * Attach (or detach with nullptr) the telemetry facade.
+     * Components read it lazily through telemetry(), so installation
+     * order relative to component construction does not matter. The
+     * kernel itself feeds the profile (events-per-cycle, wheel
+     * occupancy, fast-forward skip histogram) when one is enabled.
+     */
+    void setTelemetry(Telemetry *t);
+
+    /** Installed telemetry facade, or nullptr when disabled. */
+    Telemetry *telemetry() const { return tel; }
+
     /** Components currently in the active set. */
     std::size_t activeComponents() const { return activeCount; }
 
@@ -165,6 +181,8 @@ class Simulator : public ActivityScheduler
     std::uint64_t ffJumps = 0;
 
     HostPhaseProfile *profile = nullptr;
+    Telemetry *tel = nullptr;
+    KernelProfile *kernelProf = nullptr;
 };
 
 } // namespace inpg

@@ -29,6 +29,7 @@ AbqlLock::acquire(ThreadId t, DoneFn done, ThreadHooks *hooks)
                 name().c_str());
     st.done = std::move(done);
     st.retries = 0;
+    markAcquireStart(t);
     l1(t).issueAtomic(
         tailAddr, AtomicOp::FetchAdd, 1, 0, true,
         [this, t](std::uint64_t old, bool) {

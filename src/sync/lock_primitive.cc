@@ -1,8 +1,20 @@
 #include "sync/lock_primitive.hh"
 
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace inpg {
+
+namespace {
+
+inline LcoTracker *
+lcoOf(Simulator &sim)
+{
+    Telemetry *t = sim.telemetry();
+    return t ? t->lco : nullptr;
+}
+
+} // namespace
 
 const char *
 lockKindName(LockKind kind)
@@ -44,8 +56,31 @@ LockPrimitive::applyOcorPriority(ThreadId t, int remaining_retries)
 }
 
 void
+LockPrimitive::markAcquireStart(ThreadId t)
+{
+    if (LcoTracker *lco = lcoOf(sim))
+        lco->acquireBegin(t, sim.now());
+}
+
+void
+LockPrimitive::markSleepBegin(ThreadId t)
+{
+    if (LcoTracker *lco = lcoOf(sim))
+        lco->sleepBegin(t, sim.now());
+}
+
+void
+LockPrimitive::markSleepEnd(ThreadId t)
+{
+    if (LcoTracker *lco = lcoOf(sim))
+        lco->sleepEnd(t, sim.now());
+}
+
+void
 LockPrimitive::markAcquired(ThreadId t)
 {
+    if (LcoTracker *lco = lcoOf(sim))
+        lco->acquireEnd(t, sim.now());
     ++numHolders;
     INPG_ASSERT(numHolders == 1,
                 "mutual exclusion violated on %s: thread %d acquired "

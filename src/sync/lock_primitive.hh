@@ -92,9 +92,20 @@ class LockPrimitive
      */
     void applyOcorPriority(ThreadId t, int remaining_retries);
 
+    /**
+     * Telemetry bracket: every primitive calls this at the top of its
+     * acquire() so the LCO tracker can attribute the whole window up
+     * to markAcquired(). No-op when telemetry is off.
+     */
+    void markAcquireStart(ThreadId t);
+
     /** Bracket the critical section for the holders() guard. */
     void markAcquired(ThreadId t);
     void markReleased(ThreadId t);
+
+    /** QSL sleep window, reported to the LCO tracker. */
+    void markSleepBegin(ThreadId t);
+    void markSleepEnd(ThreadId t);
 
     CoherentSystem &sys;
     Simulator &sim;

@@ -28,6 +28,7 @@ McsLock::acquire(ThreadId t, DoneFn done, ThreadHooks *hooks)
                 name().c_str());
     st.done = std::move(done);
     st.retries = 0;
+    markAcquireStart(t);
 
     // mynode.next = null; mynode.locked = 1; prev = swap(tail, my)
     l1(t).issueStore(nextAddrs[static_cast<std::size_t>(t)], 0, true,

@@ -54,6 +54,7 @@ QslLock::acquire(ThreadId t, DoneFn done, ThreadHooks *hooks)
     st.spinStart = sim.now();
     st.sleeping = false;
     st.wokenUp = false;
+    markAcquireStart(t);
     readPhase(t);
 }
 
@@ -151,6 +152,7 @@ QslLock::commitOrAbortSleep(ThreadId t)
         // Commit: pay the context switch; the thread now only runs
         // again via wake().
         ++stats.counter("sleeps");
+        markSleepBegin(t);
         if (st.hooks && st.hooks->onSleep)
             st.hooks->onSleep();
     });
@@ -168,6 +170,7 @@ QslLock::wake(ThreadId t)
     // Context-switch out (charged on the sleep side) + wakeup cost.
     sim.scheduleIn(cfg.contextSwitchCost + cfg.wakeupCost, [this, t] {
         PerThread &state = threadState[static_cast<std::size_t>(t)];
+        markSleepEnd(t);
         if (state.hooks && state.hooks->onWake)
             state.hooks->onWake();
         readPhase(t);

@@ -22,6 +22,7 @@ TasLock::acquire(ThreadId t, DoneFn done, ThreadHooks *hooks)
                 name().c_str());
     st.done = std::move(done);
     st.retries = 0;
+    markAcquireStart(t);
     readPhase(t);
 }
 

@@ -25,6 +25,7 @@ TicketLock::acquire(ThreadId t, DoneFn done, ThreadHooks *hooks)
                 name().c_str());
     st.done = std::move(done);
     st.retries = 0;
+    markAcquireStart(t);
     l1(t).issueAtomic(nextAddr, AtomicOp::FetchAdd, 1, 0, true,
                       [this, t](std::uint64_t old, bool) {
                           threadState[static_cast<std::size_t>(t)]

@@ -1,0 +1,183 @@
+#include "telemetry/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace inpg {
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind = Kind::Object;
+    return v;
+}
+
+JsonValue &
+JsonValue::operator[](const std::string &key)
+{
+    if (kind == Kind::Null)
+        kind = Kind::Object;
+    for (auto &kv : obj) {
+        if (kv.first == key)
+            return kv.second;
+    }
+    obj.emplace_back(key, JsonValue());
+    return obj.back().second;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    if (kind == Kind::Null)
+        kind = Kind::Array;
+    arr.push_back(std::move(v));
+}
+
+std::size_t
+JsonValue::size() const
+{
+    switch (kind) {
+      case Kind::Array:
+        return arr.size();
+      case Kind::Object:
+        return obj.size();
+      default:
+        return 0;
+    }
+}
+
+std::string
+JsonValue::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void
+newline(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) *
+                   static_cast<std::size_t>(depth),
+               ' ');
+}
+
+} // namespace
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    char buf[64];
+    switch (kind) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += boolVal ? "true" : "false";
+        break;
+      case Kind::Int:
+        std::snprintf(buf, sizeof(buf), "%lld", intVal);
+        out += buf;
+        break;
+      case Kind::Uint:
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(uintVal));
+        out += buf;
+        break;
+      case Kind::Double:
+        if (std::isfinite(doubleVal)) {
+            std::snprintf(buf, sizeof(buf), "%.17g", doubleVal);
+            out += buf;
+        } else {
+            // JSON has no inf/nan; null keeps the document loadable.
+            out += "null";
+        }
+        break;
+      case Kind::String:
+        out += '"';
+        out += escape(strVal);
+        out += '"';
+        break;
+      case Kind::Array:
+        out += '[';
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(out, indent, depth + 1);
+            arr[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!arr.empty())
+            newline(out, indent, depth);
+        out += ']';
+        break;
+      case Kind::Object:
+        out += '{';
+        for (std::size_t i = 0; i < obj.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(out, indent, depth + 1);
+            out += '"';
+            out += escape(obj[i].first);
+            out += "\":";
+            if (indent > 0)
+                out += ' ';
+            obj[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!obj.empty())
+            newline(out, indent, depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+} // namespace inpg

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal JSON document builder for telemetry exports (stats snapshots,
+ * Chrome-trace files). Build-only -- no parser: the simulator emits
+ * machine-readable results; it never consumes them.
+ *
+ * Object keys keep insertion order so snapshots diff cleanly across
+ * runs; numbers are emitted with enough precision to round-trip.
+ */
+
+#ifndef INPG_TELEMETRY_JSON_HH
+#define INPG_TELEMETRY_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace inpg {
+
+/** One JSON value (null / bool / number / string / array / object). */
+class JsonValue
+{
+  public:
+    enum class Kind {
+        Null,
+        Bool,
+        Int,
+        Uint,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() : kind(Kind::Null) {}
+    JsonValue(bool v) : kind(Kind::Bool), boolVal(v) {}
+    JsonValue(int v) : kind(Kind::Int), intVal(v) {}
+    JsonValue(long long v) : kind(Kind::Int), intVal(v) {}
+    JsonValue(std::uint64_t v) : kind(Kind::Uint), uintVal(v) {}
+    JsonValue(double v) : kind(Kind::Double), doubleVal(v) {}
+    JsonValue(const char *v) : kind(Kind::String), strVal(v) {}
+    JsonValue(std::string v) : kind(Kind::String), strVal(std::move(v)) {}
+
+    /** Empty array value. */
+    static JsonValue array();
+
+    /** Empty object value. */
+    static JsonValue object();
+
+    Kind type() const { return kind; }
+
+    /**
+     * Member access on an object (created on first use); converts a
+     * Null value into an object, so `doc["a"]["b"] = 1` just works.
+     */
+    JsonValue &operator[](const std::string &key);
+
+    /** Append to an array (converts a Null value into an array). */
+    void push(JsonValue v);
+
+    std::size_t size() const;
+
+    /** Serialize; indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+    /** JSON string escaping (exposed for streaming writers). */
+    static std::string escape(const std::string &s);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind;
+    bool boolVal = false;
+    long long intVal = 0;
+    std::uint64_t uintVal = 0;
+    double doubleVal = 0;
+    std::string strVal;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+};
+
+} // namespace inpg
+
+#endif // INPG_TELEMETRY_JSON_HH

@@ -1,0 +1,137 @@
+#include "telemetry/packet_lifetime.hh"
+
+#include "coh/coherence_msg.hh"
+#include "telemetry/trace_event.hh"
+
+namespace inpg {
+
+namespace {
+
+/** Slice label for a packet: coherence kind if the payload is one. */
+const char *
+packetLabel(const Packet &pkt)
+{
+    if (const auto *msg =
+            dynamic_cast<const CoherenceMsg *>(pkt.payload.get()))
+        return cohMsgKindName(msg->kind);
+    return "pkt";
+}
+
+} // namespace
+
+PacketLifetimeTracker::PacketLifetimeTracker(TraceEventSink *trace_sink)
+    : sink(trace_sink)
+{}
+
+PacketLifetimeTracker::Record *
+PacketLifetimeTracker::find(PacketId id)
+{
+    auto it = live.find(id);
+    return it == live.end() ? nullptr : &it->second;
+}
+
+void
+PacketLifetimeTracker::onPacketQueued(const Packet &pkt, Cycle now)
+{
+    ++stats.counter("packets_tracked");
+    Record rec;
+    rec.src = pkt.src;
+    rec.dst = pkt.dst;
+    rec.vnet = pkt.vnet;
+    rec.queued = now;
+    rec.entered = now;
+    live[pkt.id] = std::move(rec);
+}
+
+void
+PacketLifetimeTracker::onNetworkEntry(PacketId id, Cycle now)
+{
+    if (Record *rec = find(id))
+        rec->entered = now;
+}
+
+void
+PacketLifetimeTracker::onRouterArrive(NodeId router, PacketId id,
+                                      Cycle now)
+{
+    Record *rec = find(id);
+    if (!rec)
+        return;
+    rec->hops.push_back(Hop{router, now, now, now});
+}
+
+void
+PacketLifetimeTracker::onVaGrant(NodeId router, PacketId id, Cycle now)
+{
+    Record *rec = find(id);
+    if (!rec || rec->hops.empty())
+        return;
+    // Hops are pushed in traversal order; the grant belongs to the
+    // newest hop through this router.
+    for (auto it = rec->hops.rbegin(); it != rec->hops.rend(); ++it) {
+        if (it->router == router) {
+            it->vaGrant = now;
+            return;
+        }
+    }
+}
+
+void
+PacketLifetimeTracker::onRouterDepart(NodeId router, PacketId id,
+                                      Cycle now)
+{
+    Record *rec = find(id);
+    if (!rec)
+        return;
+    for (auto it = rec->hops.rbegin(); it != rec->hops.rend(); ++it) {
+        if (it->router == router) {
+            it->depart = now;
+            return;
+        }
+    }
+}
+
+void
+PacketLifetimeTracker::onPacketEjected(const Packet &pkt, Cycle now)
+{
+    auto it = live.find(pkt.id);
+    if (it == live.end())
+        return;
+    Record &rec = it->second;
+
+    ++stats.counter("packets_completed");
+    stats.sample("queue_wait")
+        .add(static_cast<double>(rec.entered - rec.queued));
+    stats.sample("net_latency")
+        .add(static_cast<double>(now - rec.entered));
+    stats.sample("total_latency")
+        .add(static_cast<double>(now - rec.queued));
+    stats.sample("hops").add(static_cast<double>(rec.hops.size()));
+
+    SampleStat &bufWait = stats.sample("hop_buffer_wait");
+    SampleStat &stWait = stats.sample("hop_switch_wait");
+    const char *label = sink ? packetLabel(pkt) : nullptr;
+    for (const Hop &h : rec.hops) {
+        bufWait.add(static_cast<double>(h.vaGrant - h.arrive));
+        stWait.add(static_cast<double>(h.depart - h.vaGrant));
+        if (sink && h.depart > h.arrive) {
+            sink->duration(TrackGroup::Routers,
+                           static_cast<std::uint32_t>(h.router), label,
+                           h.arrive, h.depart - h.arrive, pkt.id);
+        }
+    }
+    if (sink) {
+        if (rec.entered > rec.queued) {
+            sink->duration(TrackGroup::NetworkInterfaces,
+                           static_cast<std::uint32_t>(rec.src), label,
+                           rec.queued, rec.entered - rec.queued, pkt.id);
+        }
+        sink->instant(TrackGroup::NetworkInterfaces,
+                      static_cast<std::uint32_t>(rec.dst), label, now,
+                      pkt.id);
+    }
+
+    live.erase(it);
+}
+
+} // namespace inpg

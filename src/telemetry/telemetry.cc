@@ -1,0 +1,54 @@
+#include "telemetry/telemetry.hh"
+
+namespace inpg {
+
+void
+TelemetryConfig::applySpec(const std::string &spec)
+{
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string tok = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+
+        if (tok == "off" || tok == "none") {
+            lco = packets = traceEvents = kernel = false;
+        } else if (tok == "all") {
+            lco = packets = traceEvents = kernel = true;
+        } else if (tok == "lco") {
+            lco = true;
+        } else if (tok == "packets") {
+            packets = true;
+        } else if (tok == "trace") {
+            traceEvents = true;
+        } else if (tok == "kernel") {
+            kernel = true;
+        }
+        // Unknown tokens (and empty segments) are ignored.
+    }
+}
+
+Telemetry::Telemetry(const TelemetryConfig &config, int num_cores)
+    : cfg(config)
+{
+    if (cfg.traceEvents) {
+        traceOwned = std::make_unique<TraceEventSink>();
+        trace = traceOwned.get();
+    }
+    if (cfg.lco) {
+        lcoOwned = std::make_unique<LcoTracker>(num_cores);
+        lco = lcoOwned.get();
+    }
+    if (cfg.packets) {
+        packetsOwned = std::make_unique<PacketLifetimeTracker>(trace);
+        packets = packetsOwned.get();
+    }
+    if (cfg.kernel) {
+        kernelOwned = std::make_unique<KernelProfile>();
+        kernel = kernelOwned.get();
+    }
+}
+
+} // namespace inpg

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Telemetry facade: configuration plus ownership of the optional
+ * instrumentation trackers (packet lifetimes, LCO attribution,
+ * Chrome-trace sink, kernel profile).
+ *
+ * Zero-cost-when-off contract: instrumented components hold a
+ * `Telemetry *` that is null when telemetry is disabled, and each
+ * feature pointer (`lco`, `packets`, `trace`, `kernel`) is null when
+ * that feature is off -- so the entire subsystem costs one
+ * predictable branch per hook site on the hot path and nothing else.
+ * The determinism tests pin down that enabling it never changes
+ * simulated results.
+ */
+
+#ifndef INPG_TELEMETRY_TELEMETRY_HH
+#define INPG_TELEMETRY_TELEMETRY_HH
+
+#include <memory>
+#include <string>
+
+#include "common/histogram.hh"
+#include "common/types.hh"
+#include "telemetry/lco_attribution.hh"
+#include "telemetry/packet_lifetime.hh"
+#include "telemetry/stats_registry.hh"
+#include "telemetry/trace_event.hh"
+
+namespace inpg {
+
+/** Which trackers to build; all default off. */
+struct TelemetryConfig {
+    bool lco = false;         ///< per-acquire LCO attribution
+    bool packets = false;     ///< hop-granular packet lifetimes
+    bool traceEvents = false; ///< Chrome-trace event sink
+    bool kernel = false;      ///< kernel profile (events/cycle, FF skips)
+
+    bool any() const { return lco || packets || traceEvents || kernel; }
+
+    /**
+     * Apply a comma-separated spec: `lco`, `packets`, `trace`,
+     * `kernel`, `all`, `off`. Unknown tokens are ignored so config
+     * strings stay forward compatible. Also the INPG_TELEMETRY
+     * env-var format.
+     */
+    void applySpec(const std::string &spec);
+};
+
+/** Kernel-level profile: scheduler load and fast-forward behavior. */
+class KernelProfile
+{
+  public:
+    /** Record one executed cycle's event count and queue depth. */
+    void
+    onCycle(std::uint64_t events_run, std::size_t queue_depth)
+    {
+        eventsPerCycle.add(events_run);
+        wheelOccupancy.add(queue_depth);
+    }
+
+    /** Record one idle fast-forward jump of `gap` cycles. */
+    void onFastForward(Cycle gap) { ffSkip.add(gap); }
+
+    const Histogram &eventsPerCycleHist() const { return eventsPerCycle; }
+    const Histogram &wheelOccupancyHist() const { return wheelOccupancy; }
+    const Histogram &ffSkipHist() const { return ffSkip; }
+
+  private:
+    Histogram eventsPerCycle{1, 64};
+    Histogram wheelOccupancy{4, 64};
+    Histogram ffSkip{16, 64};
+};
+
+/**
+ * Owner of the enabled trackers. Feature pointers are plain observer
+ * pointers so hook sites pay a single null test.
+ */
+class Telemetry
+{
+  public:
+    Telemetry(const TelemetryConfig &config, int num_cores);
+
+    const TelemetryConfig &config() const { return cfg; }
+
+    LcoTracker *lco = nullptr;
+    PacketLifetimeTracker *packets = nullptr;
+    TraceEventSink *trace = nullptr;
+    KernelProfile *kernel = nullptr;
+
+  private:
+    TelemetryConfig cfg;
+    std::unique_ptr<TraceEventSink> traceOwned;
+    std::unique_ptr<LcoTracker> lcoOwned;
+    std::unique_ptr<PacketLifetimeTracker> packetsOwned;
+    std::unique_ptr<KernelProfile> kernelOwned;
+};
+
+} // namespace inpg
+
+#endif // INPG_TELEMETRY_TELEMETRY_HH

@@ -1,0 +1,139 @@
+#include "telemetry/trace_event.hh"
+
+#include <cstdio>
+
+#include "telemetry/json.hh"
+
+namespace inpg {
+
+namespace {
+
+const char *
+groupTitle(TrackGroup g)
+{
+    switch (g) {
+      case TrackGroup::Routers:
+        return "routers";
+      case TrackGroup::NetworkInterfaces:
+        return "network interfaces";
+      case TrackGroup::Directories:
+        return "directories";
+      case TrackGroup::L1Caches:
+        return "L1 caches";
+      case TrackGroup::Threads:
+        return "threads";
+      case TrackGroup::Generators:
+        return "packet generators";
+      case TrackGroup::Kernel:
+        return "kernel";
+    }
+    return "unknown";
+}
+
+void
+appendCommonFields(std::string &out, TrackGroup group, std::uint32_t track,
+                   Cycle ts)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "\"pid\":%u,\"tid\":%u,\"ts\":%llu",
+                  static_cast<unsigned>(group), track,
+                  static_cast<unsigned long long>(ts));
+    out += buf;
+}
+
+} // namespace
+
+TraceEventSink::TraceEventSink(std::size_t max_events)
+    : maxEvents(max_events)
+{
+    events.reserve(max_events < 4096 ? max_events : 4096);
+}
+
+void
+TraceEventSink::nameTrack(TrackGroup group, std::uint32_t track,
+                          std::string title)
+{
+    for (const TrackName &tn : trackNames) {
+        if (tn.group == group && tn.track == track)
+            return;
+    }
+    trackNames.push_back(TrackName{group, track, std::move(title)});
+}
+
+std::string
+TraceEventSink::writeJson() const
+{
+    // Streamed by hand rather than via JsonValue: a trace can hold
+    // millions of events and building a tree first would double the
+    // peak memory for no benefit.
+    std::string out;
+    out.reserve(events.size() * 96 + 4096);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            out += ',';
+        first = false;
+    };
+
+    // Metadata first: process names for each track group, then thread
+    // names for every registered track.
+    for (unsigned g = 1; g <= static_cast<unsigned>(TrackGroup::Kernel);
+         ++g) {
+        comma();
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%u,"
+                      "\"args\":{\"name\":\"%s\"}}",
+                      g, groupTitle(static_cast<TrackGroup>(g)));
+        out += buf;
+    }
+    for (const TrackName &tn : trackNames) {
+        comma();
+        out += "{\"ph\":\"M\",\"name\":\"thread_name\",";
+        appendCommonFields(out, tn.group, tn.track, 0);
+        out += ",\"args\":{\"name\":\"";
+        out += JsonValue::escape(tn.title);
+        out += "\"}}";
+    }
+
+    char buf[64];
+    for (const Event &ev : events) {
+        comma();
+        out += "{\"ph\":\"";
+        out += ev.shape == Shape::Duration ? 'X' : 'i';
+        out += "\",\"name\":\"";
+        out += JsonValue::escape(ev.name);
+        out += "\",";
+        appendCommonFields(out, ev.group, ev.track, ev.ts);
+        if (ev.shape == Shape::Duration) {
+            std::snprintf(buf, sizeof(buf), ",\"dur\":%llu",
+                          static_cast<unsigned long long>(ev.dur));
+            out += buf;
+        } else {
+            out += ",\"s\":\"t\"";
+        }
+        std::snprintf(buf, sizeof(buf), ",\"args\":{\"v\":%llu}}",
+                      static_cast<unsigned long long>(ev.arg));
+        out += buf;
+    }
+
+    out += "]}";
+    return out;
+}
+
+bool
+TraceEventSink::writeJsonFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::string doc = writeJson();
+    std::size_t wrote = std::fwrite(doc.data(), 1, doc.size(), f);
+    bool ok = wrote == doc.size();
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
+} // namespace inpg

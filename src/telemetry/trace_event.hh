@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Structured event sink emitting the Chrome Trace Event Format, the
+ * JSON dialect consumed by Perfetto and chrome://tracing.
+ *
+ * Recording is designed for the simulator hot path: an event is one
+ * POD append to a preallocated vector (names are string literals, no
+ * ownership, no formatting). All JSON work happens once, in
+ * writeJson() after the run. One simulated cycle maps to one
+ * microsecond of trace time, so cycle numbers read directly off the
+ * Perfetto ruler.
+ *
+ * Track layout: each component class is a trace "process" (routers,
+ * NIs, directories, L1s, threads, packet generators) and each
+ * component instance is a "thread" within it, named via metadata
+ * events so the UI shows e.g. "router 5" instead of a bare tid.
+ */
+
+#ifndef INPG_TELEMETRY_TRACE_EVENT_HH
+#define INPG_TELEMETRY_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace inpg {
+
+/** Trace "process" ids: one per component class. */
+enum class TrackGroup : std::uint32_t {
+    Routers = 1,
+    NetworkInterfaces = 2,
+    Directories = 3,
+    L1Caches = 4,
+    Threads = 5,
+    Generators = 6,
+    Kernel = 7,
+};
+
+/** Bounded in-memory recorder for Chrome-trace events. */
+class TraceEventSink
+{
+  public:
+    /** @param max_events Hard cap; events past it count as dropped. */
+    explicit TraceEventSink(std::size_t max_events = 2'000'000);
+
+    /**
+     * Complete duration slice [ts, ts+dur] on a track.
+     * @param name Static string (not copied; must outlive the sink).
+     */
+    void
+    duration(TrackGroup group, std::uint32_t track, const char *name,
+             Cycle ts, Cycle dur, std::uint64_t arg = 0)
+    {
+        append(Event{name, group, track, ts, dur, arg, Shape::Duration});
+    }
+
+    /** Zero-width instant marker on a track. */
+    void
+    instant(TrackGroup group, std::uint32_t track, const char *name,
+            Cycle ts, std::uint64_t arg = 0)
+    {
+        append(Event{name, group, track, ts, 0, arg, Shape::Instant});
+    }
+
+    /**
+     * Human-readable track title ("router 5"); emitted as Chrome
+     * metadata. Idempotent per (group, track).
+     */
+    void nameTrack(TrackGroup group, std::uint32_t track,
+                   std::string title);
+
+    std::size_t eventCount() const { return events.size(); }
+    std::uint64_t droppedCount() const { return dropped; }
+
+    /** Serialize everything as a {"traceEvents":[...]} document. */
+    std::string writeJson() const;
+
+    /** Write the JSON document to a file. @return false on I/O error. */
+    bool writeJsonFile(const std::string &path) const;
+
+  private:
+    enum class Shape : std::uint8_t { Duration, Instant };
+
+    struct Event {
+        const char *name;
+        TrackGroup group;
+        std::uint32_t track;
+        Cycle ts;
+        Cycle dur;
+        std::uint64_t arg;
+        Shape shape;
+    };
+
+    struct TrackName {
+        TrackGroup group;
+        std::uint32_t track;
+        std::string title;
+    };
+
+    void
+    append(const Event &ev)
+    {
+        if (events.size() >= maxEvents) {
+            ++dropped;
+            return;
+        }
+        events.push_back(ev);
+    }
+
+    std::size_t maxEvents;
+    std::uint64_t dropped = 0;
+    std::vector<Event> events;
+    std::vector<TrackName> trackNames;
+};
+
+} // namespace inpg
+
+#endif // INPG_TELEMETRY_TRACE_EVENT_HH

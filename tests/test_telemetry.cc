@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Telemetry subsystem tests: the LCO attribution tiling invariant
+ * (leg sum == end-to-end acquire latency, exactly), the TAS-vs-MCS
+ * attribution ordering of Figure 2, packet-lifetime accounting,
+ * trace-sink capping, the stats snapshot document, the ImplMode
+ * config collapse, and that enabling telemetry never changes
+ * simulated results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/system.hh"
+#include "workload/benchmark_profile.hh"
+#include "workload/workload.hh"
+
+namespace inpg {
+namespace {
+
+/** One instrumented run; keeps the tracker state alive for asserts. */
+struct LcoRun {
+    std::vector<LcoAcquireRecord> records;
+    LcoSummary summary;
+    Cycle roi = 0;
+    std::uint64_t lockCohCycles = 0;
+    std::uint64_t csCompleted = 0;
+};
+
+LcoRun
+runWithLco(LockKind kind, Mechanism mech = Mechanism::Original,
+           const char *bench = "face", double cs_scale = 0.01,
+           int num_locks = 0)
+{
+    SystemConfig cfg;
+    cfg.noc.meshWidth = 4;
+    cfg.noc.meshHeight = 4;
+    cfg.lockKind = kind;
+    cfg.mechanism = mech;
+    cfg.telemetry.lco = true;
+    cfg.finalize();
+    System system(cfg);
+
+    Workload::Params wp;
+    wp.profile = benchmarkByName(bench);
+    if (num_locks > 0)
+        wp.profile.numLocks = num_locks;
+    wp.threads = cfg.numCores();
+    wp.csScale = cs_scale;
+    wp.lockKind = kind;
+    wp.seed = 1;
+    Workload w(wp, system.coherent(), system.locks(), system.sim());
+    w.start();
+    system.runUntil([&] { return w.done(); });
+
+    LcoRun out;
+    LcoTracker *lco = system.telemetry()->lco;
+    out.records = lco->records();
+    out.summary = lco->summary();
+    out.roi = w.roiFinish();
+    out.csCompleted = w.csCompleted();
+    for (int c = 0; c < cfg.numCores(); ++c)
+        out.lockCohCycles +=
+            system.coherent().l1(c).stats.value("lock_coh_cycles");
+    return out;
+}
+
+/** Coherence-protocol share of the attributed acquire time. */
+double
+cohShare(const LcoSummary &s)
+{
+    const Cycle coh = s.legs.l1Access + s.legs.reqNetwork +
+                      s.legs.dirService + s.legs.respNetwork +
+                      s.legs.invAckWait;
+    return s.totalLatency
+               ? static_cast<double>(coh) /
+                     static_cast<double>(s.totalLatency)
+               : 0;
+}
+
+TEST(LcoAttribution, LegsTileEveryAcquireExactly_Tas)
+{
+    LcoRun r = runWithLco(LockKind::Tas);
+    ASSERT_GT(r.records.size(), 0u);
+    for (const auto &rec : r.records)
+        ASSERT_EQ(rec.legs.sum(), rec.latency())
+            << "thread " << rec.thread << " acquire at " << rec.start;
+    EXPECT_EQ(r.summary.legs.sum(), r.summary.totalLatency);
+    EXPECT_EQ(r.summary.acquires, r.csCompleted);
+}
+
+TEST(LcoAttribution, LegsTileEveryAcquireExactly_Mcs)
+{
+    LcoRun r = runWithLco(LockKind::Mcs);
+    ASSERT_GT(r.records.size(), 0u);
+    for (const auto &rec : r.records)
+        ASSERT_EQ(rec.legs.sum(), rec.latency())
+            << "thread " << rec.thread << " acquire at " << rec.start;
+    EXPECT_EQ(r.summary.legs.sum(), r.summary.totalLatency);
+}
+
+TEST(LcoAttribution, LegsTileEveryAcquireExactly_QslWithSleeps)
+{
+    // QSL exercises the sleep legs; the tiling must still be exact.
+    LcoRun r = runWithLco(LockKind::Qsl);
+    ASSERT_GT(r.records.size(), 0u);
+    for (const auto &rec : r.records)
+        ASSERT_EQ(rec.legs.sum(), rec.latency());
+    EXPECT_EQ(r.summary.legs.sum(), r.summary.totalLatency);
+}
+
+TEST(LcoAttribution, TasVsMcsOrderingMatchesFig02)
+{
+    // Figure 2: TAS has the highest lock-coherence share, MCS among
+    // the lowest. The attribution must reproduce that ordering, and
+    // agree with the independent L1-side lock_coh_cycles accounting.
+    // Like bench_fig02_lco, concentrate all threads on a single lock
+    // so contention (which is what separates the two) dominates.
+    LcoRun tas = runWithLco(LockKind::Tas, Mechanism::Original, "face",
+                            0.01, 1);
+    LcoRun mcs = runWithLco(LockKind::Mcs, Mechanism::Original, "face",
+                            0.01, 1);
+    ASSERT_GT(tas.summary.acquires, 0u);
+    ASSERT_GT(mcs.summary.acquires, 0u);
+
+    const double tas_attr =
+        static_cast<double>(tas.summary.totalLatency) * cohShare(
+            tas.summary);
+    const double mcs_attr =
+        static_cast<double>(mcs.summary.totalLatency) * cohShare(
+            mcs.summary);
+    EXPECT_GT(tas_attr, mcs_attr);
+    EXPECT_GT(tas.lockCohCycles, mcs.lockCohCycles);
+}
+
+TEST(LcoAttribution, InpgMarksEarlyInvalidatedAcquires)
+{
+    LcoRun r = runWithLco(LockKind::Tas, Mechanism::Inpg);
+    EXPECT_GT(r.summary.acquiresWithEarlyInv, 0u);
+    EXPECT_GT(r.summary.earlyInvAcks + r.summary.homeInvAcks, 0u);
+}
+
+TEST(Telemetry, EnablingItNeverChangesSimulatedResults)
+{
+    auto fingerprint = [](bool telemetry_on) {
+        SystemConfig cfg;
+        cfg.noc.meshWidth = 4;
+        cfg.noc.meshHeight = 4;
+        cfg.lockKind = LockKind::Tas;
+        cfg.mechanism = Mechanism::Inpg;
+        if (telemetry_on)
+            cfg.telemetry.applySpec("all");
+        cfg.finalize();
+        System system(cfg);
+        Workload::Params wp;
+        wp.profile = benchmarkByName("face");
+        wp.threads = cfg.numCores();
+        wp.csScale = 0.01;
+        wp.lockKind = cfg.lockKind;
+        wp.seed = 3;
+        Workload w(wp, system.coherent(), system.locks(),
+                   system.sim());
+        w.start();
+        system.runUntil([&] { return w.done(); });
+        std::uint64_t l1_sum = 0;
+        for (int c = 0; c < cfg.numCores(); ++c)
+            for (const auto &kv :
+                 system.coherent().l1(c).stats.allCounters())
+                l1_sum += kv.second;
+        return std::make_tuple(w.roiFinish(), w.csCompleted(), l1_sum,
+                               system.totalEarlyInvs());
+    };
+    EXPECT_EQ(fingerprint(false), fingerprint(true));
+}
+
+TEST(Telemetry, ConfigSpecParsing)
+{
+    TelemetryConfig tc;
+    EXPECT_FALSE(tc.any());
+    tc.applySpec("lco,trace");
+    EXPECT_TRUE(tc.lco);
+    EXPECT_TRUE(tc.traceEvents);
+    EXPECT_FALSE(tc.packets);
+    tc.applySpec("all");
+    EXPECT_TRUE(tc.packets && tc.kernel);
+    tc.applySpec("off");
+    EXPECT_FALSE(tc.any());
+    tc.applySpec("kernel,unknown-token");
+    EXPECT_TRUE(tc.kernel);
+    EXPECT_FALSE(tc.lco);
+}
+
+TEST(PacketLifetime, QueueAndNetworkLegsSumToTotalLatency)
+{
+    SystemConfig cfg;
+    cfg.noc.meshWidth = 4;
+    cfg.noc.meshHeight = 4;
+    cfg.telemetry.packets = true;
+    cfg.finalize();
+    System system(cfg);
+    Workload::Params wp;
+    wp.profile = benchmarkByName("freq");
+    wp.threads = cfg.numCores();
+    wp.csScale = 0.005;
+    wp.lockKind = cfg.lockKind;
+    Workload w(wp, system.coherent(), system.locks(), system.sim());
+    w.start();
+    system.runUntil([&] { return w.done(); });
+
+    const StatGroup &ps = system.telemetry()->packets->statGroup();
+    ASSERT_GT(ps.value("packets_completed"), 0u);
+    EXPECT_EQ(ps.value("packets_tracked"),
+              ps.value("packets_completed") +
+                  system.telemetry()->packets->inFlight());
+    EXPECT_DOUBLE_EQ(ps.sampleValue("queue_wait").sum() +
+                         ps.sampleValue("net_latency").sum(),
+                     ps.sampleValue("total_latency").sum());
+    EXPECT_GE(ps.sampleValue("hops").min(), 1.0);
+}
+
+TEST(TraceEvents, SinkCapsAndCounts)
+{
+    TraceEventSink sink(/*max_events=*/3);
+    sink.duration(TrackGroup::Routers, 0, "a", 10, 5);
+    sink.instant(TrackGroup::Routers, 0, "b", 12);
+    sink.duration(TrackGroup::Threads, 1, "c", 14, 2);
+    sink.instant(TrackGroup::Threads, 1, "d", 20); // over the cap
+    EXPECT_EQ(sink.eventCount(), 3u);
+    EXPECT_EQ(sink.droppedCount(), 1u);
+    const std::string json = sink.writeJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_EQ(json.find("\"name\":\"d\""), std::string::npos);
+}
+
+TEST(StatsSnapshot, DocumentHasAllSections)
+{
+    SystemConfig cfg;
+    cfg.noc.meshWidth = 2;
+    cfg.noc.meshHeight = 2;
+    cfg.telemetry.applySpec("all");
+    cfg.finalize();
+    System system(cfg);
+    system.locks().createLock(LockKind::Tas, cfg.numCores());
+    system.sim().run(50);
+
+    StatsRegistry reg = system.buildStatsRegistry();
+    EXPECT_GT(reg.groupCount(), 0u);
+    JsonValue snap = system.statsSnapshot();
+    const std::string text = snap.dump();
+    EXPECT_NE(text.find("\"groups\""), std::string::npos);
+    EXPECT_NE(text.find("\"scalars\""), std::string::npos);
+    EXPECT_NE(text.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(text.find("\"lco\""), std::string::npos);
+    EXPECT_NE(text.find("\"sim.cycles\""), std::string::npos);
+    EXPECT_NE(text.find("\"l1.0\""), std::string::npos);
+    EXPECT_NE(text.find("lock.") , std::string::npos);
+}
+
+TEST(Json, BuilderEmitsValidDocuments)
+{
+    JsonValue doc = JsonValue::object();
+    doc["int"] = -3;
+    doc["uint"] = static_cast<std::uint64_t>(1) << 40;
+    doc["str"] = "a\"b\\c\n\t";
+    doc["bool"] = true;
+    doc["null"];
+    doc["arr"].push(1);
+    doc["arr"].push("two");
+    doc["nested"]["x"] = 0.5;
+    EXPECT_EQ(doc.dump(),
+              "{\"int\":-3,\"uint\":1099511627776,"
+              "\"str\":\"a\\\"b\\\\c\\n\\t\",\"bool\":true,"
+              "\"null\":null,\"arr\":[1,\"two\"],"
+              "\"nested\":{\"x\":0.5}}");
+}
+
+TEST(KernelProfile, RecordsCyclesAndFastForwardSkips)
+{
+    TelemetryConfig tc;
+    tc.kernel = true;
+    Telemetry telem(tc, 1);
+    Simulator sim;
+    sim.setTelemetry(&telem);
+    bool fired = false;
+    sim.scheduleIn(500, [&] { fired = true; });
+    sim.run(600); // idle span fast-forwards to the event
+    EXPECT_TRUE(fired);
+    EXPECT_GT(telem.kernel->eventsPerCycleHist().count(), 0u);
+    EXPECT_GT(telem.kernel->ffSkipHist().count(), 0u);
+    EXPECT_GE(telem.kernel->ffSkipHist().max(), 400u);
+}
+
+TEST(ImplMode, ReferenceCollapsesAllStructureToggles)
+{
+    SystemConfig cfg;
+    cfg.impl = ImplMode::Reference;
+    cfg.finalize();
+    EXPECT_FALSE(cfg.noc.precomputeRoutes);
+    EXPECT_FALSE(cfg.noc.fastAllocScan);
+    EXPECT_FALSE(cfg.coh.flatContainers);
+
+    // Fast (the default) leaves hand-set toggles alone so the
+    // determinism A/B tests can still drive individual flags.
+    SystemConfig fast;
+    fast.noc.precomputeRoutes = false;
+    fast.finalize();
+    EXPECT_FALSE(fast.noc.precomputeRoutes);
+    EXPECT_TRUE(fast.noc.fastAllocScan);
+}
+
+TEST(ImplMode, EnvironmentOverrideWins)
+{
+    ::setenv("INPG_IMPL", "reference", 1);
+    SystemConfig cfg;
+    cfg.impl = ImplMode::Fast;
+    cfg.finalize();
+    ::unsetenv("INPG_IMPL");
+    EXPECT_EQ(cfg.impl, ImplMode::Reference);
+    EXPECT_FALSE(cfg.noc.precomputeRoutes);
+    EXPECT_FALSE(cfg.coh.flatContainers);
+}
+
+TEST(ImplMode, FastAndReferenceAreBitIdentical)
+{
+    auto run = [](ImplMode impl) {
+        RunConfig rc;
+        rc.profile = benchmarkByName("freq");
+        rc.system.noc.meshWidth = 4;
+        rc.system.noc.meshHeight = 4;
+        rc.system.lockKind = LockKind::Mcs;
+        rc.system.impl = impl;
+        rc.csScale = 0.005;
+        RunResult r = runBenchmark(rc);
+        return std::make_tuple(r.roiCycles, r.csCompleted,
+                               r.lockCohCycles);
+    };
+    EXPECT_EQ(run(ImplMode::Fast), run(ImplMode::Reference));
+}
+
+} // namespace
+} // namespace inpg

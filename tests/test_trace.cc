@@ -6,11 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <vector>
 
 #include "coh/coherent_system.hh"
 #include "common/trace.hh"
+#include "harness/sweep_runner.hh"
 #include "sim/simulator.hh"
+#include "workload/benchmark_profile.hh"
 
 namespace inpg {
 namespace {
@@ -85,6 +88,46 @@ TEST(Trace, ProtocolComponentsEmitOnTheirChannels)
     }
     EXPECT_TRUE(saw_l1);
     EXPECT_TRUE(saw_dir);
+}
+
+TEST(Trace, ParallelSweepDoesNotTearLines)
+{
+    TraceCapture cap;
+    Trace::enable("l1");
+
+    // Four concurrent workers, all tracing into the same sink.
+    std::vector<RunConfig> configs;
+    for (int i = 0; i < 4; ++i) {
+        RunConfig rc;
+        rc.profile = benchmarkByName("freq");
+        rc.system.noc.meshWidth = 2;
+        rc.system.noc.meshHeight = 2;
+        rc.system.seed = static_cast<std::uint64_t>(i + 1);
+        rc.csScale = 0.002;
+        configs.push_back(rc);
+    }
+    SweepOptions opts;
+    opts.threads = 4;
+    runSweep(configs, opts);
+
+    ASSERT_FALSE(cap.lines.empty());
+    for (const auto &line : cap.lines) {
+        // Every delivered line is exactly one well-formed record:
+        // "[<cycle>] l1: <msg>" with no embedded newline and no second
+        // header (which is what an interleaved/torn write would show).
+        ASSERT_GT(line.size(), 2u) << line;
+        EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+        ASSERT_EQ(line[0], '[') << line;
+        const std::size_t close = line.find(']');
+        ASSERT_NE(close, std::string::npos) << line;
+        for (std::size_t i = 1; i < close; ++i)
+            ASSERT_TRUE(std::isdigit(static_cast<unsigned char>(
+                line[i])))
+                << line;
+        ASSERT_EQ(line.compare(close, 6, "] l1: "), 0) << line;
+        EXPECT_EQ(line.find("] l1: ", close + 1), std::string::npos)
+            << line;
+    }
 }
 
 } // namespace

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Umbrella-header test, part 1 of 2. This TU and
+ * test_umbrella_second_tu.cc both include <inpg/inpg.hh> and are
+ * linked into one binary: any non-inline definition leaking out of a
+ * public header breaks the link (ODR), so the pair is a compile/link
+ * guard for the whole public API surface.
+ */
+
+#include <inpg/inpg.hh>
+
+#include <gtest/gtest.h>
+
+namespace inpg {
+
+// Defined in test_umbrella_second_tu.cc; proves both TUs link.
+JsonValue umbrellaSnapshotFromSecondTu();
+
+namespace {
+
+TEST(Umbrella, PublicApiBuildsAndRuns)
+{
+    SystemConfig cfg;
+    cfg.noc.meshWidth = 2;
+    cfg.noc.meshHeight = 2;
+    cfg.telemetry.applySpec("all");
+    cfg.finalize();
+    System system(cfg);
+    ASSERT_NE(system.telemetry(), nullptr);
+    EXPECT_NE(system.telemetry()->lco, nullptr);
+    EXPECT_NE(system.telemetry()->packets, nullptr);
+    EXPECT_NE(system.telemetry()->trace, nullptr);
+    EXPECT_NE(system.telemetry()->kernel, nullptr);
+    system.sim().run(100);
+    JsonValue snap = system.statsSnapshot();
+    EXPECT_EQ(snap.type(), JsonValue::Kind::Object);
+}
+
+TEST(Umbrella, SecondTuSharesTypes)
+{
+    JsonValue v = umbrellaSnapshotFromSecondTu();
+    EXPECT_EQ(v.type(), JsonValue::Kind::Object);
+    EXPECT_EQ(v["tu"].dump(), "\"second\"");
+}
+
+} // namespace
+} // namespace inpg

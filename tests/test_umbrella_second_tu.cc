@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Umbrella-header test, part 2 of 2 (see test_umbrella.cc). A second
+ * full inclusion of <inpg/inpg.hh> in the same binary: duplicate
+ * non-inline symbols in any public header fail this link.
+ */
+
+#include <inpg/inpg.hh>
+
+namespace inpg {
+
+JsonValue
+umbrellaSnapshotFromSecondTu()
+{
+    // Touch types from several layers so the linker sees real uses.
+    TelemetryConfig tc;
+    tc.applySpec("lco,trace");
+    Telemetry telem(tc, 4);
+    telem.lco->acquireBegin(0, 10);
+    telem.lco->acquireEnd(0, 35);
+    JsonValue v = telem.lco->summary().toJson();
+    v["tu"] = "second";
+    return v;
+}
+
+} // namespace inpg

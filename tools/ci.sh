@@ -1,0 +1,21 @@
+#!/bin/sh
+# PR gate (tools/ci.sh): the checks every change must pass beyond the
+# plain unit suite:
+#   1. ./run_benches.sh --quick    -- kernel fast-forward A/B and busy
+#      hot-path A/B perf smokes (non-zero exit if either optimization
+#      changes simulated results or the optimized schedule path
+#      allocates), refreshing BENCH_*.json;
+#   2. ./run_benches.sh --sanitize -- configure + build + full ctest
+#      under ASan/UBSan in build-asan/.
+# Expects ./build to be configured (configures it if missing). Wired
+# as the `ci-smoke` ctest when the tree is configured with
+# -DINPG_CI_SMOKE=ON; off by default because it builds and tests a
+# second tree.
+set -e
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+if [ ! -f "$repo_root/build/CMakeCache.txt" ]; then
+    cmake -B "$repo_root/build" -S "$repo_root"
+fi
+cmake --build "$repo_root/build" -j "$(nproc)" --target bench_micro
+"$repo_root/run_benches.sh" --quick
+"$repo_root/run_benches.sh" --sanitize

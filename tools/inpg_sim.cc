@@ -12,12 +12,21 @@
  *   inpg_sim benchmark=all csv=1 > results.csv
  *   inpg_sim benchmark=kdtree dump_stats=1 mesh_width=4 mesh_height=4
  *   inpg_sim config=myrun.cfg        # "key = value" lines
+ *   inpg_sim benchmark=freq --trace-out=run.json   # Chrome trace
+ *   inpg_sim benchmark=freq telemetry=lco --stats-json=stats.json
+ *
+ * GNU-style spellings are accepted for every key: "--trace-out=f"
+ * means "trace_out=f". --stats-json collects one machine-readable
+ * snapshot (StatsRegistry + LCO attribution) per run under {"runs":
+ * [...]}; --trace-out force-enables packet tracing and writes a
+ * Perfetto-loadable Chrome trace of the (last) run.
  */
 
 #include <cstdio>
 #include <iostream>
 
 #include "common/config.hh"
+#include "common/logging.hh"
 #include "common/strutil.hh"
 #include "harness/experiment.hh"
 #include "harness/system.hh"
@@ -54,6 +63,10 @@ runWithDump(const RunConfig &rc, bool dump)
         return runBenchmark(rc);
 
     SystemConfig sys_cfg = rc.system;
+    if (!rc.traceOutPath.empty()) {
+        sys_cfg.telemetry.traceEvents = true;
+        sys_cfg.telemetry.packets = true;
+    }
     sys_cfg.finalize();
     System system(sys_cfg);
     Workload::Params wp;
@@ -112,6 +125,13 @@ runWithDump(const RunConfig &rc, bool dump)
     r.rttMean = system.coherent().cohStats().rttHistogram.mean();
     r.rttMax = system.coherent().cohStats().rttHistogram.max();
     r.earlyInvs = system.totalEarlyInvs();
+
+    Telemetry *telem = system.telemetry();
+    if (telem && telem->lco)
+        r.lco = telem->lco->summary();
+    if (telem && telem->trace && !rc.traceOutPath.empty())
+        telem->trace->writeJsonFile(rc.traceOutPath);
+    r.stats = system.statsSnapshot();
     return r;
 }
 
@@ -145,6 +165,9 @@ main(int argc, char **argv)
     if (overrides.has("lock_home"))
         rc.lockHome =
             static_cast<NodeId>(overrides.getInt("lock_home"));
+    rc.traceOutPath = overrides.getString("trace_out", "");
+    const std::string stats_json_path =
+        overrides.getString("stats_json", "");
 
     TablePrinter t("inpg_sim results");
     t.header({"benchmark", "mechanism", "lock", "roi_cycles",
@@ -152,16 +175,48 @@ main(int argc, char **argv)
               "rtt_mean", "rtt_max", "early_invs", "sleeps"});
 
     const int threads = rc.system.numCores();
+    JsonValue runs = JsonValue::array();
+    auto one_run = [&](const RunConfig &run_rc) {
+        RunResult r = runWithDump(run_rc, dump);
+        addResultRow(t, r, threads);
+        if (!stats_json_path.empty()) {
+            JsonValue entry = JsonValue::object();
+            entry["benchmark"] = r.benchmark;
+            entry["mechanism"] = mechanismName(r.mechanism);
+            entry["lock"] = lockKindName(r.lockKind);
+            entry["roi_cycles"] =
+                static_cast<std::uint64_t>(r.roiCycles);
+            entry["cs_completed"] = r.csCompleted;
+            entry["stats"] = std::move(r.stats);
+            runs.push(std::move(entry));
+        }
+    };
     for (const auto &p : profiles) {
         rc.profile = p;
+        // num_locks=1 concentrates the profile's CS traffic on one
+        // lock, as the LCO figure benches do.
+        if (overrides.has("num_locks"))
+            rc.profile.numLocks = overrides.getInt("num_locks");
         if (all_mechs) {
             for (Mechanism m : ALL_MECHANISMS) {
                 rc.system.mechanism = m;
-                addResultRow(t, runWithDump(rc, dump), threads);
+                one_run(rc);
             }
         } else {
-            addResultRow(t, runWithDump(rc, dump), threads);
+            one_run(rc);
         }
+    }
+
+    if (!stats_json_path.empty()) {
+        JsonValue doc = JsonValue::object();
+        doc["runs"] = std::move(runs);
+        std::FILE *f = std::fopen(stats_json_path.c_str(), "w");
+        if (!f)
+            fatal("cannot open '%s'", stats_json_path.c_str());
+        const std::string text = doc.dump(2);
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
     }
 
     if (csv)
