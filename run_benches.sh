@@ -6,6 +6,9 @@
 # --sanitize: configure + build + ctest under ASan/UBSan in
 #             build-asan/ (exercises the raw-storage containers and
 #             callback small-buffer code under the sanitizers).
+# --tsan:     configure + build under ThreadSanitizer in build-tsan/
+#             and run the threaded suites (sweep-runner pool, the
+#             thread-safe Trace sink, determinism harness).
 repo_root=$(dirname "$0")
 if [ "$1" = "--sanitize" ]; then
     set -e
@@ -14,6 +17,18 @@ if [ "$1" = "--sanitize" ]; then
     cmake --build "$repo_root/build-asan" -j "$(nproc)"
     cd "$repo_root/build-asan"
     exec ctest --output-on-failure -j "$(nproc)"
+fi
+if [ "$1" = "--tsan" ]; then
+    set -e
+    cmake -B "$repo_root/build-tsan" -S "$repo_root" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DINPG_SANITIZE=tsan
+    cmake --build "$repo_root/build-tsan" -j "$(nproc)" \
+        --target inpg_tests
+    cd "$repo_root/build-tsan"
+    # The race-prone surface: the sweep runner's worker pool and the
+    # mutex-serialized Trace sink (plus the determinism fingerprints,
+    # which would surface any cross-thread state bleed as a mismatch).
+    exec ctest --output-on-failure -R 'Sweep|Trace|Determinism'
 fi
 if [ "$1" = "--quick" ]; then
     set -e

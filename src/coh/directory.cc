@@ -1,10 +1,41 @@
 #include "coh/directory.hh"
 
+#include "coh/protocol_tables.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "telemetry/telemetry.hh"
 
 namespace inpg {
+
+namespace {
+
+/** Directory-entry state as classified by the protocol table. */
+DirState
+dirStateFor(const Directory::DirEntry &e, CoreId requester)
+{
+    if (e.owner == INVALID_NODE)
+        return e.sharers.empty() ? DirState::Uncached : DirState::Shared;
+    return e.owner == requester ? DirState::OwnedSelf : DirState::Owned;
+}
+
+/** Map a serialized message onto the directory event space. */
+DirEvent
+dirEventFor(const CohMsgPtr &msg)
+{
+    switch (msg->kind) {
+      case CohMsgKind::GetS:
+        return DirEvent::GetS;
+      case CohMsgKind::GetX:
+        return msg->demotable ? DirEvent::GetXDemotable : DirEvent::GetX;
+      case CohMsgKind::InvAck:
+        return DirEvent::EarlyInvAck;
+      default:
+        break;
+    }
+    panic("directory cannot process %s", msg->toString().c_str());
+}
+
+} // namespace
 
 Directory::Directory(NodeId node_id, const CohConfig &config,
                      Network &network, Simulator &simulator,
@@ -131,55 +162,86 @@ Directory::process(const CohMsgPtr &msg, Cycle now)
         if (t && t->lco)
             t->lco->dirServed(msg->requester, now);
     }
-    switch (msg->kind) {
-      case CohMsgKind::GetS:
-        processGetS(msg, e, now);
+
+    // Table dispatch: classify the entry against the requester and the
+    // message onto the declarative directory table; an unhandled or
+    // declared-illegal pair (e.g. a GetS from the recorded owner, which
+    // the imperative code would have answered with a self-forward)
+    // panics with the precise coordinates.
+    const DirEvent ev = dirEventFor(msg);
+    const DirState st = dirStateFor(e, msg->requester);
+    const ProtoTransition &tr = directoryProtocolTable().require(
+        static_cast<int>(st), static_cast<int>(ev));
+
+    switch (ev) {
+      case DirEvent::GetS:
+        ++stats.counter("gets");
+        break;
+      case DirEvent::GetX:
+      case DirEvent::GetXDemotable:
+        ++stats.counter("getx");
+        if (msg->earlyInvalidated) {
+            ++stats.counter("getx_early_invalidated");
+            // The big router pre-invalidated on this request's behalf:
+            // mark the requester's acquire as big-router-served.
+            Telemetry *t = sim.telemetry();
+            if (t && t->lco)
+                t->lco->earlyInvSeen(msg->requester);
+        }
+        break;
+      case DirEvent::EarlyInvAck:
+        INPG_ASSERT(msg->fromBigRouter,
+                    "directory %d got a non-early InvAck: %s", node,
+                    msg->toString().c_str());
+        ++stats.counter("early_acks");
+        break;
+    }
+
+    switch (static_cast<DirAction>(tr.action)) {
+      case DirAction::GrantExclusive:
+        grantExclusive(msg, e, now);
         return;
-      case CohMsgKind::GetX:
-        processGetX(msg, e, now);
+      case DirAction::AnswerShared:
+        answerShared(msg, e, now);
         return;
-      case CohMsgKind::InvAck:
-        processEarlyInvAck(msg, e, now);
+      case DirAction::ForwardGetS:
+        forwardGetS(msg, e, now);
+        return;
+      case DirAction::InvalidateAndGrant:
+        invalidateAndGrant(msg, e, now);
+        return;
+      case DirAction::ForwardGetX:
+        forwardGetX(msg, e, now);
+        return;
+      case DirAction::OwnerUpgrade:
+        ownerUpgrade(msg, e, now);
+        return;
+      case DirAction::DemoteViaOwner:
+        demoteViaOwner(msg, e, now);
+        return;
+      case DirAction::DemoteOrGrant:
+        // The home holds the line: demote only while the lock reads
+        // held; a free lock falls through to the full exclusive grant
+        // so the acquire can actually write (paper Fig. 4 Step 4).
+        if (e.value != 0)
+            demoteAtHome(msg, e, now);
+        else
+            invalidateAndGrant(msg, e, now);
+        return;
+      case DirAction::TrimSharer:
+        trimSharer(msg, e, now);
         return;
       default:
-        panic("directory %d cannot process %s", node,
-              msg->toString().c_str());
+        panic("directory %d: table action %d has no dispatch for %s",
+              node, tr.action, msg->toString().c_str());
     }
 }
 
 void
-Directory::processGetS(const CohMsgPtr &msg, DirEntry &e, Cycle now)
+Directory::grantExclusive(const CohMsgPtr &msg, DirEntry &e, Cycle now)
 {
-    ++stats.counter("gets");
+    // Uncached read: grant exclusivity (MOESI E state).
     const CoreId req = msg->requester;
-
-    if (e.owner != INVALID_NODE) {
-        // Owner supplies the data; it transitions M/E/O -> O.
-        auto fwd = std::make_shared<CoherenceMsg>();
-        fwd->kind = CohMsgKind::FwdGetS;
-        fwd->addr = msg->addr;
-        fwd->requester = req;
-        fwd->isLock = msg->isLock;
-        fwd->epoch = epochCounter;
-        e.sharers.insert(req);
-        send(fwd, e.owner, now);
-        ++stats.counter("fwd_gets");
-        return;
-    }
-
-    if (!e.sharers.empty()) {
-        e.sharers.insert(req);
-        auto data = std::make_shared<CoherenceMsg>();
-        data->kind = CohMsgKind::Data;
-        data->addr = msg->addr;
-        data->requester = req;
-        data->value = e.value;
-        data->isLock = msg->isLock;
-        send(data, req, now);
-        return;
-    }
-
-    // Uncached: grant exclusivity (MOESI E state).
     e.owner = req;
     auto data = std::make_shared<CoherenceMsg>();
     data->kind = CohMsgKind::DataExcl;
@@ -193,98 +255,42 @@ Directory::processGetS(const CohMsgPtr &msg, DirEntry &e, Cycle now)
 }
 
 void
-Directory::processGetX(const CohMsgPtr &msg, DirEntry &e, Cycle now)
+Directory::answerShared(const CohMsgPtr &msg, DirEntry &e, Cycle now)
 {
-    ++stats.counter("getx");
-    if (msg->earlyInvalidated) {
-        ++stats.counter("getx_early_invalidated");
-        // The big router pre-invalidated on this request's behalf:
-        // mark the requester's acquire as big-router-served.
-        Telemetry *t = sim.telemetry();
-        if (t && t->lco)
-            t->lco->earlyInvSeen(msg->requester);
-    }
     const CoreId req = msg->requester;
+    e.sharers.insert(req);
+    auto data = std::make_shared<CoherenceMsg>();
+    data->kind = CohMsgKind::Data;
+    data->addr = msg->addr;
+    data->requester = req;
+    data->value = e.value;
+    data->isLock = msg->isLock;
+    send(data, req, now);
+}
 
-    // Demotable lock acquires are answered with a shared copy while the
-    // lock is held (paper Fig. 4 Step 4): the requester becomes a
-    // sharer; no ownership transfer, no invalidations, no ack storm.
-    if (msg->demotable) {
-        if (e.owner != INVALID_NODE && e.owner != req) {
-            ++stats.counter("getx_demoted_via_owner");
-            e.sharers.insert(req);
-            auto fwd = std::make_shared<CoherenceMsg>();
-            fwd->kind = CohMsgKind::FwdGetS;
-            fwd->addr = msg->addr;
-            fwd->requester = req;
-            fwd->isLock = msg->isLock;
-            fwd->demoted = true;
-            fwd->epoch = epochCounter;
-            send(fwd, e.owner, now);
-            return;
-        }
-        if (e.owner == INVALID_NODE && e.value != 0) {
-            // The home holds the (locked) value: answer directly.
-            ++stats.counter("getx_demoted_at_home");
-            e.sharers.insert(req);
-            auto data = std::make_shared<CoherenceMsg>();
-            data->kind = CohMsgKind::Data;
-            data->addr = msg->addr;
-            data->requester = req;
-            data->value = e.value;
-            data->isLock = msg->isLock;
-            data->demoted = true;
-            send(data, req, now);
-            return;
-        }
-        // Lock appears free (or we already own it): fall through to the
-        // full exclusive path so the acquire can actually write.
-    }
+void
+Directory::forwardGetS(const CohMsgPtr &msg, DirEntry &e, Cycle now)
+{
+    // Owner supplies the data; it transitions M/E/O -> O.
+    const CoreId req = msg->requester;
+    auto fwd = std::make_shared<CoherenceMsg>();
+    fwd->kind = CohMsgKind::FwdGetS;
+    fwd->addr = msg->addr;
+    fwd->requester = req;
+    fwd->isLock = msg->isLock;
+    fwd->epoch = epochCounter;
+    e.sharers.insert(req);
+    send(fwd, e.owner, now);
+    ++stats.counter("fwd_gets");
+}
 
-    const std::uint64_t epoch = ++epochCounter;
-
-    if (e.owner != INVALID_NODE) {
-        std::set<CoreId> to_inv = e.sharers;
-        to_inv.erase(req);
-        if (e.owner == req) {
-            // Upgrade from O: the requester already holds the data.
-            auto ack = std::make_shared<CoherenceMsg>();
-            ack->kind = CohMsgKind::AckCount;
-            ack->addr = msg->addr;
-            ack->requester = req;
-            ack->ackCount = static_cast<int>(to_inv.size());
-            ack->isLock = msg->isLock;
-            ack->epoch = epoch;
-            ack->ownerUpgrade = true;
-            send(ack, req, now);
-            ++stats.counter("upgrades");
-        } else {
-            to_inv.erase(e.owner);
-            auto fwd = std::make_shared<CoherenceMsg>();
-            fwd->kind = CohMsgKind::FwdGetX;
-            fwd->addr = msg->addr;
-            fwd->requester = req;
-            fwd->isLock = msg->isLock;
-            fwd->epoch = epoch;
-            send(fwd, e.owner, now);
-            ++stats.counter("fwd_getx");
-
-            auto ack = std::make_shared<CoherenceMsg>();
-            ack->kind = CohMsgKind::AckCount;
-            ack->addr = msg->addr;
-            ack->requester = req;
-            ack->ackCount = static_cast<int>(to_inv.size());
-            ack->isLock = msg->isLock;
-            ack->epoch = epoch;
-            send(ack, req, now);
-        }
-        sendInvalidations(to_inv, msg->addr, req, msg->isLock, epoch, now);
-        e.owner = req;
-        e.sharers.clear();
-        return;
-    }
-
+void
+Directory::invalidateAndGrant(const CohMsgPtr &msg, DirEntry &e,
+                              Cycle now)
+{
     // No owner: the home supplies data; invalidate all other sharers.
+    const CoreId req = msg->requester;
+    const std::uint64_t epoch = ++epochCounter;
     std::set<CoreId> to_inv = e.sharers;
     to_inv.erase(req);
     sendInvalidations(to_inv, msg->addr, req, msg->isLock, epoch, now);
@@ -304,13 +310,102 @@ Directory::processGetX(const CohMsgPtr &msg, DirEntry &e, Cycle now)
 }
 
 void
-Directory::processEarlyInvAck(const CohMsgPtr &msg, DirEntry &e, Cycle now)
+Directory::forwardGetX(const CohMsgPtr &msg, DirEntry &e, Cycle now)
 {
-    INPG_ASSERT(msg->fromBigRouter,
-                "directory %d got a non-early InvAck: %s", node,
-                msg->toString().c_str());
+    const CoreId req = msg->requester;
+    const std::uint64_t epoch = ++epochCounter;
+    std::set<CoreId> to_inv = e.sharers;
+    to_inv.erase(req);
+    to_inv.erase(e.owner);
+
+    auto fwd = std::make_shared<CoherenceMsg>();
+    fwd->kind = CohMsgKind::FwdGetX;
+    fwd->addr = msg->addr;
+    fwd->requester = req;
+    fwd->isLock = msg->isLock;
+    fwd->epoch = epoch;
+    send(fwd, e.owner, now);
+    ++stats.counter("fwd_getx");
+
+    auto ack = std::make_shared<CoherenceMsg>();
+    ack->kind = CohMsgKind::AckCount;
+    ack->addr = msg->addr;
+    ack->requester = req;
+    ack->ackCount = static_cast<int>(to_inv.size());
+    ack->isLock = msg->isLock;
+    ack->epoch = epoch;
+    send(ack, req, now);
+
+    sendInvalidations(to_inv, msg->addr, req, msg->isLock, epoch, now);
+    e.owner = req;
+    e.sharers.clear();
+}
+
+void
+Directory::ownerUpgrade(const CohMsgPtr &msg, DirEntry &e, Cycle now)
+{
+    // Upgrade from O: the requester already holds the data.
+    const CoreId req = msg->requester;
+    const std::uint64_t epoch = ++epochCounter;
+    std::set<CoreId> to_inv = e.sharers;
+    to_inv.erase(req);
+
+    auto ack = std::make_shared<CoherenceMsg>();
+    ack->kind = CohMsgKind::AckCount;
+    ack->addr = msg->addr;
+    ack->requester = req;
+    ack->ackCount = static_cast<int>(to_inv.size());
+    ack->isLock = msg->isLock;
+    ack->epoch = epoch;
+    ack->ownerUpgrade = true;
+    send(ack, req, now);
+    ++stats.counter("upgrades");
+
+    sendInvalidations(to_inv, msg->addr, req, msg->isLock, epoch, now);
+    e.owner = req;
+    e.sharers.clear();
+}
+
+void
+Directory::demoteViaOwner(const CohMsgPtr &msg, DirEntry &e, Cycle now)
+{
+    // Demotable lock acquire while another core owns the line: the
+    // owner supplies a shared copy; no ownership transfer, no
+    // invalidations, no ack storm.
+    const CoreId req = msg->requester;
+    ++stats.counter("getx_demoted_via_owner");
+    e.sharers.insert(req);
+    auto fwd = std::make_shared<CoherenceMsg>();
+    fwd->kind = CohMsgKind::FwdGetS;
+    fwd->addr = msg->addr;
+    fwd->requester = req;
+    fwd->isLock = msg->isLock;
+    fwd->demoted = true;
+    fwd->epoch = epochCounter;
+    send(fwd, e.owner, now);
+}
+
+void
+Directory::demoteAtHome(const CohMsgPtr &msg, DirEntry &e, Cycle now)
+{
+    // The home holds the (locked) value: answer directly.
+    const CoreId req = msg->requester;
+    ++stats.counter("getx_demoted_at_home");
+    e.sharers.insert(req);
+    auto data = std::make_shared<CoherenceMsg>();
+    data->kind = CohMsgKind::Data;
+    data->addr = msg->addr;
+    data->requester = req;
+    data->value = e.value;
+    data->isLock = msg->isLock;
+    data->demoted = true;
+    send(data, req, now);
+}
+
+void
+Directory::trimSharer(const CohMsgPtr &msg, DirEntry &e, Cycle now)
+{
     (void)now;
-    ++stats.counter("early_acks");
     // (The early Inv-Ack round trip was recorded at the relaying big
     // router; here only the sharer list is trimmed.)
     // The acking core's shared copy is gone; if it was still recorded

@@ -71,9 +71,19 @@ class Directory : public Ticking
 
   private:
     void process(const CohMsgPtr &msg, Cycle now);
-    void processGetS(const CohMsgPtr &msg, DirEntry &e, Cycle now);
-    void processGetX(const CohMsgPtr &msg, DirEntry &e, Cycle now);
-    void processEarlyInvAck(const CohMsgPtr &msg, DirEntry &e, Cycle now);
+
+    // One method per declarative table action (DirAction); `process`
+    // classifies the entry onto the directory transition table and
+    // dispatches here.
+    void grantExclusive(const CohMsgPtr &msg, DirEntry &e, Cycle now);
+    void answerShared(const CohMsgPtr &msg, DirEntry &e, Cycle now);
+    void forwardGetS(const CohMsgPtr &msg, DirEntry &e, Cycle now);
+    void invalidateAndGrant(const CohMsgPtr &msg, DirEntry &e, Cycle now);
+    void forwardGetX(const CohMsgPtr &msg, DirEntry &e, Cycle now);
+    void ownerUpgrade(const CohMsgPtr &msg, DirEntry &e, Cycle now);
+    void demoteViaOwner(const CohMsgPtr &msg, DirEntry &e, Cycle now);
+    void demoteAtHome(const CohMsgPtr &msg, DirEntry &e, Cycle now);
+    void trimSharer(const CohMsgPtr &msg, DirEntry &e, Cycle now);
 
     void sendInvalidations(const std::set<CoreId> &targets, Addr addr,
                            NodeId collector, bool is_lock,

@@ -2,11 +2,22 @@
 
 #include <algorithm>
 
+#include "coh/protocol_tables.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "telemetry/telemetry.hh"
 
 namespace inpg {
+
+// The declarative table (coh/protocol_tables.cc) is keyed by the int
+// values of L1State; pin the correspondence.
+static_assert(static_cast<int>(L1State::I) == 0 &&
+                  static_cast<int>(L1State::S) == 1 &&
+                  static_cast<int>(L1State::E) == 2 &&
+                  static_cast<int>(L1State::M) == 3 &&
+                  static_cast<int>(L1State::O) == 4 &&
+                  L1_NUM_STATES == 5,
+              "L1State layout must match the protocol table");
 
 namespace {
 
@@ -152,25 +163,29 @@ L1Controller::issueAfterL1Latency(Pending &&op)
     Line &l = line(op.addr);
     const Cycle now = sim.now();
 
-    if (op.kind == OpRecord::Kind::Load) {
-        if (l.state != L1State::I) {
-            ++stats.counter("load_hits");
-            pending.emplace(std::move(op));
-            pending->hasData = true;
-            pending->data = l.value;
-            executePendingOp(now);
-            return;
-        }
+    // Table dispatch: the declarative MOESI table names the action for
+    // this (line state, core event) pair; an undeclared pair panics
+    // with the precise coordinates.
+    const L1Event ev = op.kind == OpRecord::Kind::Load
+                           ? L1Event::CoreLoad
+                           : L1Event::CoreWrite;
+    const ProtoTransition &tr = l1ProtocolTable().require(
+        static_cast<int>(l.state), static_cast<int>(ev));
+
+    switch (static_cast<L1Action>(tr.action)) {
+      case L1Action::LoadHit:
+        ++stats.counter("load_hits");
+        pending.emplace(std::move(op));
+        pending->hasData = true;
+        pending->data = l.value;
+        executePendingOp(now);
+        return;
+      case L1Action::BeginLoadMiss:
         ++stats.counter("load_misses");
         op.exclusive = false;
         beginMiss(std::move(op));
         return;
-    }
-
-    // Stores and atomics need M.
-    switch (l.state) {
-      case L1State::M:
-      case L1State::E:
+      case L1Action::WriteHit:
         ++stats.counter("write_hits");
         l.state = L1State::M;
         pending.emplace(std::move(op));
@@ -178,7 +193,7 @@ L1Controller::issueAfterL1Latency(Pending &&op)
         pending->data = l.value;
         executePendingOp(now);
         return;
-      case L1State::O:
+      case L1Action::BeginUpgrade:
         // Upgrade attempt. Whether this serializes as an upgrade (we
         // keep the data) or as a chain GetX (an earlier-serialized
         // FwdGetX takes our copy first) is only known when the home
@@ -191,12 +206,14 @@ L1Controller::issueAfterL1Latency(Pending &&op)
         op.demotable = false;
         beginMiss(std::move(op));
         return;
-      case L1State::S:
-      case L1State::I:
+      case L1Action::BeginWriteMiss:
         ++stats.counter("write_misses");
         op.exclusive = true;
         beginMiss(std::move(op));
         return;
+      default:
+        panic("L1 %d: core-event action %d has no dispatch", core,
+              tr.action);
     }
 }
 
@@ -462,31 +479,41 @@ L1Controller::receiveMessage(const CohMsgPtr &msg, Cycle now)
 {
     INPG_TRACE_LINE("l1", now, "L1 %d RECV %s", core,
                     msg->toString().c_str());
-    switch (msg->kind) {
-      case CohMsgKind::Inv:
+    // Table dispatch: classify the message onto the L1 event space
+    // (GetS/GetX panic there -- they never target an L1) and require a
+    // declared-legal transition for the current stable line state. A
+    // pair the table marks illegal panics with the declared reason
+    // instead of tripping a downstream assertion or hanging.
+    const L1Event ev = l1EventForMsgKind(msg->kind);
+    const ProtoTransition &tr = l1ProtocolTable().require(
+        static_cast<int>(lineState(msg->addr)), static_cast<int>(ev));
+
+    switch (static_cast<L1Action>(tr.action)) {
+      case L1Action::AckInvalid:
+      case L1Action::InvalidateAndAck:
+      case L1Action::AckStaleInv:
         handleInv(msg, now);
         return;
-      case CohMsgKind::FwdGetS:
-        handleFwdGetS(msg, now);
+      case L1Action::ServeFwdGetS:
+      case L1Action::ServeFwdGetX:
+      case L1Action::ChainForward:
+        handleForward(msg, now);
         return;
-      case CohMsgKind::FwdGetX:
-        handleFwdGetX(msg, now);
-        return;
-      case CohMsgKind::Data:
+      case L1Action::FillShared:
         handleData(msg, now);
         return;
-      case CohMsgKind::DataExcl:
+      case L1Action::FillExclusive:
         handleDataExcl(msg, now);
         return;
-      case CohMsgKind::AckCount:
+      case L1Action::CollectAckInfo:
         handleAckCount(msg, now);
         return;
-      case CohMsgKind::InvAck:
+      case L1Action::CollectInvAck:
         handleInvAck(msg, now);
         return;
       default:
-        panic("L1 %d received unexpected %s", core,
-              msg->toString().c_str());
+        panic("L1 %d: message action %d has no dispatch for %s", core,
+              tr.action, msg->toString().c_str());
     }
 }
 
@@ -541,23 +568,12 @@ L1Controller::handleInv(const CohMsgPtr &msg, Cycle now)
 }
 
 void
-L1Controller::handleFwdGetS(const CohMsgPtr &msg, Cycle now)
+L1Controller::handleForward(const CohMsgPtr &msg, Cycle now)
 {
     // While a transaction on this line is outstanding, forwards are
     // held back and dispatched when ordering is known: pre-epoch ones
     // observe the pre-operation value (served straight away when we
     // still hold that copy in M/E/O), post-epoch ones the result.
-    if (deferIncomingForward(msg)) {
-        deferredForwards.push_back(msg);
-        ++stats.counter("forwards_deferred");
-        return;
-    }
-    serveForward(msg, now);
-}
-
-void
-L1Controller::handleFwdGetX(const CohMsgPtr &msg, Cycle now)
-{
     if (deferIncomingForward(msg)) {
         deferredForwards.push_back(msg);
         ++stats.counter("forwards_deferred");

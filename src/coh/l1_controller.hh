@@ -193,8 +193,7 @@ class L1Controller
     Addr pendingAddrForAssert() const;
 
     void handleInv(const CohMsgPtr &msg, Cycle now);
-    void handleFwdGetS(const CohMsgPtr &msg, Cycle now);
-    void handleFwdGetX(const CohMsgPtr &msg, Cycle now);
+    void handleForward(const CohMsgPtr &msg, Cycle now);
     void handleData(const CohMsgPtr &msg, Cycle now);
     void handleDataExcl(const CohMsgPtr &msg, Cycle now);
     void handleAckCount(const CohMsgPtr &msg, Cycle now);

@@ -1,0 +1,570 @@
+#include "coh/protocol_tables.hh"
+
+namespace inpg {
+
+// ---------------------------------------------------------------------
+// L1 controller
+// ---------------------------------------------------------------------
+
+namespace {
+
+// Local aliases so the table body reads like the protocol spec.
+constexpr int I = 0, S = 1, E = 2, M = 3, O = 4;
+
+constexpr ProtoEmit emitGetS{CohMsgKind::GetS, false};
+constexpr ProtoEmit emitGetX{CohMsgKind::GetX, false};
+constexpr ProtoEmit emitInv{CohMsgKind::Inv, false};
+constexpr ProtoEmit emitData{CohMsgKind::Data, false};
+constexpr ProtoEmit emitDataExcl{CohMsgKind::DataExcl, false};
+constexpr ProtoEmit emitAckCount{CohMsgKind::AckCount, false};
+constexpr ProtoEmit emitInvAck{CohMsgKind::InvAck, false};
+constexpr ProtoEmit emitFwdGetS{CohMsgKind::FwdGetS, false};
+constexpr ProtoEmit emitFwdGetX{CohMsgKind::FwdGetX, false};
+// Bounded same-class relays (chain forwarding, big-router ack relay).
+constexpr ProtoEmit relayFwdGetS{CohMsgKind::FwdGetS, true};
+constexpr ProtoEmit relayFwdGetX{CohMsgKind::FwdGetX, true};
+constexpr ProtoEmit relayInvAck{CohMsgKind::InvAck, true};
+
+int
+asInt(L1Event e)
+{
+    return static_cast<int>(e);
+}
+
+int
+asInt(L1Action a)
+{
+    return static_cast<int>(a);
+}
+
+ProtoTransition
+l1T(int state, L1Event ev, L1Action action, std::vector<int> nexts,
+    std::vector<ProtoEmit> emits, std::vector<const char *> hooks,
+    const char *note = nullptr)
+{
+    ProtoTransition t;
+    t.state = state;
+    t.event = asInt(ev);
+    t.action = asInt(action);
+    t.nexts = std::move(nexts);
+    t.emits = std::move(emits);
+    t.lcoHooks = std::move(hooks);
+    t.note = note;
+    return t;
+}
+
+ProtoTransition
+l1Illegal(int state, L1Event ev, const char *reason)
+{
+    ProtoTransition t;
+    t.state = state;
+    t.event = asInt(ev);
+    t.action = PROTO_ILLEGAL;
+    t.note = reason;
+    return t;
+}
+
+} // namespace
+
+const char *
+l1TableStateName(int s)
+{
+    static const char *const names[L1_NUM_STATES] = {"I", "S", "E", "M",
+                                                     "O"};
+    return s >= 0 && s < L1_NUM_STATES ? names[s] : "?";
+}
+
+const char *
+l1EventName(int e)
+{
+    static const char *const names[L1_NUM_EVENTS] = {
+        "CoreLoad", "CoreWrite", "Inv",      "FwdGetS", "FwdGetX",
+        "Data",     "DataExcl",  "AckCount", "InvAck"};
+    return e >= 0 && e < L1_NUM_EVENTS ? names[e] : "?";
+}
+
+int
+l1EventVnet(int e)
+{
+    switch (static_cast<L1Event>(e)) {
+      case L1Event::CoreLoad:
+      case L1Event::CoreWrite:
+        return -1;
+      case L1Event::Inv:
+      case L1Event::FwdGetS:
+      case L1Event::FwdGetX:
+        return VNET_FORWARD;
+      case L1Event::Data:
+      case L1Event::DataExcl:
+      case L1Event::AckCount:
+      case L1Event::InvAck:
+        return VNET_RESPONSE;
+    }
+    return -1;
+}
+
+L1Event
+l1EventForMsgKind(CohMsgKind kind)
+{
+    switch (kind) {
+      case CohMsgKind::Inv:
+        return L1Event::Inv;
+      case CohMsgKind::FwdGetS:
+        return L1Event::FwdGetS;
+      case CohMsgKind::FwdGetX:
+        return L1Event::FwdGetX;
+      case CohMsgKind::Data:
+        return L1Event::Data;
+      case CohMsgKind::DataExcl:
+        return L1Event::DataExcl;
+      case CohMsgKind::AckCount:
+        return L1Event::AckCount;
+      case CohMsgKind::InvAck:
+        return L1Event::InvAck;
+      case CohMsgKind::GetS:
+      case CohMsgKind::GetX:
+        break;
+    }
+    panic("message kind %s has no L1 event", cohMsgKindName(kind));
+}
+
+/*
+ * Emission-attribution model: messages emitted while *serving a
+ * deferred forward* are attributed to the forward's arrival row (the
+ * deferral only delays processing), never to the Data/DataExcl/
+ * AckCount/InvAck row whose completion released it. Forward rows
+ * therefore carry both the service emission and the same-class relay;
+ * response rows emit nothing.
+ */
+const ProtoTableBase &
+l1ProtocolTable()
+{
+    using Ev = L1Event;
+    using Ac = L1Action;
+    static const TransitionTable<int, L1Event> table(
+        "l1", L1_NUM_STATES, L1_NUM_EVENTS, /*initial=*/I,
+        l1TableStateName, l1EventName, l1EventVnet,
+        {
+            // -- core load ------------------------------------------------
+            l1T(I, Ev::CoreLoad, Ac::BeginLoadMiss, {I}, {emitGetS},
+                {"opIssued", "requestSent"}),
+            l1T(S, Ev::CoreLoad, Ac::LoadHit, {S}, {},
+                {"opIssued", "opCompleted"}),
+            l1T(E, Ev::CoreLoad, Ac::LoadHit, {E}, {},
+                {"opIssued", "opCompleted"}),
+            l1T(M, Ev::CoreLoad, Ac::LoadHit, {M}, {},
+                {"opIssued", "opCompleted"}),
+            l1T(O, Ev::CoreLoad, Ac::LoadHit, {O}, {},
+                {"opIssued", "opCompleted"}),
+
+            // -- core store / atomic -------------------------------------
+            l1T(I, Ev::CoreWrite, Ac::BeginWriteMiss, {I}, {emitGetX},
+                {"opIssued", "requestSent"}),
+            l1T(S, Ev::CoreWrite, Ac::BeginWriteMiss, {S}, {emitGetX},
+                {"opIssued", "requestSent"}),
+            l1T(E, Ev::CoreWrite, Ac::WriteHit, {M}, {},
+                {"opIssued", "opCompleted"}),
+            l1T(M, Ev::CoreWrite, Ac::WriteHit, {M}, {},
+                {"opIssued", "opCompleted"}),
+            l1T(O, Ev::CoreWrite, Ac::BeginUpgrade, {O}, {emitGetX},
+                {"opIssued", "requestSent"},
+                "never demotable: a demoted upgrade would defer "
+                "pre-epoch forwards forever and deadlock the chain"),
+
+            // -- invalidations -------------------------------------------
+            l1T(I, Ev::Inv, Ac::AckInvalid, {I}, {emitInvAck},
+                {"earlyInvSeen"},
+                "early/home Inv racing a copy we already lost; ack is "
+                "idempotent and required for accounting"),
+            l1T(S, Ev::Inv, Ac::InvalidateAndAck, {I}, {emitInvAck},
+                {"earlyInvSeen"}),
+            l1T(E, Ev::Inv, Ac::AckStaleInv, {E}, {emitInvAck},
+                {"earlyInvSeen"},
+                "stale Inv aimed at an S copy our own GetX consumed"),
+            l1T(M, Ev::Inv, Ac::AckStaleInv, {M}, {emitInvAck},
+                {"earlyInvSeen"},
+                "stale Inv aimed at an S copy our own GetX consumed"),
+            l1T(O, Ev::Inv, Ac::AckStaleInv, {O}, {emitInvAck},
+                {"earlyInvSeen"},
+                "stale Inv aimed at an S copy our own GetX consumed"),
+
+            // -- forwarded reads -----------------------------------------
+            l1T(I, Ev::FwdGetS, Ac::ChainForward, {I, O},
+                {emitData, relayFwdGetS}, {},
+                "not the owner any more: relay along forwardedTo; a "
+                "deferred forward served after our fill supplies Data"),
+            l1T(S, Ev::FwdGetS, Ac::ChainForward, {S, O},
+                {emitData, relayFwdGetS}, {},
+                "owner tenure ended and line re-filled shared; relay"),
+            l1T(E, Ev::FwdGetS, Ac::ServeFwdGetS, {O},
+                {emitData, relayFwdGetS}, {}),
+            l1T(M, Ev::FwdGetS, Ac::ServeFwdGetS, {O},
+                {emitData, relayFwdGetS}, {}),
+            l1T(O, Ev::FwdGetS, Ac::ServeFwdGetS, {O},
+                {emitData, relayFwdGetS}, {}),
+
+            // -- forwarded exclusive requests ----------------------------
+            l1T(I, Ev::FwdGetX, Ac::ChainForward, {I},
+                {emitDataExcl, relayFwdGetX}, {},
+                "chain GetX: relay toward the node we surrendered to; "
+                "a deferred forward served after our fill supplies "
+                "DataExcl"),
+            l1T(S, Ev::FwdGetX, Ac::ChainForward, {S, I},
+                {emitDataExcl, relayFwdGetX}, {},
+                "owner tenure ended and line re-filled shared; relay"),
+            l1T(E, Ev::FwdGetX, Ac::ServeFwdGetX, {I},
+                {emitDataExcl, relayFwdGetX}, {}),
+            l1T(M, Ev::FwdGetX, Ac::ServeFwdGetX, {I},
+                {emitDataExcl, relayFwdGetX}, {}),
+            l1T(O, Ev::FwdGetX, Ac::ServeFwdGetX, {I},
+                {emitDataExcl, relayFwdGetX}, {}),
+
+            // -- shared data responses -----------------------------------
+            l1T(I, Ev::Data, Ac::FillShared, {S, I}, {},
+                {"responseArrived", "opCompleted"},
+                "stays I when an Inv raced the fill (invWhileFilling)"),
+            l1T(S, Ev::Data, Ac::FillShared, {S}, {},
+                {"responseArrived", "opCompleted"},
+                "demoted lock RMW issued from S keeps the shared copy"),
+            l1Illegal(E, Ev::Data,
+                      "no transaction can be pending in E: loads and "
+                      "writes both hit locally"),
+            l1Illegal(M, Ev::Data,
+                      "no transaction can be pending in M: loads and "
+                      "writes both hit locally"),
+            l1Illegal(O, Ev::Data,
+                      "RMWs issued from O are forced non-demotable, so "
+                      "no shared response can target an O line"),
+
+            // -- exclusive data responses --------------------------------
+            l1T(I, Ev::DataExcl, Ac::FillExclusive, {E, M, I}, {},
+                {"responseArrived", "opCompleted"},
+                "read answered exclusively -> E; write completes to M "
+                "once all acks are in"),
+            l1T(S, Ev::DataExcl, Ac::FillExclusive, {M, S}, {},
+                {"responseArrived", "opCompleted"},
+                "write miss from S: our shared copy was never "
+                "invalidated by our own GetX"),
+            l1Illegal(E, Ev::DataExcl,
+                      "no miss can be outstanding while the line is E"),
+            l1Illegal(M, Ev::DataExcl,
+                      "no miss can be outstanding while the line is M"),
+            l1T(O, Ev::DataExcl, Ac::FillExclusive, {M, O}, {},
+                {"responseArrived", "opCompleted"},
+                "upgrade that serialized behind other writers while a "
+                "pre-epoch FwdGetX is still deferred"),
+
+            // -- ack totals ----------------------------------------------
+            l1T(I, Ev::AckCount, Ac::CollectAckInfo, {I, M}, {},
+                {"responseArrived", "opCompleted"},
+                "chain GetX: ack info from home, data from the owner"),
+            l1T(S, Ev::AckCount, Ac::CollectAckInfo, {S, M}, {},
+                {"responseArrived", "opCompleted"}),
+            l1Illegal(E, Ev::AckCount,
+                      "no exclusive transaction can be pending in E"),
+            l1Illegal(M, Ev::AckCount,
+                      "no exclusive transaction can be pending in M"),
+            l1T(O, Ev::AckCount, Ac::CollectAckInfo, {O, M}, {},
+                {"responseArrived", "opCompleted"},
+                "O-state upgrade: ownerUpgrade acks, resident copy is "
+                "the data"),
+
+            // -- invalidation acks ---------------------------------------
+            l1T(I, Ev::InvAck, Ac::CollectInvAck, {I, M}, {},
+                {"invAckArrived", "opCompleted"}),
+            l1T(S, Ev::InvAck, Ac::CollectInvAck, {S, M}, {},
+                {"invAckArrived", "opCompleted"}),
+            l1Illegal(E, Ev::InvAck,
+                      "no exclusive transaction can be pending in E"),
+            l1Illegal(M, Ev::InvAck,
+                      "no exclusive transaction can be pending in M"),
+            l1T(O, Ev::InvAck, Ac::CollectInvAck, {O, M}, {},
+                {"invAckArrived", "opCompleted"}),
+        });
+    return table;
+}
+
+// ---------------------------------------------------------------------
+// Directory
+// ---------------------------------------------------------------------
+
+namespace {
+
+int
+asInt(DirState s)
+{
+    return static_cast<int>(s);
+}
+
+ProtoTransition
+dirT(DirState state, DirEvent ev, DirAction action,
+     std::vector<int> nexts, std::vector<ProtoEmit> emits,
+     std::vector<const char *> hooks, const char *note = nullptr)
+{
+    ProtoTransition t;
+    t.state = asInt(state);
+    t.event = static_cast<int>(ev);
+    t.action = static_cast<int>(action);
+    t.nexts = std::move(nexts);
+    t.emits = std::move(emits);
+    t.lcoHooks = std::move(hooks);
+    t.note = note;
+    return t;
+}
+
+ProtoTransition
+dirIllegal(DirState state, DirEvent ev, const char *reason)
+{
+    ProtoTransition t;
+    t.state = asInt(state);
+    t.event = static_cast<int>(ev);
+    t.action = PROTO_ILLEGAL;
+    t.note = reason;
+    return t;
+}
+
+constexpr int D_UNCACHED = 0, D_SHARED = 1, D_OWNED = 2, D_OWNED_SELF = 3;
+
+} // namespace
+
+const char *
+dirStateName(int s)
+{
+    static const char *const names[DIR_NUM_STATES] = {
+        "Uncached", "Shared", "Owned", "OwnedSelf"};
+    return s >= 0 && s < DIR_NUM_STATES ? names[s] : "?";
+}
+
+const char *
+dirEventName(int e)
+{
+    static const char *const names[DIR_NUM_EVENTS] = {
+        "GetS", "GetX", "GetXDemotable", "EarlyInvAck"};
+    return e >= 0 && e < DIR_NUM_EVENTS ? names[e] : "?";
+}
+
+int
+dirEventVnet(int e)
+{
+    switch (static_cast<DirEvent>(e)) {
+      case DirEvent::GetS:
+      case DirEvent::GetX:
+      case DirEvent::GetXDemotable:
+        return VNET_REQUEST;
+      case DirEvent::EarlyInvAck:
+        return VNET_RESPONSE;
+    }
+    return -1;
+}
+
+const ProtoTableBase &
+directoryProtocolTable()
+{
+    using St = DirState;
+    using Ev = DirEvent;
+    using Ac = DirAction;
+    static const TransitionTable<DirState, DirEvent> table(
+        "directory", DIR_NUM_STATES, DIR_NUM_EVENTS,
+        /*initial=*/D_UNCACHED, dirStateName, dirEventName, dirEventVnet,
+        {
+            // -- reads ----------------------------------------------------
+            dirT(St::Uncached, Ev::GetS, Ac::GrantExclusive,
+                 {D_OWNED, D_OWNED_SELF}, {emitDataExcl},
+                 {"dirArrived", "dirServed"}),
+            dirT(St::Shared, Ev::GetS, Ac::AnswerShared, {D_SHARED},
+                 {emitData}, {"dirArrived", "dirServed"}),
+            dirT(St::Owned, Ev::GetS, Ac::ForwardGetS,
+                 {D_OWNED, D_OWNED_SELF}, {emitFwdGetS},
+                 {"dirArrived", "dirServed"}),
+            dirIllegal(St::OwnedSelf, Ev::GetS,
+                       "the recorded owner's loads hit in M/E/O and it "
+                       "can have no read miss outstanding; forwarding "
+                       "the line to its own requester would "
+                       "self-deadlock"),
+
+            // -- plain exclusive requests --------------------------------
+            dirT(St::Uncached, Ev::GetX, Ac::InvalidateAndGrant,
+                 {D_OWNED, D_OWNED_SELF}, {emitInv, emitDataExcl},
+                 {"dirArrived", "dirServed", "earlyInvSeen"},
+                 "sharer set is empty here, so no Inv is actually sent"),
+            dirT(St::Shared, Ev::GetX, Ac::InvalidateAndGrant,
+                 {D_OWNED, D_OWNED_SELF}, {emitInv, emitDataExcl},
+                 {"dirArrived", "dirServed", "earlyInvSeen"}),
+            dirT(St::Owned, Ev::GetX, Ac::ForwardGetX,
+                 {D_OWNED, D_OWNED_SELF},
+                 {emitFwdGetX, emitAckCount, emitInv},
+                 {"dirArrived", "dirServed", "earlyInvSeen"}),
+            dirT(St::OwnedSelf, Ev::GetX, Ac::OwnerUpgrade,
+                 {D_OWNED, D_OWNED_SELF}, {emitAckCount, emitInv},
+                 {"dirArrived", "dirServed", "earlyInvSeen"}),
+
+            // -- demotable lock acquires ---------------------------------
+            dirT(St::Uncached, Ev::GetXDemotable, Ac::DemoteOrGrant,
+                 {D_SHARED, D_OWNED, D_OWNED_SELF},
+                 {emitData, emitDataExcl, emitInv},
+                 {"dirArrived", "dirServed", "earlyInvSeen"},
+                 "held lock valued at home -> shared Data; free lock "
+                 "falls through to the full exclusive grant"),
+            dirT(St::Shared, Ev::GetXDemotable, Ac::DemoteOrGrant,
+                 {D_SHARED, D_OWNED, D_OWNED_SELF},
+                 {emitData, emitDataExcl, emitInv},
+                 {"dirArrived", "dirServed", "earlyInvSeen"}),
+            dirT(St::Owned, Ev::GetXDemotable, Ac::DemoteViaOwner,
+                 {D_OWNED, D_OWNED_SELF}, {emitFwdGetS},
+                 {"dirArrived", "dirServed", "earlyInvSeen"},
+                 "owner supplies the shared (locked) copy; requester "
+                 "spins locally on it"),
+            dirT(St::OwnedSelf, Ev::GetXDemotable, Ac::OwnerUpgrade,
+                 {D_OWNED, D_OWNED_SELF}, {emitAckCount, emitInv},
+                 {"dirArrived", "dirServed", "earlyInvSeen"},
+                 "we already own the lock line: demotion degenerates "
+                 "to the upgrade path"),
+
+            // -- early invalidation acks ---------------------------------
+            dirT(St::Uncached, Ev::EarlyInvAck, Ac::TrimSharer,
+                 {D_UNCACHED}, {}, {},
+                 "stale: the sharer was already dropped"),
+            dirT(St::Shared, Ev::EarlyInvAck, Ac::TrimSharer,
+                 {D_SHARED, D_UNCACHED}, {}, {}),
+            dirT(St::Owned, Ev::EarlyInvAck, Ac::TrimSharer, {D_OWNED},
+                 {}, {}),
+            dirT(St::OwnedSelf, Ev::EarlyInvAck, Ac::TrimSharer,
+                 {D_OWNED_SELF}, {}, {}),
+        });
+    return table;
+}
+
+// ---------------------------------------------------------------------
+// iNPG big-router barrier FSM
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr int B_NONE = 0, B_IDLE = 1, B_ARMED = 2;
+
+ProtoTransition
+brT(int state, BrEvent ev, BrAction action, std::vector<int> nexts,
+    std::vector<ProtoEmit> emits, const char *note = nullptr)
+{
+    ProtoTransition t;
+    t.state = state;
+    t.event = static_cast<int>(ev);
+    t.action = static_cast<int>(action);
+    t.nexts = std::move(nexts);
+    t.emits = std::move(emits);
+    t.note = note;
+    return t;
+}
+
+ProtoTransition
+brIllegal(int state, BrEvent ev, const char *reason)
+{
+    ProtoTransition t;
+    t.state = state;
+    t.event = static_cast<int>(ev);
+    t.action = PROTO_ILLEGAL;
+    t.note = reason;
+    return t;
+}
+
+} // namespace
+
+const char *
+brStateName(int s)
+{
+    static const char *const names[BR_NUM_STATES] = {
+        "NoBarrier", "BarrierIdle", "BarrierArmed"};
+    return s >= 0 && s < BR_NUM_STATES ? names[s] : "?";
+}
+
+const char *
+brEventName(int e)
+{
+    static const char *const names[BR_NUM_EVENTS] = {
+        "LockGetXArrival", "LockGetXTransfer", "EarlyInvAck",
+        "TtlExpire"};
+    return e >= 0 && e < BR_NUM_EVENTS ? names[e] : "?";
+}
+
+int
+brEventVnet(int e)
+{
+    switch (static_cast<BrEvent>(e)) {
+      case BrEvent::LockGetXArrival:
+      case BrEvent::LockGetXTransfer:
+        return VNET_REQUEST;
+      case BrEvent::EarlyInvAck:
+        return VNET_RESPONSE;
+      case BrEvent::TtlExpire:
+        return -1;
+    }
+    return -1;
+}
+
+const ProtoTableBase &
+bigRouterProtocolTable()
+{
+    using Ev = BrEvent;
+    using Ac = BrAction;
+    static const TransitionTable<int, BrEvent> table(
+        "big_router", BR_NUM_STATES, BR_NUM_EVENTS, /*initial=*/B_NONE,
+        brStateName, brEventName, brEventVnet,
+        {
+            // -- GetX[lock] head-flit arrival (RC stage) -----------------
+            brT(B_NONE, Ev::LockGetXArrival, Ac::PassThrough, {B_NONE},
+                {}),
+            brT(B_IDLE, Ev::LockGetXArrival, Ac::StopAndInvalidate,
+                {B_ARMED, B_IDLE}, {emitInv},
+                "stays idle when the EI list is full (pass-through)"),
+            brT(B_ARMED, Ev::LockGetXArrival, Ac::StopAndInvalidate,
+                {B_ARMED}, {emitInv},
+                "duplicate-core or full EI list passes through"),
+
+            // -- GetX[lock] switch traversal (ST stage) ------------------
+            brT(B_NONE, Ev::LockGetXTransfer, Ac::InstallBarrier,
+                {B_IDLE, B_NONE}, {},
+                "stays untracked when the barrier table is full"),
+            brT(B_IDLE, Ev::LockGetXTransfer, Ac::RefreshBarrier,
+                {B_IDLE}, {}),
+            brT(B_ARMED, Ev::LockGetXTransfer, Ac::RefreshBarrier,
+                {B_ARMED}, {}),
+
+            // -- InvAck answering one of our early Invs ------------------
+            brT(B_NONE, Ev::EarlyInvAck, Ac::RelayStale, {B_NONE},
+                {relayInvAck},
+                "barrier expired under the ack: still relay to the "
+                "home so the sharer list is trimmed"),
+            brT(B_IDLE, Ev::EarlyInvAck, Ac::RelayStale, {B_IDLE},
+                {relayInvAck}),
+            brT(B_ARMED, Ev::EarlyInvAck, Ac::RelayAndCloseEi,
+                {B_ARMED, B_IDLE}, {relayInvAck}),
+
+            // -- TTL ------------------------------------------------------
+            brIllegal(B_NONE, Ev::TtlExpire,
+                      "no barrier installed, nothing can expire"),
+            brT(B_IDLE, Ev::TtlExpire, Ac::ExpireBarrier, {B_NONE}, {}),
+            brIllegal(B_ARMED, Ev::TtlExpire,
+                      "the TTL countdown only runs while the EI list "
+                      "is empty"),
+        });
+    return table;
+}
+
+// ---------------------------------------------------------------------
+
+const ProtoTableBase &
+protocolTable(int index)
+{
+    switch (index) {
+      case 0:
+        return l1ProtocolTable();
+      case 1:
+        return directoryProtocolTable();
+      case 2:
+        return bigRouterProtocolTable();
+      default:
+        panic("no protocol table %d", index);
+    }
+}
+
+} // namespace inpg

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The production protocol transition tables: L1 MOESI controller,
+ * directory (home node), and the iNPG big-router barrier FSM, each
+ * expressed as a declarative TransitionTable over its (state, event)
+ * space.
+ *
+ * These tables are the single source of truth for which pairs are
+ * legal, what each transition may inject into which virtual network,
+ * and which LCO attribution hooks it drives. The controllers dispatch
+ * through them (so an undeclared pair is a loud panic, not a silent
+ * hang), and tools/protocol_check verifies them statically: total
+ * coverage, no ambiguity, acyclic cross-vnet message dependencies,
+ * LCO hook tiling, and full state reachability.
+ */
+
+#ifndef INPG_COH_PROTOCOL_TABLES_HH
+#define INPG_COH_PROTOCOL_TABLES_HH
+
+#include "coh/transition_table.hh"
+
+namespace inpg {
+
+// ---------------------------------------------------------------------
+// L1 controller
+// ---------------------------------------------------------------------
+
+// L1State lives in l1_controller.hh; the table is keyed by its int
+// values (I, S, E, M, O) to keep this header free of controller
+// dependencies. l1_controller.cc static_asserts the correspondence.
+inline constexpr int L1_NUM_STATES = 5;
+
+/** Events the L1 protocol engine reacts to. */
+enum class L1Event {
+    CoreLoad,  ///< core issues a load (after the L1 array latency)
+    CoreWrite, ///< core issues a store or atomic RMW
+    Inv,       ///< invalidation (home or big router)
+    FwdGetS,   ///< home forwarded a read to us as owner
+    FwdGetX,   ///< home forwarded an exclusive request to us as owner
+    Data,      ///< shared data response (plain fill or demoted RMW)
+    DataExcl,  ///< exclusive data response
+    AckCount,  ///< home announces the ack total (upgrade or chain)
+    InvAck,    ///< one invalidation acknowledgement collected
+};
+inline constexpr int L1_NUM_EVENTS = 9;
+
+/** Controller actions an L1 table entry can select. */
+enum class L1Action {
+    LoadHit,          ///< load served from a valid local copy
+    BeginLoadMiss,    ///< emit GetS, wait for data
+    WriteHit,         ///< write/RMW in M or E: silent upgrade to M
+    BeginWriteMiss,   ///< emit GetX from I/S
+    BeginUpgrade,     ///< emit GetX from O (never demotable)
+    InvalidateAndAck, ///< drop the S copy, ack the invalidation
+    AckInvalid,       ///< already invalid: ack for accounting only
+    AckStaleInv,      ///< stale Inv on an owner state: keep line, ack
+    ServeFwdGetS,     ///< supply Data, downgrade to O (or defer)
+    ServeFwdGetX,     ///< supply DataExcl, invalidate (or defer)
+    ChainForward,     ///< not owner any more: relay along the chain
+    FillShared,       ///< install/observe a shared copy, complete op
+    FillExclusive,    ///< record exclusive data, maybe complete
+    CollectAckInfo,   ///< record the ack total, maybe complete
+    CollectInvAck,    ///< count one ack, maybe complete
+};
+
+const char *l1TableStateName(int s);
+const char *l1EventName(int e);
+/** Triggering-message vnet of an L1 event (-1 for core events). */
+int l1EventVnet(int e);
+
+/** Map a received coherence message kind onto the L1 event space. */
+L1Event l1EventForMsgKind(CohMsgKind kind);
+
+/** The L1 MOESI table (5 states x 9 events, totally covered). */
+const ProtoTableBase &l1ProtocolTable();
+
+// ---------------------------------------------------------------------
+// Directory (home node)
+// ---------------------------------------------------------------------
+
+/**
+ * Directory-entry state as seen by one request: ownership is resolved
+ * against the requester so the self-upgrade row is its own state.
+ */
+enum class DirState {
+    Uncached,  ///< no owner, no sharers
+    Shared,    ///< no owner, at least one sharer
+    Owned,     ///< owned by a core other than the requester
+    OwnedSelf, ///< owned by the requester itself (upgrade row)
+};
+inline constexpr int DIR_NUM_STATES = 4;
+
+/** Events the directory serializes. */
+enum class DirEvent {
+    GetS,           ///< read request
+    GetX,           ///< exclusive request (plain)
+    GetXDemotable,  ///< failure-idempotent lock acquire (may demote)
+    EarlyInvAck,    ///< big-router-relayed InvAck trimming a sharer
+};
+inline constexpr int DIR_NUM_EVENTS = 4;
+
+/** Controller actions a directory table entry can select. */
+enum class DirAction {
+    GrantExclusive,     ///< uncached read/write: DataExcl, no acks
+    AnswerShared,       ///< read with sharers: Data from home
+    ForwardGetS,        ///< owner supplies the data (M/E/O -> O)
+    InvalidateAndGrant, ///< home data + Inv storm to other sharers
+    ForwardGetX,        ///< FwdGetX to owner + AckCount + Inv storm
+    OwnerUpgrade,       ///< requester owns it: AckCount only + Invs
+    DemoteViaOwner,     ///< lock held by owner: FwdGetS (shared copy)
+    DemoteOrGrant,      ///< home-held lock: Data if held, else grant
+    TrimSharer,         ///< early InvAck: drop the acked sharer
+};
+
+const char *dirStateName(int s);
+const char *dirEventName(int e);
+int dirEventVnet(int e);
+
+/** The directory table (4 derived states x 4 events). */
+const ProtoTableBase &directoryProtocolTable();
+
+// ---------------------------------------------------------------------
+// iNPG big-router barrier FSM
+// ---------------------------------------------------------------------
+
+/** Per-lock-address barrier state at one big router. */
+enum class BrState {
+    NoBarrier,   ///< address not tracked
+    BarrierIdle, ///< barrier installed, no early invalidation open
+    BarrierArmed ///< barrier installed, >= 1 EI entry outstanding
+};
+inline constexpr int BR_NUM_STATES = 3;
+
+/** Events of the barrier FSM. */
+enum class BrEvent {
+    LockGetXArrival,  ///< GetX[lock,atomic] head flit arrives
+    LockGetXTransfer, ///< GetX[lock,atomic] wins switch traversal
+    EarlyInvAck,      ///< InvAck answering one of our early Invs
+    TtlExpire,        ///< barrier TTL elapsed with no open EI
+};
+inline constexpr int BR_NUM_EVENTS = 4;
+
+/** Actions of the barrier FSM. */
+enum class BrAction {
+    PassThrough,     ///< no barrier: request continues unmodified
+    StopAndInvalidate, ///< open an EI, inject the early Inv
+    InstallBarrier,  ///< first transfer plants the barrier
+    RefreshBarrier,  ///< transfer under an existing barrier
+    RelayAndCloseEi, ///< close the EI, relay the ack to the home
+    RelayStale,      ///< no matching EI: relay the ack anyway
+    ExpireBarrier,   ///< TTL reclaim of an idle barrier
+};
+
+const char *brStateName(int s);
+const char *brEventName(int e);
+int brEventVnet(int e);
+
+/** The big-router barrier FSM table (3 states x 4 events). */
+const ProtoTableBase &bigRouterProtocolTable();
+
+// ---------------------------------------------------------------------
+
+/** All production tables, for the verifier (index 0..2). */
+inline constexpr int PROTO_NUM_TABLES = 3;
+const ProtoTableBase &protocolTable(int index);
+
+} // namespace inpg
+
+#endif // INPG_COH_PROTOCOL_TABLES_HH

@@ -1,0 +1,300 @@
+#include "coh/protocol_verify.hh"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "coh/protocol_tables.hh"
+#include "common/logging.hh"
+
+namespace inpg {
+
+namespace {
+
+ProtoDiagnostic
+diag(const char *check, const ProtoTableBase &t, std::string msg)
+{
+    return ProtoDiagnostic{check, t.name(), std::move(msg)};
+}
+
+const char *
+vnetName(int v)
+{
+    switch (v) {
+      case VNET_REQUEST:
+        return "request(0)";
+      case VNET_FORWARD:
+        return "forward(1)";
+      case VNET_RESPONSE:
+        return "response(2)";
+      case VNET_UNBLOCK:
+        return "unblock(3)";
+      default:
+        return "none";
+    }
+}
+
+} // namespace
+
+const std::vector<const char *> &
+protocolLcoHooks()
+{
+    static const std::vector<const char *> hooks = {
+        "opIssued",        "requestSent", "dirArrived",
+        "dirServed",       "responseArrived", "invAckArrived",
+        "earlyInvSeen",    "opCompleted",
+    };
+    return hooks;
+}
+
+std::vector<ProtoDiagnostic>
+verifyCoverage(const ProtoTableBase &t)
+{
+    std::vector<ProtoDiagnostic> out;
+    for (int s = 0; s < t.numStates(); ++s) {
+        for (int e = 0; e < t.numEvents(); ++e) {
+            if (!t.find(s, e))
+                out.push_back(diag(
+                    "coverage", t,
+                    format("unhandled transition (%s, %s): declare an "
+                           "action or an explicit illegal entry",
+                           t.stateName(s), t.eventName(e))));
+        }
+    }
+    for (const auto &[s, e] : t.duplicates())
+        out.push_back(diag("coverage", t,
+                           format("ambiguous transition (%s, %s): "
+                                  "declared more than once",
+                                  t.stateName(s), t.eventName(e))));
+    return out;
+}
+
+std::vector<ProtoDiagnostic>
+verifyVnetGraph(const std::vector<const ProtoTableBase *> &tables)
+{
+    std::vector<ProtoDiagnostic> out;
+
+    // adj[a][b]: one witness transition for the edge a -> b, or null.
+    constexpr int NV = 4;
+    struct Witness {
+        const ProtoTableBase *table = nullptr;
+        int state = 0, event = 0;
+        CohMsgKind kind = CohMsgKind::GetS;
+    };
+    Witness adj[NV][NV] = {};
+    bool edge[NV][NV] = {};
+
+    for (const ProtoTableBase *t : tables) {
+        for (int s = 0; s < t->numStates(); ++s) {
+            for (int e = 0; e < t->numEvents(); ++e) {
+                const ProtoTransition *tr = t->find(s, e);
+                if (!tr || !tr->legal())
+                    continue;
+                const int vin = t->eventVnet(e);
+                for (const ProtoEmit &em : tr->emits) {
+                    const int vout = vnetForKind(em.kind);
+                    if (em.relay) {
+                        // Relays must stay on their own class; a relay
+                        // that hops networks is a mis-annotated real
+                        // dependency.
+                        if (vin != vout)
+                            out.push_back(diag(
+                                "vnet-graph", *t,
+                                format("(%s, %s): relay emit %s "
+                                       "crosses %s -> %s; relays must "
+                                       "stay on the consuming vnet",
+                                       t->stateName(s), t->eventName(e),
+                                       cohMsgKindName(em.kind),
+                                       vnetName(vin), vnetName(vout))));
+                        continue;
+                    }
+                    if (vin < 0)
+                        continue; // core/timer-triggered: a source node
+                    if (!edge[vin][vout]) {
+                        edge[vin][vout] = true;
+                        adj[vin][vout] = {t, s, e, em.kind};
+                    }
+                }
+            }
+        }
+    }
+
+    // A non-relay self-edge is already a cycle; report it precisely.
+    for (int v = 0; v < NV; ++v) {
+        if (edge[v][v]) {
+            const Witness &w = adj[v][v];
+            out.push_back(diag(
+                "vnet-graph", *w.table,
+                format("(%s, %s): emitting %s forms a %s -> %s "
+                       "self-dependency; mark it a bounded relay or "
+                       "move it to a higher message class",
+                       w.table->stateName(w.state),
+                       w.table->eventName(w.event),
+                       cohMsgKindName(w.kind), vnetName(v),
+                       vnetName(v))));
+        }
+    }
+
+    // DFS cycle detection over the 4-node cross-vnet graph.
+    int color[NV] = {}; // 0 white, 1 grey, 2 black
+    std::vector<int> stack;
+    std::vector<int> cycle;
+    auto dfs = [&](auto &&self, int v) -> bool {
+        color[v] = 1;
+        stack.push_back(v);
+        for (int w = 0; w < NV; ++w) {
+            if (v == w || !edge[v][w])
+                continue;
+            if (color[w] == 1) {
+                auto it = std::find(stack.begin(), stack.end(), w);
+                cycle.assign(it, stack.end());
+                cycle.push_back(w);
+                return true;
+            }
+            if (color[w] == 0 && self(self, w))
+                return true;
+        }
+        stack.pop_back();
+        color[v] = 2;
+        return false;
+    };
+    for (int v = 0; v < NV && cycle.empty(); ++v)
+        if (color[v] == 0)
+            dfs(dfs, v);
+
+    if (!cycle.empty()) {
+        std::string path;
+        for (std::size_t i = 0; i < cycle.size(); ++i) {
+            if (i)
+                path += " -> ";
+            path += vnetName(cycle[i]);
+        }
+        std::string witnesses;
+        for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+            const Witness &w = adj[cycle[i]][cycle[i + 1]];
+            witnesses += format("; %s(%s, %s) emits %s",
+                                w.table ? w.table->name() : "?",
+                                w.table ? w.table->stateName(w.state)
+                                        : "?",
+                                w.table ? w.table->eventName(w.event)
+                                        : "?",
+                                cohMsgKindName(w.kind));
+        }
+        out.push_back(ProtoDiagnostic{
+            "vnet-graph", "joint",
+            format("message-class dependency cycle: %s%s",
+                   path.c_str(), witnesses.c_str())});
+    }
+    return out;
+}
+
+std::vector<ProtoDiagnostic>
+verifyLcoHooks(const std::vector<const ProtoTableBase *> &tables)
+{
+    std::vector<ProtoDiagnostic> out;
+    const auto &known = protocolLcoHooks();
+    std::set<std::string> seen;
+
+    for (const ProtoTableBase *t : tables) {
+        for (int s = 0; s < t->numStates(); ++s) {
+            for (int e = 0; e < t->numEvents(); ++e) {
+                const ProtoTransition *tr = t->find(s, e);
+                if (!tr || !tr->legal())
+                    continue;
+                for (const char *h : tr->lcoHooks) {
+                    const bool ok =
+                        std::any_of(known.begin(), known.end(),
+                                    [h](const char *k) {
+                                        return std::string(k) == h;
+                                    });
+                    if (!ok)
+                        out.push_back(diag(
+                            "lco-hooks", *t,
+                            format("(%s, %s): unknown LCO hook '%s'",
+                                   t->stateName(s), t->eventName(e),
+                                   h)));
+                    else
+                        seen.insert(h);
+                }
+            }
+        }
+    }
+
+    // Tiling: each cursor-advancing hook must be drivable from at
+    // least one transition, or an attribution leg can never close and
+    // the legs no longer tile the acquire (invariant 9).
+    for (const char *h : known) {
+        if (!seen.count(h))
+            out.push_back(ProtoDiagnostic{
+                "lco-hooks", "joint",
+                format("LCO hook '%s' is driven by no transition: leg "
+                       "boundaries cannot tile the acquire",
+                       h)});
+    }
+    return out;
+}
+
+std::vector<ProtoDiagnostic>
+verifyReachability(const ProtoTableBase &t)
+{
+    std::vector<ProtoDiagnostic> out;
+    std::vector<bool> reached(static_cast<std::size_t>(t.numStates()),
+                              false);
+    std::vector<int> work = {t.initialState()};
+    reached[static_cast<std::size_t>(t.initialState())] = true;
+    while (!work.empty()) {
+        const int s = work.back();
+        work.pop_back();
+        for (int e = 0; e < t.numEvents(); ++e) {
+            const ProtoTransition *tr = t.find(s, e);
+            if (!tr || !tr->legal())
+                continue;
+            for (int n : tr->nexts) {
+                if (n >= 0 && n < t.numStates() &&
+                    !reached[static_cast<std::size_t>(n)]) {
+                    reached[static_cast<std::size_t>(n)] = true;
+                    work.push_back(n);
+                }
+            }
+        }
+    }
+    for (int s = 0; s < t.numStates(); ++s) {
+        if (!reached[static_cast<std::size_t>(s)])
+            out.push_back(diag(
+                "reachability", t,
+                format("dead state %s: no transition chain from %s "
+                       "produces it",
+                       t.stateName(s),
+                       t.stateName(t.initialState()))));
+    }
+    return out;
+}
+
+std::vector<ProtoDiagnostic>
+verifyProtocol(const std::vector<const ProtoTableBase *> &tables)
+{
+    std::vector<ProtoDiagnostic> out;
+    for (const ProtoTableBase *t : tables) {
+        auto c = verifyCoverage(*t);
+        out.insert(out.end(), c.begin(), c.end());
+        auto r = verifyReachability(*t);
+        out.insert(out.end(), r.begin(), r.end());
+    }
+    auto v = verifyVnetGraph(tables);
+    out.insert(out.end(), v.begin(), v.end());
+    auto l = verifyLcoHooks(tables);
+    out.insert(out.end(), l.begin(), l.end());
+    return out;
+}
+
+std::vector<ProtoDiagnostic>
+verifyProductionProtocol()
+{
+    std::vector<const ProtoTableBase *> tables;
+    tables.reserve(PROTO_NUM_TABLES);
+    for (int i = 0; i < PROTO_NUM_TABLES; ++i)
+        tables.push_back(&protocolTable(i));
+    return verifyProtocol(tables);
+}
+
+} // namespace inpg

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Static protocol verifier: structural checks over the declarative
+ * transition tables, shared by `tools/protocol_check` (the build-time
+ * gate) and `tests/test_protocol_check.cc` (which feeds deliberately
+ * broken tables and asserts the diagnostics).
+ *
+ * Checks:
+ *  1. Coverage: every (state, event) pair carries exactly one entry
+ *     (legal or declared-illegal-with-reason); duplicates are
+ *     ambiguity errors.
+ *  2. Vnet dependency graph: an edge A -> B means "consuming a
+ *     message of class A can require injecting class B". Relay emits
+ *     must stay on their own vnet (bounded same-class chains); all
+ *     other edges must form an acyclic graph over the 4 virtual
+ *     networks -- the standard static deadlock-freedom argument for
+ *     message-class protocols, covering the iNPG early-Inv /
+ *     FwdGetX-conversion / InvAck-relay reroutes.
+ *  3. LCO hook tiling: every hook annotation names a real LcoTracker
+ *     mark-cursor hook, and the union across the tables covers the
+ *     full cursor-advancing set, so the attribution legs of PR 3 can
+ *     tile every acquire.
+ *  4. Reachability: every state is reachable from the table's initial
+ *     state through declared next-state sets (dead states are
+ *     findings).
+ */
+
+#ifndef INPG_COH_PROTOCOL_VERIFY_HH
+#define INPG_COH_PROTOCOL_VERIFY_HH
+
+#include <string>
+#include <vector>
+
+#include "coh/transition_table.hh"
+
+namespace inpg {
+
+/** One verifier finding, precise enough to locate the table hole. */
+struct ProtoDiagnostic {
+    std::string check; ///< "coverage", "vnet-graph", "lco-hooks", ...
+    std::string table; ///< table name ("l1", "directory", ...)
+    std::string message;
+
+    std::string
+    toString() const
+    {
+        return check + " [" + table + "]: " + message;
+    }
+};
+
+/**
+ * The LcoTracker mark-cursor hooks protocol transitions may drive.
+ * Together these advance the cursor through every leg boundary of an
+ * acquire (l1Access / reqNetwork / dirService / respNetwork /
+ * invAckWait); the lock-primitive-side hooks (acquireBegin/End,
+ * sleep, spin) are not protocol transitions and live outside the
+ * tables.
+ */
+const std::vector<const char *> &protocolLcoHooks();
+
+/** Check 1: total coverage, no duplicates. */
+std::vector<ProtoDiagnostic> verifyCoverage(const ProtoTableBase &t);
+
+/** Check 2: relay discipline + cross-vnet acyclicity (joint graph). */
+std::vector<ProtoDiagnostic>
+verifyVnetGraph(const std::vector<const ProtoTableBase *> &tables);
+
+/** Check 3: hook validity + full tiling coverage (joint). */
+std::vector<ProtoDiagnostic>
+verifyLcoHooks(const std::vector<const ProtoTableBase *> &tables);
+
+/** Check 4: every state reachable from the initial state. */
+std::vector<ProtoDiagnostic> verifyReachability(const ProtoTableBase &t);
+
+/** All checks over a set of tables, concatenated. */
+std::vector<ProtoDiagnostic>
+verifyProtocol(const std::vector<const ProtoTableBase *> &tables);
+
+/** verifyProtocol over the three production tables. */
+std::vector<ProtoDiagnostic> verifyProductionProtocol();
+
+} // namespace inpg
+
+#endif // INPG_COH_PROTOCOL_VERIFY_HH

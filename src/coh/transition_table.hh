@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Declarative (state, event) transition tables for the coherence and
+ * iNPG protocol state machines.
+ *
+ * Each protocol FSM (L1 controller, directory, big-router barrier) is
+ * described by one table whose entries name, for every (state, event)
+ * pair, the controller action to run, the set of possible next states,
+ * the coherence-message kinds the transition may emit (each tagged
+ * with whether it is a bounded same-class relay), and the LCO
+ * attribution hooks the transition drives. The pair space must be
+ * covered *totally*: a pair the protocol can never observe still gets
+ * an entry, marked illegal with a written reason. Absence of an entry
+ * is a verifier error, never a semantic.
+ *
+ * The controllers dispatch through these tables (`require()` asserts
+ * the pair is declared legal before the action runs), and
+ * `tools/protocol_check` plus `tests/test_protocol_check.cc` walk the
+ * same data structurally: coverage, ambiguity, vnet-dependency
+ * acyclicity, LCO hook tiling and state reachability are all checked
+ * without running a single simulated cycle.
+ */
+
+#ifndef INPG_COH_TRANSITION_TABLE_HH
+#define INPG_COH_TRANSITION_TABLE_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "coh/coherence_msg.hh"
+#include "common/logging.hh"
+
+namespace inpg {
+
+/** One message kind a transition may inject into the NoC. */
+struct ProtoEmit {
+    CohMsgKind kind = CohMsgKind::GetS;
+    /**
+     * Same-class relay: the emitted message replaces the consumed one
+     * on the same virtual network (chain forwarding, big-router InvAck
+     * relay). Relays are exempt from the cross-vnet acyclicity check
+     * but must stay on the triggering message's vnet and are bounded
+     * (ownership chains and relay hops are finite), which the verifier
+     * checks structurally.
+     */
+    bool relay = false;
+};
+
+/** Action id marking a declared-impossible (state, event) pair. */
+inline constexpr int PROTO_ILLEGAL = -1;
+
+/**
+ * One declared (state, event) pair. `action` is a controller-specific
+ * enum value (or PROTO_ILLEGAL); `nexts` lists every state the FSM can
+ * be in after the action completes (used for reachability analysis and
+ * documentation; the dynamic choice stays in the controller).
+ */
+struct ProtoTransition {
+    int state = 0;
+    int event = 0;
+    int action = PROTO_ILLEGAL;
+    std::vector<int> nexts;
+    std::vector<ProtoEmit> emits;
+    /** LcoTracker hook names this transition drives (may be empty). */
+    std::vector<const char *> lcoHooks;
+    /** Why the pair is impossible (illegal) or a behavioural note. */
+    const char *note = nullptr;
+
+    bool legal() const { return action != PROTO_ILLEGAL; }
+};
+
+/**
+ * Type-erased transition table: a dense (numStates x numEvents) grid of
+ * ProtoTransition entries plus naming callbacks, shared by the typed
+ * controller-facing wrapper below and the structural verifier.
+ */
+class ProtoTableBase
+{
+  public:
+    using NameFn = const char *(*)(int);
+    /** Vnet the triggering message of an event travels on; -1 when the
+     * event is not message-triggered (core ops, timer ticks). */
+    using VnetFn = int (*)(int);
+
+    ProtoTableBase(const char *table_name, int num_states, int num_events,
+                   int initial_state, NameFn state_name, NameFn event_name,
+                   VnetFn event_vnet,
+                   std::initializer_list<ProtoTransition> entries)
+        : name_(table_name), numStates_(num_states),
+          numEvents_(num_events), initial_(initial_state),
+          stateName_(state_name), eventName_(event_name),
+          eventVnet_(event_vnet),
+          grid_(static_cast<std::size_t>(num_states) *
+                static_cast<std::size_t>(num_events))
+    {
+        for (const ProtoTransition &t : entries)
+            insert(t);
+    }
+
+    /** Add one entry; duplicates are recorded, not overwritten. */
+    void
+    insert(const ProtoTransition &t)
+    {
+        INPG_ASSERT(t.state >= 0 && t.state < numStates_ &&
+                        t.event >= 0 && t.event < numEvents_,
+                    "table %s: entry (%d, %d) out of range", name_,
+                    t.state, t.event);
+        Slot &s = grid_[index(t.state, t.event)];
+        if (s.present) {
+            duplicates_.emplace_back(t.state, t.event);
+            return;
+        }
+        s.present = true;
+        s.t = t;
+    }
+
+    /** Entry for a pair, or nullptr when the pair was never declared. */
+    const ProtoTransition *
+    find(int state, int event) const
+    {
+        INPG_ASSERT(state >= 0 && state < numStates_ && event >= 0 &&
+                        event < numEvents_,
+                    "table %s: lookup (%d, %d) out of range", name_,
+                    state, event);
+        const Slot &s = grid_[index(state, event)];
+        return s.present ? &s.t : nullptr;
+    }
+
+    /**
+     * Dispatch lookup: the pair must be declared *and* legal. An
+     * undeclared or illegal pair is a protocol bug; panic with the
+     * precise (table, state, event) diagnostic instead of the silent
+     * hang an unhandled switch case used to produce.
+     */
+    const ProtoTransition &
+    require(int state, int event) const
+    {
+        const ProtoTransition *t = find(state, event);
+        if (!t)
+            panic("protocol table %s: unhandled transition (%s, %s)",
+                  name_, stateName_(state), eventName_(event));
+        if (!t->legal())
+            panic("protocol table %s: illegal transition (%s, %s): %s",
+                  name_, stateName_(state), eventName_(event),
+                  t->note ? t->note : "declared impossible");
+        return *t;
+    }
+
+    const char *name() const { return name_; }
+    int numStates() const { return numStates_; }
+    int numEvents() const { return numEvents_; }
+    int initialState() const { return initial_; }
+    const char *stateName(int s) const { return stateName_(s); }
+    const char *eventName(int e) const { return eventName_(e); }
+    int eventVnet(int e) const { return eventVnet_(e); }
+
+    /** (state, event) pairs that were declared more than once. */
+    const std::vector<std::pair<int, int>> &
+    duplicates() const
+    {
+        return duplicates_;
+    }
+
+  private:
+    struct Slot {
+        bool present = false;
+        ProtoTransition t;
+    };
+
+    std::size_t
+    index(int state, int event) const
+    {
+        return static_cast<std::size_t>(state) *
+                   static_cast<std::size_t>(numEvents_) +
+               static_cast<std::size_t>(event);
+    }
+
+    const char *name_;
+    int numStates_;
+    int numEvents_;
+    int initial_;
+    NameFn stateName_;
+    NameFn eventName_;
+    VnetFn eventVnet_;
+    std::vector<Slot> grid_;
+    std::vector<std::pair<int, int>> duplicates_;
+};
+
+/**
+ * Typed wrapper binding a table to its State and Event enums; the
+ * controllers dispatch through this, the verifier through the base.
+ */
+template <typename State, typename Event>
+class TransitionTable : public ProtoTableBase
+{
+  public:
+    using ProtoTableBase::ProtoTableBase;
+
+    const ProtoTransition *
+    find(State s, Event e) const
+    {
+        return ProtoTableBase::find(static_cast<int>(s),
+                                    static_cast<int>(e));
+    }
+
+    const ProtoTransition &
+    require(State s, Event e) const
+    {
+        return ProtoTableBase::require(static_cast<int>(s),
+                                       static_cast<int>(e));
+    }
+};
+
+} // namespace inpg
+
+#endif // INPG_COH_TRANSITION_TABLE_HH

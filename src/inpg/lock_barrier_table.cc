@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "coh/protocol_tables.hh"
 #include "common/logging.hh"
 
 namespace inpg {
@@ -123,6 +124,17 @@ LockBarrierTable::expire(Cycle now)
     for (std::size_t i = 0; i < barriers.size();) {
         if (barriers[i].eis.empty() &&
             now >= barriers[i].idleSince + ttl) {
+            // The declarative FSM only permits TTL expiry from the
+            // idle state (the countdown pauses while EIs are open);
+            // require() panics if the table ever disagrees.
+            const ProtoTransition &tr =
+                bigRouterProtocolTable().require(
+                    static_cast<int>(BrState::BarrierIdle),
+                    static_cast<int>(BrEvent::TtlExpire));
+            INPG_ASSERT(static_cast<BrAction>(tr.action) ==
+                            BrAction::ExpireBarrier,
+                        "barrier FSM: (BarrierIdle, TtlExpire) must "
+                        "map to ExpireBarrier");
             ++stats.counter("barriers_expired");
             eraseSlot(i); // swap-erase: re-examine the moved-in slot
         } else {

@@ -71,6 +71,12 @@ class LockBarrierTable
 
     std::size_t numBarriers() const { return barriers.size(); }
 
+    /**
+     * True if a barrier entry exists for the lock address, without
+     * running TTL expiry (const view; `hasBarrier` expires first).
+     */
+    bool contains(Addr addr) const { return slotIndex.find(addr) != nullptr; }
+
     /** Live EI entries under a barrier (0 when absent). */
     std::size_t numEis(Addr addr) const;
 

@@ -10,6 +10,7 @@
 #include "coh/coh_config.hh"
 #include "coh/coh_stats.hh"
 #include "coh/coherence_msg.hh"
+#include "coh/protocol_tables.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "inpg/inpg_config.hh"
@@ -60,6 +61,9 @@ class PacketGenerator
     StatGroup stats;
 
   private:
+    /** Classify the barrier FSM state for a lock address (no expiry). */
+    BrState barrierState(Addr addr) const;
+
     NodeId node;
     InpgConfig cfg;
     CohConfig cohCfg;

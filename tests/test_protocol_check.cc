@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Verifier tests: feed deliberately broken transition tables through
+ * each static check and assert the precise diagnostic fires, then
+ * prove the three production tables verify clean (so a seeded table
+ * bug fails plain ctest, not just the standalone tool).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "coh/protocol_tables.hh"
+#include "coh/protocol_verify.hh"
+
+namespace inpg {
+namespace {
+
+// A minimal 2-state / 2-event FSM to seed bugs into.
+enum class TS { A, B };
+enum class TE { X, Y };
+
+const char *
+tsName(int s)
+{
+    return s == 0 ? "A" : "B";
+}
+
+const char *
+teName(int e)
+{
+    return e == 0 ? "X" : "Y";
+}
+
+int
+teVnetRequest(int)
+{
+    return VNET_REQUEST;
+}
+
+using TinyTable = TransitionTable<TS, TE>;
+
+bool
+hasDiag(const std::vector<ProtoDiagnostic> &diags, const char *check,
+        const char *needle)
+{
+    for (const auto &d : diags)
+        if (d.check == check &&
+            d.message.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+std::string
+joinDiags(const std::vector<ProtoDiagnostic> &diags)
+{
+    std::string out;
+    for (const auto &d : diags)
+        out += d.toString() + "\n";
+    return out;
+}
+
+TEST(ProtocolCheck, CoverageFlagsUnhandledPair)
+{
+    TinyTable t("hole", 2, 2, 0, tsName, teName, teVnetRequest,
+                {
+                    {0, 0, 0, {0}, {}, {}, nullptr},
+                    {0, 1, 0, {1}, {}, {}, nullptr},
+                    {1, 0, 0, {0}, {}, {}, nullptr},
+                    // (B, Y) intentionally missing
+                });
+    auto diags = verifyCoverage(t);
+    EXPECT_TRUE(hasDiag(diags, "coverage", "unhandled transition (B, Y)"))
+        << joinDiags(diags);
+    EXPECT_EQ(diags.size(), 1u) << joinDiags(diags);
+}
+
+TEST(ProtocolCheck, CoverageFlagsAmbiguousPair)
+{
+    TinyTable t("dup", 2, 2, 0, tsName, teName, teVnetRequest,
+                {
+                    {0, 0, 0, {0}, {}, {}, nullptr},
+                    {0, 0, 1, {1}, {}, {}, nullptr}, // duplicate (A, X)
+                    {0, 1, 0, {0}, {}, {}, nullptr},
+                    {1, 0, 0, {0}, {}, {}, nullptr},
+                    {1, 1, 0, {0}, {}, {}, nullptr},
+                });
+    auto diags = verifyCoverage(t);
+    EXPECT_TRUE(
+        hasDiag(diags, "coverage", "ambiguous transition (A, X)"))
+        << joinDiags(diags);
+}
+
+TEST(ProtocolCheck, CoverageAcceptsExplicitIllegalEntries)
+{
+    TinyTable t("tot", 2, 2, 0, tsName, teName, teVnetRequest,
+                {
+                    {0, 0, 0, {0, 1}, {}, {}, nullptr},
+                    {0, 1, PROTO_ILLEGAL, {}, {}, {}, "cannot happen"},
+                    {1, 0, 0, {0}, {}, {}, nullptr},
+                    {1, 1, PROTO_ILLEGAL, {}, {}, {}, "cannot happen"},
+                });
+    EXPECT_TRUE(verifyCoverage(t).empty());
+}
+
+TEST(ProtocolCheck, VnetGraphFlagsSameClassEmission)
+{
+    // A request-class consumer re-injecting request traffic without a
+    // relay annotation is a 0 -> 0 self-dependency (potential request-
+    // network deadlock).
+    TinyTable t("selfdep", 2, 2, 0, tsName, teName, teVnetRequest,
+                {
+                    {0, 0, 0, {0}, {{CohMsgKind::GetX, false}}, {},
+                     nullptr},
+                    {0, 1, 0, {0}, {}, {}, nullptr},
+                    {1, 0, 0, {0}, {}, {}, nullptr},
+                    {1, 1, 0, {0}, {}, {}, nullptr},
+                });
+    auto diags = verifyVnetGraph({&t});
+    EXPECT_TRUE(hasDiag(diags, "vnet-graph", "self-dependency"))
+        << joinDiags(diags);
+}
+
+TEST(ProtocolCheck, VnetGraphFlagsRelayCrossingClasses)
+{
+    // A "relay" must stay on the consuming vnet; Data (response class)
+    // emitted from a request-class consumer is a real dependency.
+    TinyTable t("badrelay", 2, 2, 0, tsName, teName, teVnetRequest,
+                {
+                    {0, 0, 0, {0}, {{CohMsgKind::Data, true}}, {},
+                     nullptr},
+                    {0, 1, 0, {0}, {}, {}, nullptr},
+                    {1, 0, 0, {0}, {}, {}, nullptr},
+                    {1, 1, 0, {0}, {}, {}, nullptr},
+                });
+    auto diags = verifyVnetGraph({&t});
+    EXPECT_TRUE(hasDiag(diags, "vnet-graph", "crosses"))
+        << joinDiags(diags);
+}
+
+TEST(ProtocolCheck, VnetGraphFlagsCrossClassCycle)
+{
+    // Two tables jointly forming request -> response -> request.
+    auto vnetResponse = [](int) { return VNET_RESPONSE; };
+    TinyTable a("reqside", 2, 2, 0, tsName, teName, teVnetRequest,
+                {
+                    {0, 0, 0, {0}, {{CohMsgKind::Data, false}}, {},
+                     nullptr},
+                    {0, 1, 0, {0}, {}, {}, nullptr},
+                    {1, 0, 0, {0}, {}, {}, nullptr},
+                    {1, 1, 0, {0}, {}, {}, nullptr},
+                });
+    TinyTable b("respside", 2, 2, 0, tsName, teName, vnetResponse,
+                {
+                    {0, 0, 0, {0}, {{CohMsgKind::GetS, false}}, {},
+                     nullptr},
+                    {0, 1, 0, {0}, {}, {}, nullptr},
+                    {1, 0, 0, {0}, {}, {}, nullptr},
+                    {1, 1, 0, {0}, {}, {}, nullptr},
+                });
+    auto diags = verifyVnetGraph({&a, &b});
+    EXPECT_TRUE(hasDiag(diags, "vnet-graph", "dependency cycle"))
+        << joinDiags(diags);
+    // The report must carry witnesses naming the offending tables.
+    EXPECT_TRUE(hasDiag(diags, "vnet-graph", "reqside"))
+        << joinDiags(diags);
+    EXPECT_TRUE(hasDiag(diags, "vnet-graph", "respside"))
+        << joinDiags(diags);
+}
+
+TEST(ProtocolCheck, LcoHooksFlagUnknownName)
+{
+    TinyTable t("hook", 2, 2, 0, tsName, teName, teVnetRequest,
+                {
+                    {0, 0, 0, {0}, {}, {"notAHook"}, nullptr},
+                    {0, 1, 0, {0}, {}, {}, nullptr},
+                    {1, 0, 0, {0}, {}, {}, nullptr},
+                    {1, 1, 0, {0}, {}, {}, nullptr},
+                });
+    auto diags = verifyLcoHooks({&t});
+    EXPECT_TRUE(
+        hasDiag(diags, "lco-hooks", "unknown LCO hook 'notAHook'"))
+        << joinDiags(diags);
+}
+
+TEST(ProtocolCheck, LcoHooksFlagUncoveredLeg)
+{
+    // A table set that never drives `dirServed` leaves the dirService
+    // attribution leg unclosable.
+    TinyTable t("legs", 2, 2, 0, tsName, teName, teVnetRequest,
+                {
+                    {0, 0, 0, {0}, {}, {"opIssued"}, nullptr},
+                    {0, 1, 0, {0}, {}, {}, nullptr},
+                    {1, 0, 0, {0}, {}, {}, nullptr},
+                    {1, 1, 0, {0}, {}, {}, nullptr},
+                });
+    auto diags = verifyLcoHooks({&t});
+    EXPECT_TRUE(hasDiag(diags, "lco-hooks",
+                        "LCO hook 'dirServed' is driven by no "
+                        "transition"))
+        << joinDiags(diags);
+}
+
+TEST(ProtocolCheck, ReachabilityFlagsDeadState)
+{
+    // Every transition stays in A; state B is declared but dead.
+    TinyTable t("dead", 2, 2, 0, tsName, teName, teVnetRequest,
+                {
+                    {0, 0, 0, {0}, {}, {}, nullptr},
+                    {0, 1, 0, {0}, {}, {}, nullptr},
+                    {1, 0, 0, {0}, {}, {}, nullptr},
+                    {1, 1, 0, {0}, {}, {}, nullptr},
+                });
+    auto diags = verifyReachability(t);
+    EXPECT_TRUE(hasDiag(diags, "reachability", "dead state B"))
+        << joinDiags(diags);
+}
+
+TEST(ProtocolCheck, RequirePanicsOnUnhandledAndIllegalPairs)
+{
+    TinyTable t("req", 2, 2, 0, tsName, teName, teVnetRequest,
+                {
+                    {0, 0, 0, {0}, {}, {}, nullptr},
+                    {0, 1, PROTO_ILLEGAL, {}, {}, {}, "by design"},
+                });
+    EXPECT_EQ(&t.require(TS::A, TE::X), t.find(TS::A, TE::X));
+    EXPECT_DEATH(t.require(TS::A, TE::Y),
+                 "illegal transition \\(A, Y\\): by design");
+    EXPECT_DEATH(t.require(TS::B, TE::X), "unhandled transition \\(B, X\\)");
+}
+
+// ---------------------------------------------------------------------
+// Production tables: these assertions are what makes a seeded bug in
+// protocol_tables.cc fail plain `ctest` without any extra tooling.
+// ---------------------------------------------------------------------
+
+TEST(ProtocolCheck, ProductionTablesVerifyClean)
+{
+    auto diags = verifyProductionProtocol();
+    EXPECT_TRUE(diags.empty()) << joinDiags(diags);
+}
+
+TEST(ProtocolCheck, ProductionTablesCoverFullPairSpace)
+{
+    for (int i = 0; i < PROTO_NUM_TABLES; ++i) {
+        const ProtoTableBase &t = protocolTable(i);
+        for (int s = 0; s < t.numStates(); ++s)
+            for (int e = 0; e < t.numEvents(); ++e)
+                EXPECT_NE(t.find(s, e), nullptr)
+                    << t.name() << " (" << t.stateName(s) << ", "
+                    << t.eventName(e) << ")";
+        EXPECT_TRUE(t.duplicates().empty()) << t.name();
+    }
+}
+
+TEST(ProtocolCheck, DirectoryTableEncodesDemotionPolicy)
+{
+    // Spot-check the rows the iNPG mechanism hinges on (paper Fig. 4):
+    // a demotable GetX against a foreign owner demotes via the owner
+    // with a FwdGetS, never a FwdGetX.
+    const auto &tr = directoryProtocolTable().require(
+        static_cast<int>(DirState::Owned),
+        static_cast<int>(DirEvent::GetXDemotable));
+    EXPECT_EQ(static_cast<DirAction>(tr.action),
+              DirAction::DemoteViaOwner);
+    ASSERT_EQ(tr.emits.size(), 1u);
+    EXPECT_EQ(tr.emits[0].kind, CohMsgKind::FwdGetS);
+}
+
+TEST(ProtocolCheck, BigRouterTableStopsOnlyUnderBarrier)
+{
+    const auto &pass = bigRouterProtocolTable().require(
+        static_cast<int>(BrState::NoBarrier),
+        static_cast<int>(BrEvent::LockGetXArrival));
+    EXPECT_EQ(static_cast<BrAction>(pass.action), BrAction::PassThrough);
+    EXPECT_TRUE(pass.emits.empty());
+
+    const auto &stop = bigRouterProtocolTable().require(
+        static_cast<int>(BrState::BarrierArmed),
+        static_cast<int>(BrEvent::LockGetXArrival));
+    EXPECT_EQ(static_cast<BrAction>(stop.action),
+              BrAction::StopAndInvalidate);
+    ASSERT_EQ(stop.emits.size(), 1u);
+    EXPECT_EQ(stop.emits[0].kind, CohMsgKind::Inv);
+}
+
+} // namespace
+} // namespace inpg

@@ -158,6 +158,63 @@ TEST(Directory, RejectsMisroutedMessages)
 }
 
 // ---------------------------------------------------------------------
+// Declarative-table findings (DESIGN.md Section 8)
+// ---------------------------------------------------------------------
+
+TEST(ProtocolTables, DirectorySelfGetSIsLoudlyIllegal)
+{
+    // Table-lift finding: the imperative directory would answer a GetS
+    // from the recorded owner by forwarding the request back to the
+    // requester itself -- a silent self-deadlock. The L1 can never
+    // produce one (owner loads hit locally in E/M/O), so the table
+    // declares (OwnedSelf, GetS) illegal; inject one by hand and
+    // expect the precise panic instead of a hang.
+    DirHarness h;
+    Addr a = h.coh.lineHomedAt(3);
+    bool stored = false;
+    h.sys->l1(5).issueStore(a, 1, false,
+                            [&](std::uint64_t) { stored = true; });
+    h.runUntil([&] { return stored; });
+    ASSERT_EQ(h.sys->directory(3).entry(a)->owner, 5);
+
+    auto msg = std::make_shared<CoherenceMsg>();
+    msg->kind = CohMsgKind::GetS;
+    msg->addr = a;
+    msg->requester = 5;
+    msg->toDirectory = true;
+    EXPECT_DEATH(
+        {
+            h.sys->directory(3).receiveMessage(msg, h.sim.now());
+            h.sim.run(1000);
+        },
+        "illegal transition \\(OwnedSelf, GetS\\)");
+}
+
+TEST(ProtocolTables, DemotableAcquireOnFreeLockTakesExclusiveBranch)
+{
+    // (Uncached/Shared, GetXDemotable) maps to DemoteOrGrant: the home
+    // only demotes while the lock value reads held; a free lock falls
+    // through to the full exclusive grant so the acquire can write.
+    DirHarness h;
+    Addr a = h.coh.lineHomedAt(2);
+    bool done = false;
+    bool was_demoted = true;
+    std::uint64_t old_val = 99;
+    h.sys->l1(6).issueAtomic(
+        a, AtomicOp::Swap, 1, 0, true,
+        [&](std::uint64_t v, bool demoted) {
+            old_val = v;
+            was_demoted = demoted;
+            done = true;
+        },
+        /*demotable=*/true);
+    h.runUntil([&] { return done; });
+    EXPECT_FALSE(was_demoted);
+    EXPECT_EQ(old_val, 0u);
+    EXPECT_EQ(h.sys->directory(2).entry(a)->owner, 6);
+}
+
+// ---------------------------------------------------------------------
 // Adversarial interleavings through the L1 deferral machinery
 // ---------------------------------------------------------------------
 

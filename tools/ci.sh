@@ -1,21 +1,70 @@
 #!/bin/sh
 # PR gate (tools/ci.sh): the checks every change must pass beyond the
 # plain unit suite:
-#   1. ./run_benches.sh --quick    -- kernel fast-forward A/B and busy
+#   1. static analysis -- tools/protocol_check --self-test (declarative
+#      transition tables: coverage, vnet acyclicity, LCO hook tiling,
+#      reachability) and tools/lint_inpg.py --self-test (determinism
+#      lint, DESIGN.md invariants 10-13);
+#   2. ./run_benches.sh --quick    -- kernel fast-forward A/B and busy
 #      hot-path A/B perf smokes (non-zero exit if either optimization
 #      changes simulated results or the optimized schedule path
 #      allocates), refreshing BENCH_*.json;
-#   2. ./run_benches.sh --sanitize -- configure + build + full ctest
+#   3. ./run_benches.sh --sanitize -- configure + build + full ctest
 #      under ASan/UBSan in build-asan/.
+# Flags:
+#   --tidy       additionally run clang-tidy over src/ (skipped with a
+#                note when clang-tidy is not installed);
+#   --tidy-only  run just the clang-tidy stage (the ci-clang-tidy
+#                ctest entry).
 # Expects ./build to be configured (configures it if missing). Wired
 # as the `ci-smoke` ctest when the tree is configured with
 # -DINPG_CI_SMOKE=ON; off by default because it builds and tests a
 # second tree.
 set -e
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
+
+want_tidy=0
+tidy_only=0
+for arg in "$@"; do
+    case "$arg" in
+      --tidy) want_tidy=1 ;;
+      --tidy-only) want_tidy=1; tidy_only=1 ;;
+      *) echo "usage: tools/ci.sh [--tidy|--tidy-only]" >&2; exit 2 ;;
+    esac
+done
+
 if [ ! -f "$repo_root/build/CMakeCache.txt" ]; then
     cmake -B "$repo_root/build" -S "$repo_root"
 fi
+
+run_tidy() {
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "ci.sh: clang-tidy not installed; skipping tidy stage" >&2
+        return 0
+    fi
+    # The build exports compile_commands.json
+    # (CMAKE_EXPORT_COMPILE_COMMANDS); .clang-tidy at the repo root
+    # selects the bugprone/performance/narrowing checks.
+    find "$repo_root/src" -name '*.cc' -print | sort | \
+        xargs clang-tidy -p "$repo_root/build" --quiet
+}
+
+if [ "$tidy_only" = 1 ]; then
+    run_tidy
+    exit 0
+fi
+
+echo "=== ci.sh stage 1: static analysis ==="
+cmake --build "$repo_root/build" -j "$(nproc)" --target protocol_check
+"$repo_root/build/tools/protocol_check" --self-test
+python3 "$repo_root/tools/lint_inpg.py" --root "$repo_root" --self-test
+if [ "$want_tidy" = 1 ]; then
+    run_tidy
+fi
+
+echo "=== ci.sh stage 2: perf smokes ==="
 cmake --build "$repo_root/build" -j "$(nproc)" --target bench_micro
 "$repo_root/run_benches.sh" --quick
+
+echo "=== ci.sh stage 3: sanitizer suite ==="
 "$repo_root/run_benches.sh" --sanitize

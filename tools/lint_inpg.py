@@ -1,0 +1,314 @@
+#!/usr/bin/env python3
+"""Determinism lint for the iNPG simulator sources (DESIGN.md Section 8).
+
+Rules (numbered as DESIGN.md invariants 10-13):
+
+  unordered-iteration  (inv. 10)
+      No range-for over std::unordered_map / std::unordered_set in the
+      simulation directories (src/sim, src/noc, src/coh, src/inpg).
+      Hash-order iteration silently breaks the bit-identical
+      determinism the fingerprint tests rely on.
+
+  raw-flit-new         (inv. 11)
+      No raw `new Flit` outside src/noc/flit_pool.cc. Flits are
+      pool-recycled; a raw allocation leaks a flit past the pool's
+      generation counters.
+
+  nondeterminism       (inv. 12)
+      No rand()/srand()/time() and no wall-clock reads
+      (std::chrono::*_clock) in the simulation directories. All
+      randomness flows through common/rng.hh; all time is Cycle.
+      Host-side profiling may opt out per line.
+
+  shared-ptr-flit      (inv. 13)
+      No std::shared_ptr<Flit> anywhere in src/. The NoC hot paths
+      moved to pooled raw pointers (PR 1); a shared_ptr regression
+      reintroduces atomic refcount traffic per hop.
+
+A finding is suppressed by an end-of-line marker naming its rule:
+
+    auto t0 = std::chrono::steady_clock::now();  // lint:allow(nondeterminism)
+
+Exit status: 0 clean, 1 findings, 2 usage error. --self-test runs the
+rules against embedded known-bad snippets and fails unless every rule
+fires (and suppression works).
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SIM_DIRS = ("src/sim", "src/noc", "src/coh", "src/inpg")
+ALL_SRC = ("src",)
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z\-,\s]+)\)")
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s+(\w+)\s*[;{=]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*?:\s*([^)]+)\)")
+FINAL_IDENT_RE = re.compile(r"(\w+)\s*(?:\(\s*\))?\s*$")
+RAW_FLIT_NEW_RE = re.compile(r"\bnew\s+Flit\b")
+NONDET_RE = re.compile(
+    r"\b(?:std::)?(?:rand|srand)\s*\("
+    r"|\b(?:std::)?time\s*\(\s*(?:NULL|nullptr|0|\&|\))"
+    r"|std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+)
+SHARED_PTR_FLIT_RE = re.compile(r"std::shared_ptr\s*<\s*Flit\b")
+
+
+def strip_comments(text):
+    """Blank out comments and string literals, preserving line structure
+    and any lint:allow markers (kept so suppression still works)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            comment = text[i:j]
+            m = ALLOW_RE.search(comment)
+            out.append(m.group(0) if m else "")
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("\n" * text.count("\n", i, j))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    j += 1
+                    break
+                j += 1
+            out.append(quote + quote)
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def allowed(lines, lineno, rule):
+    m = ALLOW_RE.search(lines[lineno - 1]) if lineno <= len(lines) else None
+    if not m:
+        return False
+    rules = {r.strip() for r in m.group(1).split(",")}
+    return rule in rules
+
+
+def collect_unordered_names(files):
+    """Names declared with an unordered container type anywhere in the
+    scanned set (headers declare, .cc files iterate)."""
+    names = set()
+    for path, text in files:
+        del path
+        for m in UNORDERED_DECL_RE.finditer(text):
+            names.add(m.group(1))
+    return names
+
+
+def check_unordered_iteration(files, names):
+    findings = []
+    for path, text in files:
+        lines = text.splitlines()
+        for m in RANGE_FOR_RE.finditer(text):
+            expr = m.group(1).strip()
+            ident = FINAL_IDENT_RE.search(expr)
+            if not ident or ident.group(1) not in names:
+                continue
+            ln = line_of(text, m.start())
+            if allowed(lines, ln, "unordered-iteration"):
+                continue
+            findings.append(Finding(
+                "unordered-iteration", path, ln,
+                "range-for over unordered container '%s': hash-order "
+                "iteration breaks determinism; use FlatHashMap or sort "
+                "the keys" % ident.group(1)))
+    return findings
+
+
+def check_raw_flit_new(files):
+    findings = []
+    for path, text in files:
+        if path.as_posix().endswith("src/noc/flit_pool.cc"):
+            continue
+        lines = text.splitlines()
+        for m in RAW_FLIT_NEW_RE.finditer(text):
+            ln = line_of(text, m.start())
+            if allowed(lines, ln, "raw-flit-new"):
+                continue
+            findings.append(Finding(
+                "raw-flit-new", path, ln,
+                "raw `new Flit` outside flit_pool.cc: flits are "
+                "pool-recycled (FlitPool::make)"))
+    return findings
+
+
+def check_nondeterminism(files):
+    findings = []
+    for path, text in files:
+        lines = text.splitlines()
+        for m in NONDET_RE.finditer(text):
+            ln = line_of(text, m.start())
+            if allowed(lines, ln, "nondeterminism"):
+                continue
+            findings.append(Finding(
+                "nondeterminism", path, ln,
+                "'%s': sim code must draw randomness from common/rng.hh "
+                "and time from the Cycle clock" % m.group(0).strip()))
+    return findings
+
+
+def check_shared_ptr_flit(files):
+    findings = []
+    for path, text in files:
+        lines = text.splitlines()
+        for m in SHARED_PTR_FLIT_RE.finditer(text):
+            ln = line_of(text, m.start())
+            if allowed(lines, ln, "shared-ptr-flit"):
+                continue
+            findings.append(Finding(
+                "shared-ptr-flit", path, ln,
+                "std::shared_ptr<Flit> regression: the NoC hot paths "
+                "use pooled raw pointers"))
+    return findings
+
+
+def gather(root, rel_dirs):
+    files = []
+    for rel in rel_dirs:
+        base = root / rel
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in (".cc", ".hh", ".cpp", ".hpp", ".h"):
+                text = strip_comments(path.read_text(errors="replace"))
+                files.append((path.relative_to(root), text))
+    return files
+
+
+def run_lint(root):
+    sim_files = gather(root, SIM_DIRS)
+    all_files = gather(root, ALL_SRC)
+    findings = []
+    findings += check_unordered_iteration(
+        sim_files, collect_unordered_names(sim_files))
+    findings += check_raw_flit_new(sim_files)
+    findings += check_nondeterminism(sim_files)
+    findings += check_shared_ptr_flit(all_files)
+    findings.sort(key=lambda f: (str(f.path), f.line))
+    return findings
+
+
+SELF_TEST_BAD = """
+#include <unordered_map>
+std::unordered_map<int, int> table;
+void f() {
+    for (const auto &kv : table) { (void)kv; }
+    Flit *raw = new Flit(pkt, HEAD, 0);
+    int r = rand();
+    auto t = std::chrono::steady_clock::now();
+    std::shared_ptr<Flit> keep;
+}
+"""
+
+SELF_TEST_SUPPRESSED = """
+void g() {
+    auto t = std::chrono::steady_clock::now(); // lint:allow(nondeterminism)
+}
+"""
+
+
+def run_self_test():
+    files = [(Path("src/noc/selftest.cc"), strip_comments(SELF_TEST_BAD))]
+    findings = []
+    findings += check_unordered_iteration(
+        files, collect_unordered_names(files))
+    findings += check_raw_flit_new(files)
+    findings += check_nondeterminism(files)
+    findings += check_shared_ptr_flit(files)
+    fired = {f.rule for f in findings}
+    want = {"unordered-iteration", "raw-flit-new", "nondeterminism",
+            "shared-ptr-flit"}
+    failures = want - fired
+    for rule in sorted(want):
+        status = "ok" if rule in fired else "MISSED"
+        print("lint_inpg --self-test: %s: rule %s fires on the bad "
+              "snippet" % (status, rule))
+
+    sup = [(Path("src/noc/ok.cc"), strip_comments(SELF_TEST_SUPPRESSED))]
+    leftover = check_nondeterminism(sup)
+    if leftover:
+        print("lint_inpg --self-test: MISSED: lint:allow suppression")
+        failures.add("suppression")
+    else:
+        print("lint_inpg --self-test: ok: lint:allow suppresses a "
+              "finding")
+
+    # Comment text must never trip a rule (flit.hh documents the former
+    # shared_ptr design in prose).
+    commented = [(Path("src/noc/doc.hh"),
+                  strip_comments("// drop-in for std::shared_ptr<Flit>\n"))]
+    if check_shared_ptr_flit(commented):
+        print("lint_inpg --self-test: MISSED: comments are exempt")
+        failures.add("comments")
+    else:
+        print("lint_inpg --self-test: ok: comment text is exempt")
+
+    return 0 if not failures else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".",
+                    help="repository root (contains src/)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the rules fire on embedded bad snippets "
+                         "before linting")
+    args = ap.parse_args()
+
+    root = Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print("lint_inpg: no src/ under %s" % root, file=sys.stderr)
+        return 2
+
+    if args.self_test and run_self_test() != 0:
+        return 1
+
+    findings = run_lint(root)
+    for f in findings:
+        print(f, file=sys.stderr)
+    if findings:
+        print("lint_inpg: %d finding(s)" % len(findings), file=sys.stderr)
+        return 1
+    print("lint_inpg: clean (%s)" % ", ".join(
+        ("unordered-iteration", "raw-flit-new", "nondeterminism",
+         "shared-ptr-flit")))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
