@@ -24,6 +24,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -183,6 +184,30 @@ BENCHMARK(BM_HistogramAdd);
 
 namespace {
 
+/**
+ * Provenance stamp emitted into every BENCH_*.json: the commit the
+ * numbers were measured at (INPG_GIT_SHA, exported by run_benches.sh),
+ * the build flavor, the compiler, and the workload's config flags.
+ * Perf results are only comparable within one (sha, flavor) pair.
+ */
+void
+emitMeta(std::FILE *out, const char *config_flags)
+{
+#ifndef INPG_BENCH_BUILD_FLAVOR
+#define INPG_BENCH_BUILD_FLAVOR "unknown"
+#endif
+    const char *sha = std::getenv("INPG_GIT_SHA");
+    std::fprintf(out,
+                 "  \"meta\": {\n"
+                 "    \"git_sha\": \"%s\",\n"
+                 "    \"build_flavor\": \"%s\",\n"
+                 "    \"compiler\": \"%s\",\n"
+                 "    \"config_flags\": \"%s\"\n"
+                 "  },\n",
+                 sha && *sha ? sha : "unknown",
+                 INPG_BENCH_BUILD_FLAVOR, __VERSION__, config_flags);
+}
+
 struct KernelRunMetrics {
     Cycle simCycles = 0;
     Cycle roiCycles = 0;
@@ -285,8 +310,9 @@ printKernelJson(std::FILE *out, const KernelRunMetrics &off,
     const double speedup = on.wallNs > 0 ? off.wallNs / on.wallNs : 0;
 
     std::fprintf(out, "{\n"
-                      "  \"bench\": \"kernel_fast_forward\",\n"
-                      "  \"workload\": \"long_cs_contention\",\n"
+                      "  \"bench\": \"kernel_fast_forward\",\n");
+    emitMeta(out, "mesh=4x4 lock=qsl cs_scale=1.0 seed=1");
+    std::fprintf(out, "  \"workload\": \"long_cs_contention\",\n"
                       "  \"mesh\": \"4x4\",\n"
                       "  \"lock\": \"qsl\",\n"
                       "  \"runs\": {\n");
@@ -445,8 +471,9 @@ printHotpathJson(std::FILE *out, const HotpathMetrics &ref,
     auto frac = [total](double s) { return total > 0 ? s / total : 0; };
 
     std::fprintf(out, "{\n"
-                      "  \"bench\": \"hotpath\",\n"
-                      "  \"workload\": \"busy_spin_contention\",\n"
+                      "  \"bench\": \"hotpath\",\n");
+    emitMeta(out, "mesh=4x4 lock=tas cs_scale=1.0 seed=1 reps=3");
+    std::fprintf(out, "  \"workload\": \"busy_spin_contention\",\n"
                       "  \"mesh\": \"4x4\",\n"
                       "  \"lock\": \"tas\",\n"
                       "  \"runs\": {\n");

@@ -10,6 +10,11 @@
 #             and run the threaded suites (sweep-runner pool, the
 #             thread-safe Trace sink, determinism harness).
 repo_root=$(dirname "$0")
+# Provenance for BENCH_*.json: bench_micro stamps its output with this
+# SHA so perf numbers stay attributable to a commit.
+INPG_GIT_SHA=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null \
+               || echo unknown)
+export INPG_GIT_SHA
 if [ "$1" = "--sanitize" ]; then
     set -e
     cmake -B "$repo_root/build-asan" -S "$repo_root" \

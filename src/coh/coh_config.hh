@@ -40,6 +40,17 @@ struct CohConfig {
      */
     bool flatContainers = true;
 
+    /**
+     * Test-only hang seeder: when non-zero, every directory silently
+     * drops the N-th message it sends (counting from 1, counted per
+     * directory, deterministically). The lost response wedges the
+     * requester's MSHR and, through deferred forwards, the line --
+     * exactly the failure mode the progress watchdog exists to
+     * diagnose. 0 (the default) disables the knob; it must never be
+     * set outside watchdog tests (`drop_dir_response` override).
+     */
+    std::uint64_t dropDirResponseNth = 0;
+
     /** Line-aligned base of an address. */
     Addr lineBase(Addr a) const { return a & ~(lineSize - 1); }
 

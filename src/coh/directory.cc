@@ -173,6 +173,15 @@ Directory::process(const CohMsgPtr &msg, Cycle now)
     const ProtoTransition &tr = directoryProtocolTable().require(
         static_cast<int>(st), static_cast<int>(ev));
 
+    if (Telemetry *t = sim.telemetry(); t && t->recorder) {
+        // Table/state/event names are static strings: stored by
+        // pointer, no formatting on the hot path.
+        t->recorder->record(FrKind::ProtoDispatch, now, node, msg->addr,
+                            static_cast<std::uint64_t>(msg->requester),
+                            "dir", dirStateName(static_cast<int>(st)),
+                            dirEventName(static_cast<int>(ev)));
+    }
+
     switch (ev) {
       case DirEvent::GetS:
         ++stats.counter("gets");
@@ -438,12 +447,52 @@ Directory::sendInvalidations(const std::set<CoreId> &targets, Addr addr,
 void
 Directory::send(const CohMsgPtr &msg, NodeId dst, Cycle now)
 {
+    ++sendCounter;
+    if (cfg.dropDirResponseNth != 0 &&
+        sendCounter == cfg.dropDirResponseNth) {
+        // Test-only hang seeder (see CohConfig::dropDirResponseNth):
+        // swallow this message deterministically so the watchdog path
+        // can be exercised end-to-end.
+        ++stats.counter("msgs_dropped_testknob");
+        if (Telemetry *t = sim.telemetry(); t && t->recorder) {
+            t->recorder->record(FrKind::MsgDrop, now, node, msg->addr,
+                                static_cast<std::uint64_t>(dst),
+                                cohMsgKindName(msg->kind));
+        }
+        return;
+    }
+    if (Telemetry *t = sim.telemetry(); t && t->recorder) {
+        t->recorder->record(FrKind::MsgSend, now, node, msg->addr,
+                            static_cast<std::uint64_t>(dst),
+                            cohMsgKindName(msg->kind));
+    }
     const int flits = carriesData(msg->kind) ? net.config().dataPacketFlits
                                              : net.config().ctrlPacketFlits;
     PacketPtr pkt =
         net.makePacket(node, dst, vnetForKind(msg->kind), flits, msg);
     net.inject(pkt, now);
     ++stats.counter("msgs_sent");
+}
+
+JsonValue
+Directory::debugJson(Cycle now) const
+{
+    JsonValue out = JsonValue::object();
+    out["node"] = static_cast<long long>(node);
+    out["queue_depth"] = static_cast<std::uint64_t>(queue.size());
+    out["busy"] = busyUntil > now;
+    if (busyUntil > now)
+        out["busy_for"] = static_cast<std::uint64_t>(busyUntil - now);
+    out["blocked_on_fetch"] = blockedOnFetch;
+    JsonValue queued = JsonValue::array();
+    std::size_t shown = 0;
+    for (const CohMsgPtr &m : queue) {
+        if (++shown > 8)
+            break;
+        queued.push(m->toString());
+    }
+    out["queued"] = std::move(queued);
+    return out;
 }
 
 } // namespace inpg

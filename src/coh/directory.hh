@@ -27,6 +27,7 @@
 #include "noc/network.hh"
 #include "sim/simulator.hh"
 #include "sim/ticking.hh"
+#include "telemetry/json.hh"
 
 namespace inpg {
 
@@ -66,6 +67,15 @@ class Directory : public Ticking
 
     /** True when no message is queued or being processed. */
     bool idle() const { return queue.empty() && !blockedOnFetch; }
+
+    /** Messages waiting for the bank (occupancy probe). */
+    std::size_t queueDepth() const { return queue.size(); }
+
+    /**
+     * Bank/queue state for the hang report: occupancy, fetch block,
+     * and the kinds of the first queued messages.
+     */
+    JsonValue debugJson(Cycle now) const;
 
     StatGroup stats;
 
@@ -113,6 +123,8 @@ class Directory : public Ticking
     Cycle busyUntil = 0;
     bool blockedOnFetch = false;
     std::uint64_t epochCounter = 0;
+    /** Lifetime sends, for the dropDirResponseNth hang seeder. */
+    std::uint64_t sendCounter = 0;
 };
 
 } // namespace inpg

@@ -56,6 +56,9 @@ L1Controller::L1Controller(CoreId core_id, NodeId node_id,
       sim(simulator), cohStats(coh_stats)
 {
     stats = StatGroup(format("l1_%d", core_id));
+    // Cached: bumped once per retired memory op; also the watchdog's
+    // per-core retirement progress signal.
+    opsCompletedCtr = &stats.counter("ops_completed");
 }
 
 L1Controller::Line &
@@ -245,6 +248,7 @@ L1Controller::executePendingOp(Cycle now)
                 "executing op without data on core %d", core);
     Pending op = std::move(*pending);
     pending.reset();
+    ++*opsCompletedCtr;
     if (LcoTracker *lco = lcoOf(sim))
         lco->opCompleted(core, now);
 
@@ -485,8 +489,17 @@ L1Controller::receiveMessage(const CohMsgPtr &msg, Cycle now)
     // pair the table marks illegal panics with the declared reason
     // instead of tripping a downstream assertion or hanging.
     const L1Event ev = l1EventForMsgKind(msg->kind);
-    const ProtoTransition &tr = l1ProtocolTable().require(
-        static_cast<int>(lineState(msg->addr)), static_cast<int>(ev));
+    const int st = static_cast<int>(lineState(msg->addr));
+    const ProtoTransition &tr =
+        l1ProtocolTable().require(st, static_cast<int>(ev));
+
+    if (Telemetry *t = sim.telemetry(); t && t->recorder) {
+        // Static table/state/event names; stored by pointer.
+        t->recorder->record(FrKind::ProtoDispatch, now, node, msg->addr,
+                            static_cast<std::uint64_t>(core), "l1",
+                            l1TableStateName(st),
+                            l1EventName(static_cast<int>(ev)));
+    }
 
     switch (static_cast<L1Action>(tr.action)) {
       case L1Action::AckInvalid:

@@ -136,6 +136,13 @@ class L1Controller
     /** True while a core operation is outstanding. */
     bool busy() const { return pending.has_value(); }
 
+    /** Owner-forwards deferred behind the pending op (MSHR debug). */
+    std::size_t
+    deferredForwardCount() const
+    {
+        return deferredForwards.size();
+    }
+
     CoreId coreId() const { return core; }
     NodeId nodeId() const { return node; }
 
@@ -211,6 +218,9 @@ class L1Controller
     Simulator &sim;
     CohStats *cohStats;
     OpLogFn opLog;
+
+    /** Cached "ops_completed" counter (retirement progress signal). */
+    std::uint64_t *opsCompletedCtr = nullptr;
 
     /**
      * Line table: `linesFlat` when cfg.flatContainers (the fast path),

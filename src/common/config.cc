@@ -38,21 +38,87 @@ Config::loadFile(const std::string &path)
     loadString(buffer.str());
 }
 
+namespace {
+
+/** "--trace-out" -> "trace_out". */
+std::string
+normalizeKey(std::string key)
+{
+    key.erase(0, key.find_first_not_of('-'));
+    for (char &c : key)
+        if (c == '-')
+            c = '_';
+    return key;
+}
+
+/**
+ * True when a token cannot be the value of a preceding space-form
+ * flag: another dashed flag or an assignment. A lone "-5" is a value
+ * (negative numbers stay usable).
+ */
+bool
+flagLike(const std::string &token)
+{
+    return startsWith(token, "--") ||
+           token.find('=') != std::string::npos;
+}
+
+void
+checkKnown(const std::string &key, const std::string &token,
+           const std::vector<std::string> *known)
+{
+    if (!known)
+        return;
+    for (const auto &k : *known)
+        if (k == key)
+            return;
+    fatal("unknown flag '%s' (key '%s')", token.c_str(), key.c_str());
+}
+
+} // namespace
+
 void
 Config::loadArgs(int argc, const char *const *argv)
 {
+    parseArgs(argc, argv, nullptr);
+}
+
+void
+Config::loadArgs(int argc, const char *const *argv,
+                 const std::vector<std::string> &known)
+{
+    parseArgs(argc, argv, &known);
+}
+
+void
+Config::parseArgs(int argc, const char *const *argv,
+                  const std::vector<std::string> *known)
+{
     for (int i = 1; i < argc; ++i) {
-        std::string token = argv[i];
-        auto eq = token.find('=');
-        if (eq == std::string::npos)
+        const std::string token = trim(argv[i]);
+        const auto eq = token.find('=');
+        if (eq != std::string::npos) {
+            // "key=value" or "--key=value".
+            const std::string key = normalizeKey(trim(token.substr(0, eq)));
+            checkKnown(key, token, known);
+            set(key, trim(token.substr(eq + 1)));
             continue;
-        // Accept GNU-style spellings: "--trace-out=f" == "trace_out=f".
-        std::string key = trim(token.substr(0, eq));
-        key.erase(0, key.find_first_not_of('-'));
-        for (char &c : key)
-            if (c == '-')
-                c = '_';
-        set(key, trim(token.substr(eq + 1)));
+        }
+        if (startsWith(token, "--")) {
+            const std::string key = normalizeKey(token);
+            checkKnown(key, token, known);
+            // Space form pairs with the next token; a trailing or
+            // flag-followed switch is boolean.
+            if (i + 1 < argc && !flagLike(trim(argv[i + 1]))) {
+                set(key, trim(argv[++i]));
+            } else {
+                set(key, "1");
+            }
+            continue;
+        }
+        // Positional tokens are tolerated in lenient mode only.
+        if (known)
+            fatal("unknown argument '%s'", token.c_str());
     }
 }
 

@@ -28,8 +28,30 @@ class Config
     /** Parse a config file; throws FatalError if unreadable. */
     void loadFile(const std::string &path);
 
-    /** Apply argv-style "key=value" overrides; ignores other tokens. */
+    /**
+     * Apply argv-style overrides. Three spellings are accepted and
+     * behave identically:
+     *
+     *   key=value      classic assignment
+     *   --key=value    GNU '=' form
+     *   --key value    GNU space form (the next token is the value
+     *                  unless it is itself a flag or an assignment)
+     *
+     * A dashed flag with no value ("--csv") sets "1", so boolean
+     * switches read naturally. Dashes inside key names map to
+     * underscores ("--trace-out" == "trace_out"). Tokens matching no
+     * form are ignored; use the `known` overload to reject them.
+     */
     void loadArgs(int argc, const char *const *argv);
+
+    /**
+     * Strict variant: every parsed key must appear in `known` and
+     * every token must match one of the accepted forms; anything else
+     * is fatal. Drivers pass their full key list so typos fail loudly
+     * instead of silently running the default configuration.
+     */
+    void loadArgs(int argc, const char *const *argv,
+                  const std::vector<std::string> &known);
 
     /** Set a single key. */
     void set(const std::string &key, const std::string &value);
@@ -47,6 +69,9 @@ class Config
     std::vector<std::string> keys() const;
 
   private:
+    void parseArgs(int argc, const char *const *argv,
+                   const std::vector<std::string> *known);
+
     std::map<std::string, std::string> values;
 };
 

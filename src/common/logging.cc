@@ -9,6 +9,8 @@ namespace {
 
 LogLevel globalLevel = LogLevel::Warn;
 
+void (*panicHook)() = nullptr;
+
 void
 emit(const char *tag, const char *fmt, std::va_list ap)
 {
@@ -74,7 +76,15 @@ panic(const char *fmt, ...)
     std::string body = vformat(fmt, ap);
     va_end(ap);
     std::fprintf(stderr, "panic: %s\n", body.c_str());
+    if (panicHook)
+        panicHook();
     std::abort();
+}
+
+void
+setPanicHook(void (*hook)())
+{
+    panicHook = hook;
 }
 
 void

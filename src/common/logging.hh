@@ -48,6 +48,15 @@ std::string format(const char *fmt, ...)
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/**
+ * Install a hook that panic() invokes (after printing its message,
+ * before aborting) so diagnostic state -- e.g. the telemetry flight
+ * recorder -- can be dumped on any simulator bug. One hook process-wide;
+ * installing is idempotent, nullptr uninstalls. The hook must be safe
+ * to call from any thread and must not itself panic.
+ */
+void setPanicHook(void (*hook)());
+
 /** Print a warning if the log level admits it. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 

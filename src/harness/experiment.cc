@@ -70,6 +70,9 @@ runBenchmark(const RunConfig &run_cfg)
         sys_cfg.telemetry.traceEvents = true;
         sys_cfg.telemetry.packets = true;
     }
+    if (!run_cfg.timeseriesOutPath.empty() &&
+        sys_cfg.telemetry.timeseriesEpoch == 0)
+        sys_cfg.telemetry.timeseriesEpoch = DEFAULT_TIMESERIES_EPOCH;
     sys_cfg.finalize();
     System system(sys_cfg);
 
@@ -125,6 +128,9 @@ runBenchmark(const RunConfig &run_cfg)
                               *telem->trace);
         telem->trace->writeJsonFile(run_cfg.traceOutPath);
     }
+    if (telem && telem->timeseries &&
+        !run_cfg.timeseriesOutPath.empty())
+        telem->timeseries->writeFile(run_cfg.timeseriesOutPath);
     r.stats = system.statsSnapshot();
     return r;
 }
@@ -144,6 +150,9 @@ runAllMechanisms(RunConfig cfg)
         if (!cfg.traceOutPath.empty())
             configs.back().traceOutPath =
                 traceOutPathFor(cfg.traceOutPath, m);
+        if (!cfg.timeseriesOutPath.empty())
+            configs.back().timeseriesOutPath =
+                traceOutPathFor(cfg.timeseriesOutPath, m);
     }
     return runSweep(configs);
 }

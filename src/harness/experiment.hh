@@ -102,6 +102,13 @@ struct RunConfig {
      * for the run (they never change simulated results).
      */
     std::string traceOutPath;
+    /**
+     * When non-empty, write the time-series congestion samples here
+     * (CSV when the path ends in ".csv", JSON otherwise); the sampler
+     * is force-enabled at DEFAULT_TIMESERIES_EPOCH if the config did
+     * not already set an epoch. Pure observer -- never changes results.
+     */
+    std::string timeseriesOutPath;
 };
 
 /**

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Hang-report builder: turns a wedged System into one structured JSON
+ * document a human (or CI) can diagnose from -- the in-flight packet
+ * waterfall, per-router VC/credit state, directory queue/MSHR state,
+ * iNPG barrier tables, the event-queue summary, and the flight
+ * recorder's recent-event tail.
+ *
+ * Called from the progress watchdog's trip handler; the report rides
+ * inside the thrown SimHangError so `inpg_sim` can write it to disk
+ * and exit with HANG_EXIT_CODE.
+ */
+
+#ifndef INPG_HARNESS_HANG_REPORT_HH
+#define INPG_HARNESS_HANG_REPORT_HH
+
+#include "common/types.hh"
+#include "telemetry/json.hh"
+
+namespace inpg {
+
+class System;
+
+/**
+ * Build the structured hang report for `sys` at cycle `now`.
+ * @param reason static trip-reason string ("no-progress", "deadlock").
+ *
+ * Only non-idle components are itemized (a hung 8x8 mesh is mostly
+ * idle; the wedged minority is the signal), with summary counts for
+ * the rest.
+ */
+JsonValue buildHangReport(System &sys, Cycle now, const char *reason);
+
+} // namespace inpg
+
+#endif // INPG_HARNESS_HANG_REPORT_HH

@@ -1,6 +1,7 @@
 #include "harness/system.hh"
 
 #include "common/logging.hh"
+#include "harness/hang_report.hh"
 #include "inpg/big_router.hh"
 
 namespace inpg {
@@ -24,6 +25,58 @@ System::System(SystemConfig config) : cfg(std::move(config))
     if (telem)
         memSys->setTelemetry(telem.get());
     lockMgr = std::make_unique<LockManager>(*memSys, kernel, cfg.sync);
+    if (telem && (telem->timeseries || telem->watchdog))
+        wireDiagnosis();
+}
+
+void
+System::wireDiagnosis()
+{
+    Network &net = memSys->network();
+    if (TimeseriesSampler *ts = telem->timeseries) {
+        const Simulator *k = &kernel;
+        ts->addGauge("events.pending", [k] {
+            return static_cast<std::uint64_t>(k->events().size());
+        });
+        ts->addGauge("events.executed_total",
+                     [k] { return k->events().executedTotal(); });
+        for (NodeId n = 0; n < net.numNodes(); ++n) {
+            const Router *r = &net.router(n);
+            ts->addGauge(format("router.%d.occ", n), [r] {
+                return static_cast<std::uint64_t>(r->bufferedFlits());
+            });
+            ts->addCounter(format("router.%d.flits_sent", n),
+                           &net.router(n).stats.counter("flits_sent"));
+            const Directory *d = &memSys->directory(n);
+            ts->addGauge(format("dir.%d.qdepth", n), [d] {
+                return static_cast<std::uint64_t>(d->queueDepth());
+            });
+            ts->addCounter(
+                format("ni.%d.delivered", n),
+                &net.ni(n).stats.counter("packets_delivered"));
+        }
+    }
+    if (ProgressWatchdog *wd = telem->watchdog) {
+        // Progress = packet deliveries + retired memory ops. Event
+        // executions deliberately do NOT count: spinning cores fire
+        // events throughout a genuine protocol deadlock.
+        for (NodeId n = 0; n < net.numNodes(); ++n) {
+            wd->watchCounter(
+                &net.ni(n).stats.counter("packets_delivered"));
+            wd->watchCounter(
+                &memSys->l1(n).stats.counter("ops_completed"));
+        }
+        wd->setOnTrip([this](Cycle at, const char *reason) {
+            JsonValue report = buildHangReport(*this, at, reason);
+            throw SimHangError(
+                format("watchdog tripped (%s) at cycle %llu: no "
+                       "simulation progress for %llu executed cycles",
+                       reason, static_cast<unsigned long long>(at),
+                       static_cast<unsigned long long>(
+                           telem->watchdog->window())),
+                report.dump(2));
+        });
+    }
 }
 
 void
@@ -117,6 +170,21 @@ System::statsSnapshot() const
         tr["dropped"] =
             static_cast<std::uint64_t>(telem->trace->droppedCount());
         doc["trace"] = tr;
+    }
+    if (telem && telem->timeseries) {
+        JsonValue ts = JsonValue::object();
+        ts["epoch"] = static_cast<std::uint64_t>(
+            telem->timeseries->epochLength());
+        ts["rows"] =
+            static_cast<std::uint64_t>(telem->timeseries->rows());
+        ts["dropped_rows"] = telem->timeseries->droppedRows();
+        doc["timeseries"] = ts;
+    }
+    if (telem && telem->recorder) {
+        JsonValue fr = JsonValue::object();
+        fr["recorded_total"] = telem->recorder->recordedTotal();
+        fr["lost_to_wrap"] = telem->recorder->wrapped();
+        doc["recorder"] = fr;
     }
     return doc;
 }

@@ -147,6 +147,20 @@ SystemConfig::applyOverrides(const Config &cfg)
     }
     if (cfg.has("telemetry"))
         telemetry.applySpec(cfg.getString("telemetry"));
+    // Diagnosis-layer knobs. A non-zero window/epoch enables the
+    // watchdog/sampler directly (no separate telemetry token needed).
+    telemetry.watchdogWindow = static_cast<Cycle>(
+        cfg.getInt("watchdog_window",
+                   static_cast<long long>(telemetry.watchdogWindow)));
+    telemetry.timeseriesEpoch = static_cast<Cycle>(
+        cfg.getInt("timeseries_epoch",
+                   static_cast<long long>(telemetry.timeseriesEpoch)));
+    telemetry.recorderCapacity = static_cast<std::size_t>(
+        cfg.getInt("recorder_capacity",
+                   static_cast<long long>(telemetry.recorderCapacity)));
+    coh.dropDirResponseNth = static_cast<std::uint64_t>(
+        cfg.getInt("drop_dir_response",
+                   static_cast<long long>(coh.dropDirResponseNth)));
     finalize();
 }
 

@@ -38,6 +38,10 @@ BigRouter::onHeadFlitArrived(const FlitPtr &flit, int inport, Cycle now)
             flit->packet->dst = home;
             msg->toDirectory = true;
             ++stats.counter("inv_acks_relayed");
+            if (FlightRecorder *fr = flightRecorder()) {
+                fr->record(FrKind::AckRelay, now, nodeId(), msg->addr,
+                           static_cast<std::uint64_t>(home));
+            }
         }
         return;
     }
@@ -54,6 +58,10 @@ BigRouter::onHeadFlitArrived(const FlitPtr &flit, int inport, Cycle now)
                                             /*num_flits=*/1, inv);
         injectGenerated(pkt, now);
         ++stats.counter("early_invs_injected");
+        if (FlightRecorder *fr = flightRecorder()) {
+            fr->record(FrKind::BarrierStop, now, nodeId(), msg->addr,
+                       static_cast<std::uint64_t>(msg->requester));
+        }
     }
 }
 
@@ -74,6 +82,14 @@ void
 BigRouter::generatorPhase(Cycle now)
 {
     gen.maintain(now);
+}
+
+JsonValue
+BigRouter::debugJson(Cycle now) const
+{
+    JsonValue out = Router::debugJson(now);
+    out["barriers"] = gen.barrierTable().debugJson(now);
+    return out;
 }
 
 RouterFactory

@@ -35,6 +35,9 @@ class BigRouter : public Router
     PacketGenerator &generator() { return gen; }
     const PacketGenerator &generator() const { return gen; }
 
+    /** Router pipeline dump plus the barrier-table contents. */
+    JsonValue debugJson(Cycle now) const override;
+
   protected:
     void onHeadFlitArrived(const FlitPtr &flit, int inport,
                            Cycle now) override;

@@ -151,4 +151,45 @@ LockBarrierTable::numEis(Addr addr) const
     return slot ? barriers[*slot].eis.size() : 0;
 }
 
+const char *
+eiPhaseName(EiPhase p)
+{
+    switch (p) {
+      case EiPhase::InvGenerated:
+        return "inv-generated";
+      case EiPhase::GetXFwd:
+        return "getx-fwd";
+      case EiPhase::InvAckRecv:
+        return "invack-recv";
+      case EiPhase::AckFwd:
+        return "ack-fwd";
+    }
+    return "?";
+}
+
+JsonValue
+LockBarrierTable::debugJson(Cycle now) const
+{
+    JsonValue out = JsonValue::array();
+    for (const Barrier &b : barriers) {
+        JsonValue bj = JsonValue::object();
+        bj["addr"] = static_cast<std::uint64_t>(b.addr);
+        if (b.eis.empty()) {
+            bj["idle_for"] =
+                static_cast<std::uint64_t>(now - b.idleSince);
+        }
+        JsonValue eis = JsonValue::array();
+        for (const EiEntry &ei : b.eis) {
+            JsonValue ej = JsonValue::object();
+            ej["core"] = static_cast<long long>(ei.core);
+            ej["phase"] = eiPhaseName(ei.phase);
+            ej["age"] = static_cast<std::uint64_t>(now - ei.openedAt);
+            eis.push(std::move(ej));
+        }
+        bj["eis"] = std::move(eis);
+        out.push(std::move(bj));
+    }
+    return out;
+}
+
 } // namespace inpg

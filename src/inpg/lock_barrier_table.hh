@@ -19,6 +19,7 @@
 #include "common/flat_hash_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "telemetry/json.hh"
 
 namespace inpg {
 
@@ -29,6 +30,9 @@ enum class EiPhase {
     InvAckRecv,   ///< InvAck for the early Inv returned to this router
     AckFwd,       ///< InvAck relayed to the home node (entry frees)
 };
+
+/** Name of an EiPhase ("inv-generated", ...). */
+const char *eiPhaseName(EiPhase p);
 
 /** The locking barrier table of one big router. */
 class LockBarrierTable
@@ -82,6 +86,12 @@ class LockBarrierTable
 
     std::size_t maxBarriers() const { return barrierCapacity; }
     std::size_t maxEis() const { return eiCapacity; }
+
+    /**
+     * Table contents for the hang report: every barrier with its EI
+     * entries (core, phase, age), in slot order (deterministic).
+     */
+    JsonValue debugJson(Cycle now) const;
 
     StatGroup stats;
 

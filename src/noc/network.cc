@@ -135,10 +135,15 @@ void
 Network::setTelemetry(Telemetry *t)
 {
     PacketLifetimeTracker *tracker = t ? t->packets : nullptr;
-    for (auto &r : routers)
+    FlightRecorder *rec = t ? t->recorder : nullptr;
+    for (auto &r : routers) {
         r->setPacketTracker(tracker);
-    for (auto &ni_ptr : nis)
+        r->setFlightRecorder(rec);
+    }
+    for (auto &ni_ptr : nis) {
         ni_ptr->setPacketTracker(tracker);
+        ni_ptr->setFlightRecorder(rec);
+    }
     if (t && t->trace) {
         for (const auto &r : routers) {
             t->trace->nameTrack(

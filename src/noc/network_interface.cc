@@ -43,6 +43,12 @@ NetworkInterface::sendPacket(const PacketPtr &pkt, Cycle now)
     ++*packetsQueuedCtr;
     if (pktTel)
         pktTel->onPacketQueued(*pkt, now);
+    if (frec) {
+        // No address at this layer: addr carries the packet id, arg
+        // the destination node.
+        frec->record(FrKind::NiInject, now, id, pkt->id,
+                     static_cast<std::uint64_t>(pkt->dst));
+    }
     wakeSelf();
 }
 
@@ -118,6 +124,10 @@ NetworkInterface::ejectFlits(Cycle now)
                 static_cast<double>(now - pkt->injectCycle));
             if (pktTel)
                 pktTel->onPacketEjected(*pkt, now);
+            if (frec) {
+                frec->record(FrKind::NiEject, now, id, pkt->id,
+                             static_cast<std::uint64_t>(pkt->src));
+            }
             if (deliver)
                 deliver(pkt, now);
         }
@@ -200,6 +210,35 @@ NetworkInterface::injectOneFlit(Cycle now)
         }
         return; // one flit per cycle
     }
+}
+
+JsonValue
+NetworkInterface::debugJson() const
+{
+    JsonValue out = JsonValue::object();
+    out["node"] = static_cast<long long>(id);
+    JsonValue queues = JsonValue::array();
+    for (const auto &q : injectQueues)
+        queues.push(static_cast<std::uint64_t>(q.size()));
+    out["inject_queues"] = std::move(queues);
+
+    JsonValue serializing = JsonValue::array();
+    for (const InFlight &fl : inflight) {
+        JsonValue fj = JsonValue::object();
+        fj["packet"] = static_cast<std::uint64_t>(fl.pkt->id);
+        fj["dst"] = static_cast<long long>(fl.pkt->dst);
+        fj["next_flit"] = static_cast<long long>(fl.nextSeq);
+        fj["of"] = static_cast<long long>(fl.pkt->numFlits);
+        fj["vc"] = static_cast<long long>(fl.vc);
+        serializing.push(std::move(fj));
+    }
+    out["serializing"] = std::move(serializing);
+
+    std::uint64_t reassembling = 0;
+    for (const auto &r : reassembly)
+        reassembling += r.size();
+    out["reassembly_flits"] = reassembling;
+    return out;
 }
 
 } // namespace inpg

@@ -22,6 +22,7 @@
 #include "noc/noc_config.hh"
 #include "noc/output_unit.hh"
 #include "sim/ticking.hh"
+#include "telemetry/flight_recorder.hh"
 
 namespace inpg {
 
@@ -64,6 +65,15 @@ class NetworkInterface : public Ticking
     /** Attach (or detach with nullptr) the packet-lifetime tracker. */
     void setPacketTracker(PacketLifetimeTracker *t) { pktTel = t; }
 
+    /** Attach (or detach with nullptr) the flight recorder. */
+    void setFlightRecorder(FlightRecorder *r) { frec = r; }
+
+    /**
+     * Endpoint state for the hang report: per-vnet inject-queue
+     * depths, packets mid-serialization, reassembly occupancy.
+     */
+    JsonValue debugJson() const;
+
     StatGroup stats;
 
   private:
@@ -100,6 +110,9 @@ class NetworkInterface : public Ticking
 
     /** Packet-lifetime telemetry; null when telemetry is off. */
     PacketLifetimeTracker *pktTel = nullptr;
+
+    /** Flight recorder; null when off. */
+    FlightRecorder *frec = nullptr;
 
     /** Cached hot stat handles (string lookup once at construction). */
     std::uint64_t *packetsQueuedCtr = nullptr;

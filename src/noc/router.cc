@@ -97,6 +97,65 @@ Router::bufferedFlits() const
     return n;
 }
 
+JsonValue
+Router::debugJson(Cycle now) const
+{
+    JsonValue out = JsonValue::object();
+    out["node"] = static_cast<long long>(id);
+    out["buffered_flits"] = static_cast<std::uint64_t>(bufferedFlits());
+    out["gen_queue"] = static_cast<std::uint64_t>(genQueue.size());
+
+    JsonValue vcs = JsonValue::array();
+    for (std::size_t p = 0; p < inputs.size(); ++p) {
+        const InputUnit &iu = *inputs[p];
+        for (VcId v = 0; v < iu.numVcs(); ++v) {
+            const VirtualChannel &ch = iu.vc(v);
+            if (ch.state == VirtualChannel::State::Idle && !ch.hasFlit())
+                continue;
+            JsonValue vj = JsonValue::object();
+            vj["inport"] =
+                static_cast<int>(p) == genPort
+                    ? std::string("gen")
+                    : directionName(static_cast<Direction>(p));
+            vj["vc"] = static_cast<long long>(v);
+            vj["state"] = ch.state == VirtualChannel::State::Idle
+                              ? "idle"
+                              : (ch.state == VirtualChannel::State::WaitVc
+                                     ? "wait-vc"
+                                     : "active");
+            vj["occupancy"] =
+                static_cast<std::uint64_t>(ch.buffer.size());
+            if (ch.state != VirtualChannel::State::Idle) {
+                vj["out_port"] = directionName(ch.outPort);
+                if (ch.outVc != INVALID_VC)
+                    vj["out_vc"] = static_cast<long long>(ch.outVc);
+                vj["head_age"] = static_cast<std::uint64_t>(
+                    now - ch.headEnqueuedAt);
+            }
+            vcs.push(std::move(vj));
+        }
+    }
+    out["vcs"] = std::move(vcs);
+
+    JsonValue creds = JsonValue::object();
+    for (int p = 0; p < NUM_PORTS; ++p) {
+        const OutputUnit *ou = outputs[static_cast<std::size_t>(p)].get();
+        if (!ou || !ou->outChannel())
+            continue;
+        JsonValue per_vc = JsonValue::array();
+        for (VcId v = 0; v < ou->numVcs(); ++v) {
+            JsonValue cv = JsonValue::object();
+            cv["credits"] = static_cast<long long>(ou->credits(v));
+            cv["busy"] = !ou->isVcFree(v);
+            per_vc.push(std::move(cv));
+        }
+        creds[directionName(static_cast<Direction>(p))] =
+            std::move(per_vc);
+    }
+    out["credits"] = std::move(creds);
+    return out;
+}
+
 void
 Router::tick(Cycle now)
 {

@@ -33,6 +33,7 @@
 #include "noc/output_unit.hh"
 #include "noc/routing.hh"
 #include "sim/ticking.hh"
+#include "telemetry/flight_recorder.hh"
 
 namespace inpg {
 
@@ -78,6 +79,16 @@ class Router : public Ticking
 
     /** Attach (or detach with nullptr) the packet-lifetime tracker. */
     void setPacketTracker(PacketLifetimeTracker *t) { pktTel = t; }
+
+    /** Attach (or detach with nullptr) the flight recorder. */
+    void setFlightRecorder(FlightRecorder *r) { frec = r; }
+
+    /**
+     * Structured dump of the router's pipeline state for the hang
+     * report: every occupied/claimed input VC (state, occupancy,
+     * routed output, head age) and per-output credit levels.
+     */
+    virtual JsonValue debugJson(Cycle now) const;
 
   protected:
     /**
@@ -137,6 +148,9 @@ class Router : public Ticking
 
     /** Number of input ports including the generator port if present. */
     int numInPorts() const { return static_cast<int>(inputs.size()); }
+
+    /** Flight recorder, or null when off (BigRouter hook sites). */
+    FlightRecorder *flightRecorder() const { return frec; }
 
   private:
     void drainCredits(Cycle now);
@@ -210,6 +224,9 @@ class Router : public Ticking
 
     /** Packet-lifetime telemetry; null when telemetry is off. */
     PacketLifetimeTracker *pktTel = nullptr;
+
+    /** Flight recorder; null when off. */
+    FlightRecorder *frec = nullptr;
 
     /** Cached hot counters (string lookup once at construction). */
     std::uint64_t *flitsReceivedCtr = nullptr;

@@ -226,4 +226,22 @@ EventQueue::setReferenceMode(bool enabled)
     refMode = enabled;
 }
 
+JsonValue
+EventQueue::debugJson() const
+{
+    JsonValue out = JsonValue::object();
+    out["pending"] = static_cast<std::uint64_t>(count);
+    const Cycle next = nextEventCycle();
+    if (next == CYCLE_NEVER)
+        out["next_event"] = "never";
+    else
+        out["next_event"] = static_cast<std::uint64_t>(next);
+    out["scheduled_total"] = statScheduled;
+    out["executed_total"] = statExecuted;
+    out["overflow_scheduled"] = statOverflow;
+    out["schedule_heap_allocs"] = statHeapAllocs;
+    out["mode"] = refMode ? "reference-heap" : "timing-wheel";
+    return out;
+}
+
 } // namespace inpg

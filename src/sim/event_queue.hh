@@ -37,6 +37,7 @@
 
 #include "common/small_function.hh"
 #include "common/types.hh"
+#include "telemetry/json.hh"
 
 namespace inpg {
 
@@ -99,6 +100,12 @@ class EventQueue
 
     /** Events that took the far-future overflow heap path. */
     std::uint64_t overflowScheduled() const { return statOverflow; }
+
+    /**
+     * Queue summary for the hang report: pending/next-event state plus
+     * lifetime schedule-path statistics.
+     */
+    JsonValue debugJson() const;
 
   private:
     static constexpr std::size_t WHEEL_BITS = 8;

@@ -70,6 +70,8 @@ Simulator::setTelemetry(Telemetry *t)
 {
     tel = t;
     kernelProf = t ? t->kernel : nullptr;
+    sampler = t ? t->timeseries : nullptr;
+    wdog = t ? t->watchdog : nullptr;
 }
 
 void
@@ -95,6 +97,12 @@ Simulator::step()
         if (slots[i].active)
             slots[i].component->tick(currentCycle);
     }
+    // Diagnosis observers see executed cycles only; null when off, so
+    // the disabled cost is two predictable branches.
+    if (sampler)
+        sampler->onCycle(currentCycle);
+    if (wdog)
+        wdog->onCycle(currentCycle);
     ++currentCycle;
 }
 
@@ -129,6 +137,10 @@ Simulator::stepProfiled()
             break;
         }
     }
+    if (sampler)
+        sampler->onCycle(currentCycle);
+    if (wdog)
+        wdog->onCycle(currentCycle);
     ++profile->profiledCycles;
     ++currentCycle;
 }
@@ -143,6 +155,8 @@ Simulator::run(Cycle n)
             if (target > currentCycle) {
                 if (kernelProf)
                     kernelProf->onFastForward(target - currentCycle);
+                if (sampler)
+                    sampler->onFastForward(target);
                 ffCycles += target - currentCycle;
                 ++ffJumps;
                 currentCycle = target;
@@ -162,10 +176,22 @@ Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles,
         if (done())
             return true;
         if (ffEnabled && activeCount == 0) {
+            if (wdog && mode == PredicateMode::StateChange &&
+                eventQueue.empty()) {
+                // Every component is asleep and the event horizon is
+                // empty, so no simulated state can ever change again;
+                // a StateChange predicate that has not fired never
+                // will. This is a structural deadlock, not a long
+                // sleep -- trip immediately rather than fast-forward
+                // to the timeout.
+                wdog->tripDeadlock(currentCycle);
+            }
             const Cycle target = std::min(limit, idleHorizon());
             if (target > currentCycle) {
                 if (kernelProf)
                     kernelProf->onFastForward(target - currentCycle);
+                if (sampler)
+                    sampler->onFastForward(target);
                 if (mode == PredicateMode::StateChange) {
                     // Nothing can flip the predicate before `target`.
                     ffCycles += target - currentCycle;

@@ -32,6 +32,8 @@ namespace inpg {
 
 class Telemetry;
 class KernelProfile;
+class TimeseriesSampler;
+class ProgressWatchdog;
 
 /** Cycle-driven kernel with an auxiliary event queue. */
 class Simulator : public ActivityScheduler
@@ -183,6 +185,8 @@ class Simulator : public ActivityScheduler
     HostPhaseProfile *profile = nullptr;
     Telemetry *tel = nullptr;
     KernelProfile *kernelProf = nullptr;
+    TimeseriesSampler *sampler = nullptr;
+    ProgressWatchdog *wdog = nullptr;
 };
 
 } // namespace inpg

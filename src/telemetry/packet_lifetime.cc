@@ -1,5 +1,7 @@
 #include "telemetry/packet_lifetime.hh"
 
+#include <algorithm>
+
 #include "coh/coherence_msg.hh"
 #include "telemetry/trace_event.hh"
 
@@ -57,7 +59,10 @@ PacketLifetimeTracker::onRouterArrive(NodeId router, PacketId id,
     Record *rec = find(id);
     if (!rec)
         return;
-    rec->hops.push_back(Hop{router, now, now, now});
+    // Hops per packet are bounded by the mesh diameter; the record
+    // retires at ejection.
+    rec->hops.push_back( // lint:allow(unbounded-recording)
+        Hop{router, now, now, now});
 }
 
 void
@@ -132,6 +137,44 @@ PacketLifetimeTracker::onPacketEjected(const Packet &pkt, Cycle now)
     }
 
     live.erase(it);
+}
+
+JsonValue
+PacketLifetimeTracker::inFlightJson(Cycle now) const
+{
+    std::vector<const std::pair<const PacketId, Record> *> sorted;
+    sorted.reserve(live.size());
+    for (const auto &kv : live)
+        sorted.push_back(&kv);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto *a, const auto *b) {
+                  return a->first < b->first;
+              });
+
+    JsonValue out = JsonValue::array();
+    for (const auto *kv : sorted) {
+        const Record &rec = kv->second;
+        JsonValue p = JsonValue::object();
+        p["id"] = static_cast<std::uint64_t>(kv->first);
+        p["src"] = static_cast<long long>(rec.src);
+        p["dst"] = static_cast<long long>(rec.dst);
+        p["vnet"] = static_cast<long long>(rec.vnet);
+        p["queued"] = static_cast<std::uint64_t>(rec.queued);
+        p["entered"] = static_cast<std::uint64_t>(rec.entered);
+        p["age"] = static_cast<std::uint64_t>(now - rec.queued);
+        JsonValue hops = JsonValue::array();
+        for (const Hop &h : rec.hops) {
+            JsonValue hj = JsonValue::object();
+            hj["router"] = static_cast<long long>(h.router);
+            hj["arrive"] = static_cast<std::uint64_t>(h.arrive);
+            hj["va_grant"] = static_cast<std::uint64_t>(h.vaGrant);
+            hj["depart"] = static_cast<std::uint64_t>(h.depart);
+            hops.push(std::move(hj));
+        }
+        p["hops"] = std::move(hops);
+        out.push(std::move(p));
+    }
+    return out;
 }
 
 } // namespace inpg

@@ -22,6 +22,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "noc/packet.hh"
+#include "telemetry/json.hh"
 
 namespace inpg {
 
@@ -57,6 +58,13 @@ class PacketLifetimeTracker
 
     /** Packets currently tracked in flight. */
     std::size_t inFlight() const { return live.size(); }
+
+    /**
+     * In-flight transaction waterfall for the hang report: every live
+     * packet with its per-router hop stamps, sorted by packet id so
+     * the output is deterministic regardless of hash-map order.
+     */
+    JsonValue inFlightJson(Cycle now) const;
 
   private:
     struct Hop {

@@ -14,9 +14,23 @@ TelemetryConfig::applySpec(const std::string &spec)
         pos = comma + 1;
 
         if (tok == "off" || tok == "none") {
-            lco = packets = traceEvents = kernel = false;
+            lco = packets = traceEvents = kernel = recorder = false;
+            timeseriesEpoch = 0;
+            watchdogWindow = 0;
         } else if (tok == "all") {
-            lco = packets = traceEvents = kernel = true;
+            // Every pure observer; the watchdog stays opt-in because
+            // tripping terminates the run.
+            lco = packets = traceEvents = kernel = recorder = true;
+            if (timeseriesEpoch == 0)
+                timeseriesEpoch = DEFAULT_TIMESERIES_EPOCH;
+        } else if (tok == "recorder") {
+            recorder = true;
+        } else if (tok == "timeseries") {
+            if (timeseriesEpoch == 0)
+                timeseriesEpoch = DEFAULT_TIMESERIES_EPOCH;
+        } else if (tok == "watchdog") {
+            if (watchdogWindow == 0)
+                watchdogWindow = DEFAULT_WATCHDOG_WINDOW;
         } else if (tok == "lco") {
             lco = true;
         } else if (tok == "packets") {
@@ -48,6 +62,21 @@ Telemetry::Telemetry(const TelemetryConfig &config, int num_cores)
     if (cfg.kernel) {
         kernelOwned = std::make_unique<KernelProfile>();
         kernel = kernelOwned.get();
+    }
+    if (cfg.recorder) {
+        recorderOwned =
+            std::make_unique<FlightRecorder>(cfg.recorderCapacity);
+        recorder = recorderOwned.get();
+    }
+    if (cfg.timeseriesEpoch > 0) {
+        timeseriesOwned = std::make_unique<TimeseriesSampler>(
+            cfg.timeseriesEpoch, cfg.timeseriesMaxRows);
+        timeseries = timeseriesOwned.get();
+    }
+    if (cfg.watchdogWindow > 0) {
+        watchdogOwned =
+            std::make_unique<ProgressWatchdog>(cfg.watchdogWindow);
+        watchdog = watchdogOwned.get();
     }
 }
 

@@ -21,12 +21,21 @@
 
 #include "common/histogram.hh"
 #include "common/types.hh"
+#include "telemetry/flight_recorder.hh"
 #include "telemetry/lco_attribution.hh"
 #include "telemetry/packet_lifetime.hh"
 #include "telemetry/stats_registry.hh"
+#include "telemetry/timeseries.hh"
 #include "telemetry/trace_event.hh"
+#include "telemetry/watchdog.hh"
 
 namespace inpg {
+
+/** Epoch length used when `timeseries` is enabled without one. */
+inline constexpr Cycle DEFAULT_TIMESERIES_EPOCH = 4096;
+
+/** No-progress window used when `watchdog` is enabled without one. */
+inline constexpr Cycle DEFAULT_WATCHDOG_WINDOW = 1'000'000;
 
 /** Which trackers to build; all default off. */
 struct TelemetryConfig {
@@ -34,14 +43,35 @@ struct TelemetryConfig {
     bool packets = false;     ///< hop-granular packet lifetimes
     bool traceEvents = false; ///< Chrome-trace event sink
     bool kernel = false;      ///< kernel profile (events/cycle, FF skips)
+    bool recorder = false;    ///< flight recorder of recent events
 
-    bool any() const { return lco || packets || traceEvents || kernel; }
+    /** Flight-recorder ring capacity (rounded up to a power of two). */
+    std::size_t recorderCapacity = 4096;
+
+    /** Timeseries epoch length in cycles; 0 = sampler off. */
+    Cycle timeseriesEpoch = 0;
+
+    /** Timeseries row cap (bounded-recording discipline). */
+    std::size_t timeseriesMaxRows = 1u << 20;
+
+    /** Watchdog no-progress window in executed cycles; 0 = off. */
+    Cycle watchdogWindow = 0;
+
+    bool
+    any() const
+    {
+        return lco || packets || traceEvents || kernel || recorder ||
+               timeseriesEpoch > 0 || watchdogWindow > 0;
+    }
 
     /**
      * Apply a comma-separated spec: `lco`, `packets`, `trace`,
-     * `kernel`, `all`, `off`. Unknown tokens are ignored so config
-     * strings stay forward compatible. Also the INPG_TELEMETRY
-     * env-var format.
+     * `kernel`, `recorder`, `timeseries`, `watchdog`, `all`, `off`.
+     * `timeseries`/`watchdog` use default epoch/window when none was
+     * configured. `all` enables every pure observer but NOT the
+     * watchdog: tripping terminates the run, so it stays opt-in.
+     * Unknown tokens are ignored so config strings stay forward
+     * compatible. Also the INPG_TELEMETRY env-var format.
      */
     void applySpec(const std::string &spec);
 };
@@ -86,6 +116,9 @@ class Telemetry
     PacketLifetimeTracker *packets = nullptr;
     TraceEventSink *trace = nullptr;
     KernelProfile *kernel = nullptr;
+    FlightRecorder *recorder = nullptr;
+    TimeseriesSampler *timeseries = nullptr;
+    ProgressWatchdog *watchdog = nullptr;
 
   private:
     TelemetryConfig cfg;
@@ -93,6 +126,9 @@ class Telemetry
     std::unique_ptr<LcoTracker> lcoOwned;
     std::unique_ptr<PacketLifetimeTracker> packetsOwned;
     std::unique_ptr<KernelProfile> kernelOwned;
+    std::unique_ptr<FlightRecorder> recorderOwned;
+    std::unique_ptr<TimeseriesSampler> timeseriesOwned;
+    std::unique_ptr<ProgressWatchdog> watchdogOwned;
 };
 
 } // namespace inpg

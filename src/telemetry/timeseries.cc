@@ -1,0 +1,130 @@
+#include "telemetry/timeseries.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+TimeseriesSampler::TimeseriesSampler(Cycle epoch_len, std::size_t max_rows)
+    : epochLen(epoch_len), maxRows_(max_rows)
+{
+    if (epochLen == 0)
+        fatal("timeseries epoch length must be > 0");
+}
+
+void
+TimeseriesSampler::addCounter(std::string name, const std::uint64_t *counter)
+{
+    INPG_ASSERT(counter, "counter column '%s' needs a pointer",
+                name.c_str());
+    INPG_ASSERT(stamps.empty(),
+                "columns must be registered before the first sample");
+    Column c;
+    c.name = std::move(name);
+    c.counter = counter;
+    c.last = *counter;
+    columns.push_back(std::move(c));
+}
+
+void
+TimeseriesSampler::addGauge(std::string name,
+                            std::function<std::uint64_t()> fn)
+{
+    INPG_ASSERT(fn, "gauge column '%s' needs a callable", name.c_str());
+    INPG_ASSERT(stamps.empty(),
+                "columns must be registered before the first sample");
+    Column c;
+    c.name = std::move(name);
+    c.gauge = std::move(fn);
+    columns.push_back(std::move(c));
+}
+
+void
+TimeseriesSampler::sampleRow(Cycle now)
+{
+    // Next boundary strictly after `now`, aligned to the epoch grid so
+    // row timestamps stay comparable across runs with different idle
+    // spans.
+    nextEpochAt = (now / epochLen + 1) * epochLen;
+
+    if (stamps.size() >= maxRows_) { // bounded store: count, don't grow
+        ++dropped;
+        return;
+    }
+    stamps.push_back(now);
+    for (Column &c : columns) {
+        std::uint64_t v;
+        if (c.counter) {
+            const std::uint64_t cur = *c.counter;
+            v = cur - c.last;
+            c.last = cur;
+        } else {
+            v = c.gauge();
+        }
+        c.values.push_back(v); // guarded by the maxRows_ check above
+    }
+}
+
+JsonValue
+TimeseriesSampler::toJson() const
+{
+    JsonValue out = JsonValue::object();
+    out["epoch"] = static_cast<std::uint64_t>(epochLen);
+    out["rows"] = static_cast<std::uint64_t>(stamps.size());
+    out["dropped_rows"] = dropped;
+
+    JsonValue cycle_col = JsonValue::array();
+    for (Cycle c : stamps)
+        cycle_col.push(static_cast<std::uint64_t>(c));
+    out["cycle"] = std::move(cycle_col);
+
+    JsonValue cols = JsonValue::object();
+    for (const Column &c : columns) {
+        JsonValue vals = JsonValue::array();
+        for (std::uint64_t v : c.values)
+            vals.push(v);
+        cols[c.name] = std::move(vals);
+    }
+    out["columns"] = std::move(cols);
+    return out;
+}
+
+std::string
+TimeseriesSampler::toCsv() const
+{
+    std::string out = "cycle";
+    for (const Column &c : columns) {
+        out += ',';
+        out += c.name;
+    }
+    out += '\n';
+    for (std::size_t row = 0; row < stamps.size(); ++row) {
+        out += format("%llu",
+                      static_cast<unsigned long long>(stamps[row]));
+        for (const Column &c : columns) {
+            out += format(",%llu",
+                          static_cast<unsigned long long>(c.values[row]));
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+TimeseriesSampler::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open timeseries output '%s'", path.c_str());
+        return false;
+    }
+    const bool csv = path.size() >= 4 &&
+                     path.compare(path.size() - 4, 4, ".csv") == 0;
+    std::string body = csv ? toCsv() : toJson().dump(2) + "\n";
+    std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    return n == body.size();
+}
+
+} // namespace inpg

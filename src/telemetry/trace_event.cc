@@ -57,7 +57,9 @@ TraceEventSink::nameTrack(TrackGroup group, std::uint32_t track,
         if (tn.group == group && tn.track == track)
             return;
     }
-    trackNames.push_back(TrackName{group, track, std::move(title)});
+    // One entry per distinct track (deduplicated just above).
+    trackNames.push_back( // lint:allow(unbounded-recording)
+        TrackName{group, track, std::move(title)});
 }
 
 std::string

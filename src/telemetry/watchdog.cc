@@ -1,0 +1,67 @@
+#include "telemetry/watchdog.hh"
+
+namespace inpg {
+
+ProgressWatchdog::ProgressWatchdog(Cycle no_progress_window)
+    : windowLen(no_progress_window)
+{
+    if (windowLen == 0)
+        fatal("watchdog no-progress window must be > 0");
+    checkPeriod = windowLen / 8;
+    if (checkPeriod == 0)
+        checkPeriod = 1;
+}
+
+void
+ProgressWatchdog::watchCounter(const std::uint64_t *counter)
+{
+    INPG_ASSERT(counter, "watchdog progress counter must not be null");
+    counters.push_back(counter);
+    lastSum += *counter;
+}
+
+void
+ProgressWatchdog::setOnTrip(std::function<void(Cycle, const char *)> handler)
+{
+    onTrip = std::move(handler);
+}
+
+void
+ProgressWatchdog::poll(Cycle now)
+{
+    ++pollCount;
+    observedSinceProgress += observedSinceCheck;
+    observedSinceCheck = 0;
+
+    std::uint64_t sum = 0;
+    for (const std::uint64_t *c : counters)
+        sum += *c;
+    if (sum != lastSum) {
+        lastSum = sum;
+        observedSinceProgress = 0;
+        lastProgressCycle = now;
+        return;
+    }
+    if (observedSinceProgress >= windowLen)
+        trip(now, "no-progress");
+}
+
+void
+ProgressWatchdog::tripDeadlock(Cycle now)
+{
+    trip(now, "deadlock");
+}
+
+void
+ProgressWatchdog::trip(Cycle now, const char *reason)
+{
+    ++tripCount;
+    if (onTrip)
+        onTrip(now, reason); // expected to throw SimHangError
+    fatal("watchdog tripped (%s) at cycle %llu: no progress for %llu "
+          "executed cycles and no trip handler installed",
+          reason, static_cast<unsigned long long>(now),
+          static_cast<unsigned long long>(observedSinceProgress));
+}
+
+} // namespace inpg

@@ -197,6 +197,52 @@ TEST(Config, ArgsParsing)
     EXPECT_FALSE(c.has("verb"));
 }
 
+TEST(Config, ArgsDashedForms)
+{
+    // '=' form and space form must behave identically, bare switches
+    // become "1", and dashes map to underscores.
+    const char *argv[] = {"prog",        "--trace-out=run.json",
+                          "--mesh-width", "4",
+                          "--csv",        "--lock-home", "-1",
+                          "x=3"};
+    Config c;
+    c.loadArgs(8, argv);
+    EXPECT_EQ(c.getString("trace_out"), "run.json");
+    EXPECT_EQ(c.getInt("mesh_width", 0), 4);
+    EXPECT_TRUE(c.getBool("csv", false));
+    EXPECT_EQ(c.getInt("lock_home", 0), -1);
+    EXPECT_EQ(c.getInt("x", 0), 3);
+}
+
+TEST(Config, ArgsTrailingSwitchIsBoolean)
+{
+    const char *argv[] = {"prog", "--dump-stats"};
+    Config c;
+    c.loadArgs(2, argv);
+    EXPECT_TRUE(c.getBool("dump_stats", false));
+}
+
+TEST(Config, ArgsStrictRejectsUnknownFlags)
+{
+    const std::vector<std::string> known = {"mesh_width", "csv"};
+    {
+        const char *argv[] = {"prog", "--mesh-width=4", "--csv"};
+        Config c;
+        c.loadArgs(3, argv, known); // all known: fine
+        EXPECT_EQ(c.getInt("mesh_width", 0), 4);
+    }
+    {
+        const char *argv[] = {"prog", "--mesh-widht=4"}; // typo
+        Config c;
+        EXPECT_THROW(c.loadArgs(2, argv, known), FatalError);
+    }
+    {
+        const char *argv[] = {"prog", "stray"}; // positional
+        Config c;
+        EXPECT_THROW(c.loadArgs(2, argv, known), FatalError);
+    }
+}
+
 TEST(Config, MalformedLineIsFatal)
 {
     Config c;

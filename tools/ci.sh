@@ -9,13 +9,18 @@
 #      hot-path A/B perf smokes (non-zero exit if either optimization
 #      changes simulated results or the optimized schedule path
 #      allocates), refreshing BENCH_*.json;
-#   3. ./run_benches.sh --sanitize -- configure + build + full ctest
+#   3. seeded-hang watchdog smoke -- inpg_sim with the test-only
+#      drop_dir_response knob must exit 86 (HANG_EXIT_CODE) and write
+#      a well-formed structured hang report;
+#   4. ./run_benches.sh --sanitize -- configure + build + full ctest
 #      under ASan/UBSan in build-asan/.
 # Flags:
 #   --tidy       additionally run clang-tidy over src/ (skipped with a
 #                note when clang-tidy is not installed);
 #   --tidy-only  run just the clang-tidy stage (the ci-clang-tidy
-#                ctest entry).
+#                ctest entry);
+#   --hang-only  run just the seeded-hang watchdog smoke (the
+#                ci-hang-smoke ctest entry).
 # Expects ./build to be configured (configures it if missing). Wired
 # as the `ci-smoke` ctest when the tree is configured with
 # -DINPG_CI_SMOKE=ON; off by default because it builds and tests a
@@ -25,11 +30,14 @@ repo_root=$(cd "$(dirname "$0")/.." && pwd)
 
 want_tidy=0
 tidy_only=0
+hang_only=0
 for arg in "$@"; do
     case "$arg" in
       --tidy) want_tidy=1 ;;
       --tidy-only) want_tidy=1; tidy_only=1 ;;
-      *) echo "usage: tools/ci.sh [--tidy|--tidy-only]" >&2; exit 2 ;;
+      --hang-only) hang_only=1 ;;
+      *) echo "usage: tools/ci.sh [--tidy|--tidy-only|--hang-only]" >&2
+         exit 2 ;;
     esac
 done
 
@@ -49,8 +57,46 @@ run_tidy() {
         xargs clang-tidy -p "$repo_root/build" --quiet
 }
 
+# Seeded-hang watchdog smoke: a dropped directory response deadlocks
+# the run deterministically; the progress watchdog must detect it,
+# exit with the dedicated code (86) and emit a parseable structured
+# report naming the wedged components.
+run_hang_smoke() {
+    cmake --build "$repo_root/build" -j "$(nproc)" --target inpg_sim
+    report="$repo_root/build/hang_smoke_report.json"
+    rm -f "$report"
+    set +e
+    "$repo_root/build/tools/inpg_sim" benchmark=freq \
+        mechanism=original lock=tas mesh_width=4 mesh_height=4 \
+        drop_dir_response=1 watchdog_window=50000 \
+        telemetry=recorder,packets \
+        hang_report_out="$report" >/dev/null 2>&1
+    rc=$?
+    set -e
+    if [ "$rc" != 86 ]; then
+        echo "FAIL: seeded hang exited $rc (expected HANG_EXIT_CODE 86)" >&2
+        exit 1
+    fi
+    python3 - "$report" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+for key in ("report", "reason", "cycle", "watchdog", "event_queue",
+            "routers", "directories", "l1s", "flight_recorder"):
+    assert key in d, "hang report missing key: " + key
+assert d["report"] == "inpg-hang-report", d["report"]
+assert d["flight_recorder"]["events"], "flight recorder dump is empty"
+print("hang report OK: reason=%s cycle=%d, %d recorder events"
+      % (d["reason"], d["cycle"], len(d["flight_recorder"]["events"])))
+EOF
+}
+
 if [ "$tidy_only" = 1 ]; then
     run_tidy
+    exit 0
+fi
+if [ "$hang_only" = 1 ]; then
+    echo "=== ci.sh: seeded-hang watchdog smoke ==="
+    run_hang_smoke
     exit 0
 fi
 
@@ -66,5 +112,8 @@ echo "=== ci.sh stage 2: perf smokes ==="
 cmake --build "$repo_root/build" -j "$(nproc)" --target bench_micro
 "$repo_root/run_benches.sh" --quick
 
-echo "=== ci.sh stage 3: sanitizer suite ==="
+echo "=== ci.sh stage 3: seeded-hang watchdog smoke ==="
+run_hang_smoke
+
+echo "=== ci.sh stage 4: sanitizer suite ==="
 "$repo_root/run_benches.sh" --sanitize

@@ -14,6 +14,9 @@
  *   inpg_sim config=myrun.cfg        # "key = value" lines
  *   inpg_sim benchmark=freq --trace-out=run.json   # Chrome trace
  *   inpg_sim benchmark=freq telemetry=lco --stats-json=stats.json
+ *   inpg_sim benchmark=freq --timeseries-out=ts.csv  # congestion rows
+ *   inpg_sim benchmark=freq --watchdog-window=1000000 \
+ *       --hang-report-out=hang.json   # exit 86 on detected no-progress
  *
  * GNU-style spellings are accepted for every key: "--trace-out=f"
  * means "trace_out=f". --stats-json collects one machine-readable
@@ -67,6 +70,9 @@ runWithDump(const RunConfig &rc, bool dump)
         sys_cfg.telemetry.traceEvents = true;
         sys_cfg.telemetry.packets = true;
     }
+    if (!rc.timeseriesOutPath.empty() &&
+        sys_cfg.telemetry.timeseriesEpoch == 0)
+        sys_cfg.telemetry.timeseriesEpoch = DEFAULT_TIMESERIES_EPOCH;
     sys_cfg.finalize();
     System system(sys_cfg);
     Workload::Params wp;
@@ -131,6 +137,8 @@ runWithDump(const RunConfig &rc, bool dump)
         r.lco = telem->lco->summary();
     if (telem && telem->trace && !rc.traceOutPath.empty())
         telem->trace->writeJsonFile(rc.traceOutPath);
+    if (telem && telem->timeseries && !rc.timeseriesOutPath.empty())
+        telem->timeseries->writeFile(rc.timeseriesOutPath);
     r.stats = system.statsSnapshot();
     return r;
 }
@@ -166,8 +174,11 @@ main(int argc, char **argv)
         rc.lockHome =
             static_cast<NodeId>(overrides.getInt("lock_home"));
     rc.traceOutPath = overrides.getString("trace_out", "");
+    rc.timeseriesOutPath = overrides.getString("timeseries_out", "");
     const std::string stats_json_path =
         overrides.getString("stats_json", "");
+    const std::string hang_report_path =
+        overrides.getString("hang_report_out", "");
 
     TablePrinter t("inpg_sim results");
     t.header({"benchmark", "mechanism", "lock", "roi_cycles",
@@ -191,20 +202,43 @@ main(int argc, char **argv)
             runs.push(std::move(entry));
         }
     };
-    for (const auto &p : profiles) {
-        rc.profile = p;
-        // num_locks=1 concentrates the profile's CS traffic on one
-        // lock, as the LCO figure benches do.
-        if (overrides.has("num_locks"))
-            rc.profile.numLocks = overrides.getInt("num_locks");
-        if (all_mechs) {
-            for (Mechanism m : ALL_MECHANISMS) {
-                rc.system.mechanism = m;
+    try {
+        for (const auto &p : profiles) {
+            rc.profile = p;
+            // num_locks=1 concentrates the profile's CS traffic on
+            // one lock, as the LCO figure benches do.
+            if (overrides.has("num_locks"))
+                rc.profile.numLocks = overrides.getInt("num_locks");
+            if (all_mechs) {
+                for (Mechanism m : ALL_MECHANISMS) {
+                    rc.system.mechanism = m;
+                    one_run(rc);
+                }
+            } else {
                 one_run(rc);
             }
-        } else {
-            one_run(rc);
         }
+    } catch (const SimHangError &e) {
+        // Watchdog trip: persist the structured hang report and exit
+        // with the dedicated code so harnesses can tell a detected
+        // hang from an ordinary failure.
+        std::fprintf(stderr, "inpg_sim: %s\n", e.what());
+        std::FILE *out = stdout;
+        if (!hang_report_path.empty()) {
+            out = std::fopen(hang_report_path.c_str(), "w");
+            if (!out)
+                fatal("cannot open hang report file '%s'",
+                      hang_report_path.c_str());
+        }
+        const std::string &report = e.reportJson();
+        std::fwrite(report.data(), 1, report.size(), out);
+        std::fputc('\n', out);
+        if (out != stdout) {
+            std::fclose(out);
+            std::fprintf(stderr, "inpg_sim: hang report written to %s\n",
+                         hang_report_path.c_str());
+        }
+        return HANG_EXIT_CODE;
     }
 
     if (!stats_json_path.empty()) {

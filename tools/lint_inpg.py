@@ -25,6 +25,15 @@ Rules (numbered as DESIGN.md invariants 10-13):
       moved to pooled raw pointers (PR 1); a shared_ptr regression
       reintroduces atomic refcount traffic per hop.
 
+  unbounded-recording  (inv. 14)
+      No unguarded push_back/emplace_back in the telemetry recording
+      modules (flight recorder, timeseries sampler, trace sink, packet
+      lifetime, LCO attribution). Per-event records must land in a
+      bounded store -- a ring buffer or a capacity-capped vector with
+      a drop counter -- or an hours-long run OOMs the host. A growth
+      call passes when a capacity/size guard appears within the
+      preceding 16 lines.
+
 A finding is suppressed by an end-of-line marker naming its rule:
 
     auto t0 = std::chrono::steady_clock::now();  // lint:allow(nondeterminism)
@@ -55,6 +64,18 @@ NONDET_RE = re.compile(
     r"|std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
 )
 SHARED_PTR_FLIT_RE = re.compile(r"std::shared_ptr\s*<\s*Flit\b")
+
+# Telemetry modules that record per-event data over a run (registries
+# and build-only JSON values are out of scope).
+RECORDING_STEMS = ("flight_recorder", "timeseries", "trace_event",
+                   "packet_lifetime", "lco_attribution")
+PUSH_RE = re.compile(r"\b(?:push_back|emplace_back)\s*\(")
+# Evidence of a bounded store near a growth call: an explicit size
+# comparison, a named cap, or a reserve sized from existing state.
+GUARD_RE = re.compile(
+    r"\.size\(\)\s*[<>]|maxRows|maxEvents|recordCap|capacity"
+    r"|\.empty\(\)|\breserve\s*\(")
+GUARD_WINDOW = 16
 
 
 def strip_comments(text):
@@ -197,6 +218,30 @@ def check_shared_ptr_flit(files):
     return findings
 
 
+def check_unbounded_recording(files):
+    findings = []
+    for path, text in files:
+        if "src/telemetry" not in path.as_posix():
+            continue
+        if not any(s in path.stem for s in RECORDING_STEMS):
+            continue
+        lines = text.splitlines()
+        for m in PUSH_RE.finditer(text):
+            ln = line_of(text, m.start())
+            if allowed(lines, ln, "unbounded-recording"):
+                continue
+            window = "\n".join(lines[max(0, ln - GUARD_WINDOW):ln])
+            if GUARD_RE.search(window):
+                continue
+            findings.append(Finding(
+                "unbounded-recording", path, ln,
+                "growth call in a telemetry recording module without a "
+                "nearby capacity guard: per-event records must use a "
+                "bounded store (ring buffer, or capped vector with a "
+                "drop counter)"))
+    return findings
+
+
 def gather(root, rel_dirs):
     files = []
     for rel in rel_dirs:
@@ -219,6 +264,7 @@ def run_lint(root):
     findings += check_raw_flit_new(sim_files)
     findings += check_nondeterminism(sim_files)
     findings += check_shared_ptr_flit(all_files)
+    findings += check_unbounded_recording(all_files)
     findings.sort(key=lambda f: (str(f.path), f.line))
     return findings
 
@@ -241,6 +287,22 @@ void g() {
 }
 """
 
+SELF_TEST_BAD_RECORDING = """
+void FlightRecorder::record(const Event &ev) {
+    events.push_back(ev);
+}
+"""
+
+SELF_TEST_GUARDED_RECORDING = """
+void FlightRecorder::record(const Event &ev) {
+    if (events.size() >= maxEvents) {
+        ++dropped;
+        return;
+    }
+    events.push_back(ev);
+}
+"""
+
 
 def run_self_test():
     files = [(Path("src/noc/selftest.cc"), strip_comments(SELF_TEST_BAD))]
@@ -250,9 +312,12 @@ def run_self_test():
     findings += check_raw_flit_new(files)
     findings += check_nondeterminism(files)
     findings += check_shared_ptr_flit(files)
+    findings += check_unbounded_recording(
+        [(Path("src/telemetry/flight_recorder_bad.cc"),
+          strip_comments(SELF_TEST_BAD_RECORDING))])
     fired = {f.rule for f in findings}
     want = {"unordered-iteration", "raw-flit-new", "nondeterminism",
-            "shared-ptr-flit"}
+            "shared-ptr-flit", "unbounded-recording"}
     failures = want - fired
     for rule in sorted(want):
         status = "ok" if rule in fired else "MISSED"
@@ -267,6 +332,18 @@ def run_self_test():
     else:
         print("lint_inpg --self-test: ok: lint:allow suppresses a "
               "finding")
+
+    # A capacity guard just above the growth call satisfies the
+    # bounded-recording rule without a lint:allow marker.
+    guarded = [(Path("src/telemetry/flight_recorder_ok.cc"),
+                strip_comments(SELF_TEST_GUARDED_RECORDING))]
+    if check_unbounded_recording(guarded):
+        print("lint_inpg --self-test: MISSED: capacity guard exempts "
+              "a growth call")
+        failures.add("guarded-recording")
+    else:
+        print("lint_inpg --self-test: ok: capacity guard exempts a "
+              "growth call")
 
     # Comment text must never trip a rule (flit.hh documents the former
     # shared_ptr design in prose).
@@ -306,7 +383,7 @@ def main():
         return 1
     print("lint_inpg: clean (%s)" % ", ".join(
         ("unordered-iteration", "raw-flit-new", "nondeterminism",
-         "shared-ptr-flit")))
+         "shared-ptr-flit", "unbounded-recording")))
     return 0
 
 
