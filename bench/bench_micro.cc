@@ -392,11 +392,12 @@ busySpinProfile()
 }
 
 HotpathMetrics
-runHotpathWorkload(bool optimized, Simulator::HostPhaseProfile *profile)
+runHotpathWorkload(bool optimized, Simulator::HostPhaseProfile *profile,
+                   int mesh = 4)
 {
     SystemConfig cfg;
-    cfg.noc.meshWidth = 4;
-    cfg.noc.meshHeight = 4;
+    cfg.noc.meshWidth = mesh;
+    cfg.noc.meshHeight = mesh;
     cfg.lockKind = LockKind::Tas;
     cfg.impl = optimized ? ImplMode::Fast : ImplMode::Reference;
     cfg.finalize();
@@ -433,7 +434,8 @@ runHotpathWorkload(bool optimized, Simulator::HostPhaseProfile *profile)
 void
 printHotpathJson(std::FILE *out, const HotpathMetrics &ref,
                  const HotpathMetrics &opt,
-                 const Simulator::HostPhaseProfile &phases)
+                 const Simulator::HostPhaseProfile &phases,
+                 const Simulator::HostPhaseProfile &phases8x8)
 {
     auto emitRun = [out](const char *label, const HotpathMetrics &m) {
         std::fprintf(out,
@@ -465,10 +467,28 @@ printHotpathJson(std::FILE *out, const HotpathMetrics &ref,
                            ref.roiCycles == opt.roiCycles &&
                            ref.csCompleted == opt.csCompleted;
     const double speedup = opt.cpuNs > 0 ? ref.cpuNs / opt.cpuNs : 0;
-    const double total = phases.eventsSec + phases.routersSec +
-                         phases.nisSec + phases.dirsSec +
-                         phases.otherSec;
-    auto frac = [total](double s) { return total > 0 ? s / total : 0; };
+    auto emitSplit = [out](const char *label,
+                           const Simulator::HostPhaseProfile &p,
+                           const char *trailer) {
+        const double total = p.eventsSec + p.routersSec + p.nisSec +
+                             p.dirsSec + p.otherSec;
+        auto frac = [total](double s) {
+            return total > 0 ? s / total : 0;
+        };
+        std::fprintf(out,
+                     "  \"%s\": {\n"
+                     "    \"events\": %.4f,\n"
+                     "    \"routers\": %.4f,\n"
+                     "    \"nis\": %.4f,\n"
+                     "    \"dirs\": %.4f,\n"
+                     "    \"other\": %.4f,\n"
+                     "    \"profiled_cycles\": %llu\n"
+                     "  }%s\n",
+                     label, frac(p.eventsSec), frac(p.routersSec),
+                     frac(p.nisSec), frac(p.dirsSec), frac(p.otherSec),
+                     static_cast<unsigned long long>(p.profiledCycles),
+                     trailer);
+    };
 
     std::fprintf(out, "{\n"
                       "  \"bench\": \"hotpath\",\n");
@@ -483,21 +503,11 @@ printHotpathJson(std::FILE *out, const HotpathMetrics &ref,
     std::fprintf(out,
                  "\n  },\n"
                  "  \"speedup\": %.2f,\n"
-                 "  \"bit_identical\": %s,\n"
-                 "  \"phase_split_optimized\": {\n"
-                 "    \"events\": %.4f,\n"
-                 "    \"routers\": %.4f,\n"
-                 "    \"nis\": %.4f,\n"
-                 "    \"dirs\": %.4f,\n"
-                 "    \"other\": %.4f,\n"
-                 "    \"profiled_cycles\": %llu\n"
-                 "  }\n"
-                 "}\n",
-                 speedup, identical ? "true" : "false",
-                 frac(phases.eventsSec), frac(phases.routersSec),
-                 frac(phases.nisSec), frac(phases.dirsSec),
-                 frac(phases.otherSec),
-                 static_cast<unsigned long long>(phases.profiledCycles));
+                 "  \"bit_identical\": %s,\n",
+                 speedup, identical ? "true" : "false");
+    emitSplit("phase_split_optimized", phases, ",");
+    emitSplit("phase_split_optimized_8x8", phases8x8, "");
+    std::fprintf(out, "}\n");
 }
 
 int
@@ -515,19 +525,22 @@ runHotpathMode(const char *out_path)
         if (r == 0 || b.cpuNs < opt.cpuNs)
             opt = b;
     }
-    // Separate profiled pass (clock reads around every tick distort
-    // absolute time, so it is excluded from the A/B numbers).
+    // Separate profiled passes (clock reads around every tick distort
+    // absolute time, so they are excluded from the A/B numbers). The
+    // 8x8 pass shows how the split shifts with mesh radix.
     Simulator::HostPhaseProfile phases;
     runHotpathWorkload(true, &phases);
+    Simulator::HostPhaseProfile phases8x8;
+    runHotpathWorkload(true, &phases8x8, 8);
 
-    printHotpathJson(stdout, ref, opt, phases);
+    printHotpathJson(stdout, ref, opt, phases, phases8x8);
     if (out_path) {
         std::FILE *f = std::fopen(out_path, "w");
         if (!f) {
             std::fprintf(stderr, "cannot write %s\n", out_path);
             return 1;
         }
-        printHotpathJson(f, ref, opt, phases);
+        printHotpathJson(f, ref, opt, phases, phases8x8);
         std::fclose(f);
     }
 

@@ -40,6 +40,35 @@ if [ "$1" = "--quick" ]; then
     "$repo_root"/build/bench/bench_micro --json \
         --out "$repo_root"/build/BENCH_kernel.json \
         --hotpath-out "$repo_root"/build/BENCH_hotpath.json
+    # Gate before refreshing the committed copy: the fresh hotpath
+    # numbers must be bit-identical and within 5% of the committed
+    # baseline's optimized events/sec. Catches silent perf regressions
+    # (and any fast/reference divergence) at bench time, not review
+    # time.
+    python3 - "$repo_root"/BENCH_hotpath.json \
+        "$repo_root"/build/BENCH_hotpath.json <<'EOF'
+import json, sys
+old_path, new_path = sys.argv[1], sys.argv[2]
+new = json.load(open(new_path))
+if new.get("bit_identical") is not True:
+    sys.exit("FAIL: BENCH_hotpath.json has bit_identical: false -- "
+             "the optimized hot path changed simulated results")
+try:
+    old = json.load(open(old_path))
+except FileNotFoundError:
+    print("hotpath gate: no committed baseline; skipping perf check")
+    sys.exit(0)
+old_eps = old["runs"]["optimized"]["events_per_sec"]
+new_eps = new["runs"]["optimized"]["events_per_sec"]
+ratio = new_eps / old_eps if old_eps else float("inf")
+print("hotpath gate: optimized %.0f -> %.0f events/sec (%.2fx)"
+      % (old_eps, new_eps, ratio))
+if ratio < 0.95:
+    sys.exit("FAIL: optimized hot path regressed >5%% vs the "
+             "committed BENCH_hotpath.json (%.0f -> %.0f events/sec); "
+             "fix the regression or regenerate the baseline knowingly"
+             % (old_eps, new_eps))
+EOF
     # Keep the perf trajectory visible at the repo root (committed).
     cp "$repo_root"/build/BENCH_kernel.json \
        "$repo_root"/build/BENCH_hotpath.json "$repo_root"/

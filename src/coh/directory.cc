@@ -44,6 +44,9 @@ Directory::Directory(NodeId node_id, const CohConfig &config,
       mem(memory), cohStats(coh_stats)
 {
     stats = StatGroup(format("dir%d", node_id));
+    msgsReceivedCtr = &stats.counter("msgs_received");
+    msgsSentCtr = &stats.counter("msgs_sent");
+    queueDepthSample = &stats.sample("queue_depth_at_dequeue");
 }
 
 std::string
@@ -91,7 +94,7 @@ Directory::receiveMessage(const CohMsgPtr &msg, Cycle now)
                 cfg.homeOf(msg->addr), node);
     (void)now;
     queue.push_back(msg);
-    ++stats.counter("msgs_received");
+    ++*msgsReceivedCtr;
     if (msg->kind == CohMsgKind::GetS || msg->kind == CohMsgKind::GetX) {
         Telemetry *t = sim.telemetry();
         if (t && t->lco)
@@ -114,8 +117,7 @@ Directory::tick(Cycle now)
 
     CohMsgPtr msg = queue.front();
     queue.pop_front();
-    stats.sample("queue_depth_at_dequeue").add(
-        static_cast<double>(queue.size()));
+    queueDepthSample->add(static_cast<double>(queue.size()));
 
     const Cycle cost = msg->kind == CohMsgKind::InvAck ? cfg.dirAckLatency
                                                        : cfg.l2Latency;
@@ -471,7 +473,7 @@ Directory::send(const CohMsgPtr &msg, NodeId dst, Cycle now)
     PacketPtr pkt =
         net.makePacket(node, dst, vnetForKind(msg->kind), flits, msg);
     net.inject(pkt, now);
-    ++stats.counter("msgs_sent");
+    ++*msgsSentCtr;
 }
 
 JsonValue

@@ -120,6 +120,12 @@ class Directory : public Ticking
     FlatHashMap<Addr, DirEntry> entriesFlat;
     std::map<Addr, DirEntry> entriesRef;
     std::deque<CohMsgPtr> queue;
+
+    /** Cached hot stat handles (string lookup once at construction). */
+    std::uint64_t *msgsReceivedCtr = nullptr;
+    std::uint64_t *msgsSentCtr = nullptr;
+    SampleStat *queueDepthSample = nullptr;
+
     Cycle busyUntil = 0;
     bool blockedOnFetch = false;
     std::uint64_t epochCounter = 0;

@@ -59,6 +59,28 @@ L1Controller::L1Controller(CoreId core_id, NodeId node_id,
     // Cached: bumped once per retired memory op; also the watchdog's
     // per-core retirement progress signal.
     opsCompletedCtr = &stats.counter("ops_completed");
+    opsIssuedCtr = &stats.counter("ops_issued");
+    msgsSentCtr = &stats.counter("msgs_sent");
+    lockCohCyclesCtr = &stats.counter("lock_coh_cycles");
+    loadLatencySample = &stats.sample("load_latency");
+    writeLatencySample = &stats.sample("write_latency");
+    lockRmwLatencySample = &stats.sample("lock_rmw_latency");
+    loadHitsCtr = &stats.counter("load_hits");
+    loadMissesCtr = &stats.counter("load_misses");
+    writeHitsCtr = &stats.counter("write_hits");
+    writeMissesCtr = &stats.counter("write_misses");
+    writeUpgradesCtr = &stats.counter("write_upgrades");
+    preEpochFwdServedCtr = &stats.counter("pre_epoch_forwards_served");
+    preEpochFwdServedEarlyCtr = &stats.counter("pre_epoch_forwards_served_early");
+    atomicsDemotedCtr = &stats.counter("atomics_demoted");
+    fwdGetsServedCtr = &stats.counter("fwd_gets_served");
+    fwdGetxServedCtr = &stats.counter("fwd_getx_served");
+    forwardsChainedCtr = &stats.counter("forwards_chained");
+    invalidationsCtr = &stats.counter("invalidations");
+    invOnInvalidCtr = &stats.counter("inv_on_invalid");
+    staleInvOnOwnerCtr = &stats.counter("stale_inv_on_owner");
+    forwardsDeferredCtr = &stats.counter("forwards_deferred");
+    invAcksCollectedCtr = &stats.counter("inv_acks_collected");
 }
 
 L1Controller::Line &
@@ -146,7 +168,7 @@ L1Controller::startOperation(Pending &&op)
     INPG_ASSERT(!pending, "core %d issued an op while one is outstanding",
                 core);
     op.issuedAt = sim.now();
-    ++stats.counter("ops_issued");
+    ++*opsIssuedCtr;
     if (LcoTracker *lco = lcoOf(sim))
         lco->opIssued(core, op.issuedAt);
     pending.emplace(std::move(op));
@@ -177,19 +199,19 @@ L1Controller::issueAfterL1Latency(Pending &&op)
 
     switch (static_cast<L1Action>(tr.action)) {
       case L1Action::LoadHit:
-        ++stats.counter("load_hits");
+        ++*loadHitsCtr;
         pending.emplace(std::move(op));
         pending->hasData = true;
         pending->data = l.value;
         executePendingOp(now);
         return;
       case L1Action::BeginLoadMiss:
-        ++stats.counter("load_misses");
+        ++*loadMissesCtr;
         op.exclusive = false;
         beginMiss(std::move(op));
         return;
       case L1Action::WriteHit:
-        ++stats.counter("write_hits");
+        ++*writeHitsCtr;
         l.state = L1State::M;
         pending.emplace(std::move(op));
         pending->hasData = true;
@@ -204,13 +226,13 @@ L1Controller::issueAfterL1Latency(Pending &&op)
         // demotable: a demoted transaction never learns its epoch, so
         // an owner with one pending could hold deferred forwards
         // forever and deadlock the ownership chain.
-        ++stats.counter("write_upgrades");
+        ++*writeUpgradesCtr;
         op.exclusive = true;
         op.demotable = false;
         beginMiss(std::move(op));
         return;
       case L1Action::BeginWriteMiss:
-        ++stats.counter("write_misses");
+        ++*writeMissesCtr;
         op.exclusive = true;
         beginMiss(std::move(op));
         return;
@@ -276,7 +298,7 @@ L1Controller::executePendingOp(Cycle now)
                         fwd->toString().c_str());
             deferredForwards.pop_front();
             serveForward(fwd, now);
-            ++stats.counter("pre_epoch_forwards_served");
+            ++*preEpochFwdServedCtr;
         }
     }
     OpRecord rec;
@@ -294,7 +316,7 @@ L1Controller::executePendingOp(Cycle now)
         // Demoted atomic: the value was observed via a shared copy and
         // nothing was written (handleData installed the S copy).
         rec.newValue = op.data;
-        ++stats.counter("atomics_demoted");
+        ++*atomicsDemotedCtr;
         if (opLog)
             opLog(rec);
         if (op.atomicDone)
@@ -341,14 +363,12 @@ L1Controller::executePendingOp(Cycle now)
     }
 
     if (op.kind != OpRecord::Kind::Load) {
-        stats.sample("write_latency").add(
-            static_cast<double>(now - op.issuedAt));
+        writeLatencySample->add(static_cast<double>(now - op.issuedAt));
         if (op.isLock)
-            stats.sample("lock_rmw_latency").add(
+            lockRmwLatencySample->add(
                 static_cast<double>(now - op.issuedAt));
     } else {
-        stats.sample("load_latency").add(
-            static_cast<double>(now - op.issuedAt));
+        loadLatencySample->add(static_cast<double>(now - op.issuedAt));
     }
 
     // Lock coherence overhead (paper Fig. 2): cycles a lock-variable
@@ -358,7 +378,7 @@ L1Controller::executePendingOp(Cycle now)
     if (op.isLock) {
         const Cycle latency = now - op.issuedAt;
         if (latency > cfg.l1Latency)
-            stats.counter("lock_coh_cycles") += latency - cfg.l1Latency;
+            *lockCohCyclesCtr += latency - cfg.l1Latency;
     }
 
     if (opLog)
@@ -414,7 +434,7 @@ L1Controller::serveForward(const CohMsgPtr &msg, Cycle now)
             data->demoted = msg->demoted;
             data->epoch = msg->epoch;
             send(data, msg->requester, now);
-            ++stats.counter("fwd_gets_served");
+            ++*fwdGetsServedCtr;
         } else {
             auto data = std::make_shared<CoherenceMsg>();
             data->kind = CohMsgKind::DataExcl;
@@ -427,7 +447,7 @@ L1Controller::serveForward(const CohMsgPtr &msg, Cycle now)
             l.state = L1State::I;
             l.forwardedTo = msg->requester;
             send(data, msg->requester, now);
-            ++stats.counter("fwd_getx_served");
+            ++*fwdGetxServedCtr;
         }
         return;
     }
@@ -437,7 +457,7 @@ L1Controller::serveForward(const CohMsgPtr &msg, Cycle now)
                 "core %d cannot re-forward %s", core,
                 msg->toString().c_str());
     send(msg, l.forwardedTo, now);
-    ++stats.counter("forwards_chained");
+    ++*forwardsChainedCtr;
 }
 
 void
@@ -467,7 +487,7 @@ L1Controller::learnEpoch(std::uint64_t epoch, Cycle now)
         CohMsgPtr fwd = deferredForwards.front();
         deferredForwards.pop_front();
         serveForward(fwd, now);
-        ++stats.counter("pre_epoch_forwards_served_early");
+        ++*preEpochFwdServedEarlyCtr;
     }
 }
 
@@ -537,13 +557,13 @@ L1Controller::handleInv(const CohMsgPtr &msg, Cycle now)
     switch (l.state) {
       case L1State::S:
         l.state = L1State::I;
-        ++stats.counter("invalidations");
+        ++*invalidationsCtr;
         break;
       case L1State::I:
         // Already invalid: either an early (big-router) invalidation of
         // a copy we no longer hold, or a home invalidation racing an
         // early one. Acking is idempotent and required for accounting.
-        ++stats.counter("inv_on_invalid");
+        ++*invOnInvalidCtr;
         break;
       case L1State::E:
       case L1State::M:
@@ -551,7 +571,7 @@ L1Controller::handleInv(const CohMsgPtr &msg, Cycle now)
         // A stale invalidation targeting a shared copy we have since
         // upgraded past: the S copy it aimed at is already gone (our
         // own GetX consumed it). Keep the line, ack for accounting.
-        ++stats.counter("stale_inv_on_owner");
+        ++*staleInvOnOwnerCtr;
         break;
     }
 
@@ -589,7 +609,7 @@ L1Controller::handleForward(const CohMsgPtr &msg, Cycle now)
     // still hold that copy in M/E/O), post-epoch ones the result.
     if (deferIncomingForward(msg)) {
         deferredForwards.push_back(msg);
-        ++stats.counter("forwards_deferred");
+        ++*forwardsDeferredCtr;
         return;
     }
     serveForward(msg, now);
@@ -701,7 +721,7 @@ L1Controller::handleInvAck(const CohMsgPtr &msg, Cycle now)
                     pending->addr == msg->addr,
                 "core %d got stray %s", core, msg->toString().c_str());
     ++pending->acksReceived;
-    ++stats.counter("inv_acks_collected");
+    ++*invAcksCollectedCtr;
     if (cohStats)
         cohStats->recordInvAckRtt(msg->requester,
                                   now - msg->invGeneratedAt,
@@ -750,7 +770,7 @@ L1Controller::send(const CohMsgPtr &msg, NodeId dst, Cycle now,
         net.makePacket(node, dst, vnetForKind(msg->kind), flits, msg);
     pkt->priority = priority;
     net.inject(pkt, now);
-    ++stats.counter("msgs_sent");
+    ++*msgsSentCtr;
 }
 
 } // namespace inpg

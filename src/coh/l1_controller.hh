@@ -219,8 +219,34 @@ class L1Controller
     CohStats *cohStats;
     OpLogFn opLog;
 
-    /** Cached "ops_completed" counter (retirement progress signal). */
+    /**
+     * Cached hot stat handles (string lookup once at construction;
+     * StatGroup map nodes are address-stable). opsCompletedCtr doubles
+     * as the watchdog's retirement progress signal.
+     */
     std::uint64_t *opsCompletedCtr = nullptr;
+    std::uint64_t *opsIssuedCtr = nullptr;
+    std::uint64_t *msgsSentCtr = nullptr;
+    std::uint64_t *lockCohCyclesCtr = nullptr;
+    std::uint64_t *loadHitsCtr = nullptr;
+    std::uint64_t *loadMissesCtr = nullptr;
+    std::uint64_t *writeHitsCtr = nullptr;
+    std::uint64_t *writeMissesCtr = nullptr;
+    std::uint64_t *writeUpgradesCtr = nullptr;
+    std::uint64_t *preEpochFwdServedCtr = nullptr;
+    std::uint64_t *preEpochFwdServedEarlyCtr = nullptr;
+    std::uint64_t *atomicsDemotedCtr = nullptr;
+    std::uint64_t *fwdGetsServedCtr = nullptr;
+    std::uint64_t *fwdGetxServedCtr = nullptr;
+    std::uint64_t *forwardsChainedCtr = nullptr;
+    std::uint64_t *invalidationsCtr = nullptr;
+    std::uint64_t *invOnInvalidCtr = nullptr;
+    std::uint64_t *staleInvOnOwnerCtr = nullptr;
+    std::uint64_t *forwardsDeferredCtr = nullptr;
+    std::uint64_t *invAcksCollectedCtr = nullptr;
+    SampleStat *loadLatencySample = nullptr;
+    SampleStat *writeLatencySample = nullptr;
+    SampleStat *lockRmwLatencySample = nullptr;
 
     /**
      * Line table: `linesFlat` when cfg.flatContainers (the fast path),

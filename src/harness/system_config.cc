@@ -78,10 +78,12 @@ SystemConfig::finalize()
         const bool fast = impl == ImplMode::Fast;
         noc.precomputeRoutes = fast;
         noc.fastAllocScan = fast;
+        noc.soaVcState = fast;
         coh.flatContainers = fast;
     } else if (impl == ImplMode::Reference) {
         noc.precomputeRoutes = false;
         noc.fastAllocScan = false;
+        noc.soaVcState = false;
         coh.flatContainers = false;
     }
     if (const char *env = std::getenv("INPG_TELEMETRY"))
@@ -143,6 +145,7 @@ SystemConfig::applyOverrides(const Config &cfg)
         const bool fast = impl == ImplMode::Fast;
         noc.precomputeRoutes = fast;
         noc.fastAllocScan = fast;
+        noc.soaVcState = fast;
         coh.flatContainers = fast;
     }
     if (cfg.has("telemetry"))

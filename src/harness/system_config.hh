@@ -82,6 +82,7 @@ struct SystemConfig {
         impl = fast ? ImplMode::Fast : ImplMode::Reference;
         noc.precomputeRoutes = fast;
         noc.fastAllocScan = fast;
+        noc.soaVcState = fast;
         coh.flatContainers = fast;
     }
 };

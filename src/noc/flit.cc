@@ -4,18 +4,6 @@
 
 namespace inpg {
 
-bool
-isHeadFlit(FlitType t)
-{
-    return t == FlitType::Head || t == FlitType::HeadTail;
-}
-
-bool
-isTailFlit(FlitType t)
-{
-    return t == FlitType::Tail || t == FlitType::HeadTail;
-}
-
 std::string
 Flit::toString() const
 {

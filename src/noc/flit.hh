@@ -40,10 +40,18 @@ enum class FlitType {
 };
 
 /** True for Head and HeadTail flits. */
-bool isHeadFlit(FlitType t);
+inline bool
+isHeadFlit(FlitType t)
+{
+    return t == FlitType::Head || t == FlitType::HeadTail;
+}
 
 /** True for Tail and HeadTail flits. */
-bool isTailFlit(FlitType t);
+inline bool
+isTailFlit(FlitType t)
+{
+    return t == FlitType::Tail || t == FlitType::HeadTail;
+}
 
 /** One flit of a packet in flight. */
 struct Flit {

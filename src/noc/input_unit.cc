@@ -41,8 +41,7 @@ InputUnit::popFlit(VcId vc_id)
 {
     VirtualChannel &ch = vc(vc_id);
     INPG_ASSERT(ch.hasFlit(), "pop from empty VC %d", vc_id);
-    FlitPtr flit = std::move(ch.buffer.front());
-    ch.buffer.pop_front();
+    FlitPtr flit = ch.buffer.pop_front();
     INPG_ASSERT(occupancy > 0, "occupancy underflow");
     --occupancy;
     refreshMask(vc_id);

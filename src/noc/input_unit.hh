@@ -7,12 +7,12 @@
 #define INPG_NOC_INPUT_UNIT_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/types.hh"
 #include "noc/flit.hh"
+#include "noc/ring_buffer.hh"
 #include "noc/routing.hh"
 
 namespace inpg {
@@ -26,7 +26,7 @@ struct VirtualChannel {
     };
 
     State state = State::Idle;
-    std::deque<FlitPtr> buffer;
+    RingBuffer<FlitPtr, 4> buffer;
 
     /** Output port computed by route computation (valid in WaitVc+). */
     Direction outPort = Direction::Local;

@@ -10,13 +10,13 @@
 #ifndef INPG_NOC_LINK_HH
 #define INPG_NOC_LINK_HH
 
-#include <deque>
 #include <utility>
 
 #include "common/logging.hh"
 #include "common/types.hh"
 #include "noc/credit.hh"
 #include "noc/flit.hh"
+#include "noc/ring_buffer.hh"
 #include "sim/ticking.hh"
 
 namespace inpg {
@@ -26,6 +26,13 @@ namespace inpg {
  *
  * Items pushed at cycle t become poppable at cycle t + latency. Pushes
  * within one cycle stay ordered.
+ *
+ * Storage is a pow2 RingBuffer: this queue sits on every link hop, so
+ * ready()/pop() must be a flat-array index, and a deque's lazy chunk
+ * allocation on growth is exactly the steady-state heap traffic the
+ * flit path forbids. The initial capacity covers the typical in-flight
+ * window (latency + a burst of same-cycle pushes); deeper transients
+ * grow the ring once and never allocate again.
  */
 template <typename T>
 class DelayLine
@@ -40,7 +47,7 @@ class DelayLine
     void
     push(T item, Cycle now)
     {
-        queue.emplace_back(now + latency, std::move(item));
+        queue.push_back({now + latency, std::move(item)});
     }
 
     /** True if an item is deliverable at cycle `now`. */
@@ -69,7 +76,7 @@ class DelayLine
 
   private:
     Cycle latency;
-    std::deque<std::pair<Cycle, T>> queue;
+    RingBuffer<std::pair<Cycle, T>, 8> queue;
 };
 
 /**

@@ -40,6 +40,7 @@ NetworkInterface::sendPacket(const PacketPtr &pkt, Cycle now)
                 "packet dst %d out of range", pkt->dst);
     pkt->injectCycle = now;
     injectQueues[static_cast<std::size_t>(pkt->vnet)].push_back(pkt);
+    ++queuedPkts;
     ++*packetsQueuedCtr;
     if (pktTel)
         pktTel->onPacketQueued(*pkt, now);
@@ -61,15 +62,7 @@ NetworkInterface::tickName() const
 bool
 NetworkInterface::idle() const
 {
-    for (const auto &q : injectQueues)
-        if (!q.empty())
-            return false;
-    if (!inflight.empty())
-        return false;
-    for (const auto &r : reassembly)
-        if (!r.empty())
-            return false;
-    return true;
+    return queuedPkts == 0 && inflight.empty() && reassemblingFlits == 0;
 }
 
 void
@@ -111,6 +104,7 @@ NetworkInterface::ejectFlits(Cycle now)
         PacketPtr pkt = tail ? flit->packet : nullptr;
         auto &buf = reassembly[static_cast<std::size_t>(vc)];
         buf.push_back(std::move(flit));
+        ++reassemblingFlits;
         // The NI drains its buffers instantly; credit back every flit.
         rxChannel->pushCredit(Credit{vc, tail}, now);
         if (tail) {
@@ -118,6 +112,7 @@ NetworkInterface::ejectFlits(Cycle now)
                         "packet %llu reassembled with %zu of %d flits",
                         static_cast<unsigned long long>(pkt->id),
                         buf.size(), pkt->numFlits);
+            reassemblingFlits -= buf.size();
             buf.clear();
             ++*packetsDeliveredCtr;
             packetLatencySample->add(
@@ -137,6 +132,8 @@ NetworkInterface::ejectFlits(Cycle now)
 void
 NetworkInterface::allocateInjectVcs(Cycle now)
 {
+    if (queuedPkts == 0)
+        return;
     const std::size_t nvnets = injectQueues.size();
     // Fairness rotation derived from the clock instead of a per-tick
     // counter: equal to the old vnetPointer (incremented once per cycle
@@ -144,7 +141,11 @@ NetworkInterface::allocateInjectVcs(Cycle now)
     // ticks -- bit-identical with sleep/fast-forward on or off.
     const std::size_t base = static_cast<std::size_t>(now) % nvnets;
     for (std::size_t k = 0; k < nvnets; ++k) {
-        std::size_t v = (base + k) % nvnets;
+        // Conditional subtract, not %: nvnets is a runtime value, so
+        // the compiler cannot strength-reduce the division away.
+        std::size_t v = base + k;
+        if (v >= nvnets)
+            v -= nvnets;
         auto &q = injectQueues[v];
         // One allocation per vnet per cycle; honour the 1-cycle NI
         // injection latency by skipping packets queued this cycle.
@@ -157,9 +158,9 @@ NetworkInterface::allocateInjectVcs(Cycle now)
             continue;
         routerPort.allocateVc(vc);
         InFlight fl;
-        fl.pkt = q.front();
+        fl.pkt = q.pop_front();
         fl.vc = vc;
-        q.pop_front();
+        --queuedPkts;
         inflight.push_back(fl);
     }
 }
@@ -171,7 +172,9 @@ NetworkInterface::injectOneFlit(Cycle now)
         return;
     const std::size_t n = inflight.size();
     for (std::size_t k = 0; k < n; ++k) {
-        std::size_t i = (inflightPointer + k) % n;
+        std::size_t i = inflightPointer + k;
+        if (i >= n)
+            i -= n;
         InFlight &fl = inflight[i];
         if (routerPort.credits(fl.vc) <= 0)
             continue;

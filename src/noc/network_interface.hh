@@ -12,7 +12,6 @@
 #define INPG_NOC_NETWORK_INTERFACE_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -21,6 +20,7 @@
 #include "noc/link.hh"
 #include "noc/noc_config.hh"
 #include "noc/output_unit.hh"
+#include "noc/ring_buffer.hh"
 #include "sim/ticking.hh"
 #include "telemetry/flight_recorder.hh"
 
@@ -93,7 +93,7 @@ class NetworkInterface : public Ticking
     OutputUnit routerPort;
 
     /** Per-vnet queues of packets awaiting a VC. */
-    std::vector<std::deque<PacketPtr>> injectQueues;
+    std::vector<RingBuffer<PacketPtr, 8>> injectQueues;
 
     /** Packets currently being serialized, keyed by allocated VC. */
     struct InFlight {
@@ -107,6 +107,14 @@ class NetworkInterface : public Ticking
     std::vector<std::vector<FlitPtr>> reassembly;
 
     std::size_t inflightPointer = 0;
+
+    /**
+     * Cached aggregate occupancy (packets across injectQueues, flits
+     * across reassembly) so the per-cycle idle/early-out checks are one
+     * compare instead of a walk over every queue.
+     */
+    std::size_t queuedPkts = 0;
+    std::size_t reassemblingFlits = 0;
 
     /** Packet-lifetime telemetry; null when telemetry is off. */
     PacketLifetimeTracker *pktTel = nullptr;

@@ -79,6 +79,17 @@ struct NocConfig {
      */
     bool fastAllocScan = true;
 
+    /**
+     * Store router input-VC state as one structure-of-arrays block per
+     * router (flat state/outPort/outVc/headAt arrays plus whole-router
+     * candidate bitmasks and pooled ring-buffer flit storage) instead
+     * of object-per-VC InputUnits. Same decisions and arbiter-state
+     * evolution as the reference layout -- only the memory layout and
+     * scan mechanics change. Routers whose port x VC product exceeds
+     * the 64-bit mask budget silently fall back to the object layout.
+     */
+    bool soaVcState = true;
+
     int totalVcs() const { return numVnets * vcsPerVnet; }
 
     /** First VC index belonging to a vnet. */

@@ -7,6 +7,7 @@
 #ifndef INPG_NOC_OUTPUT_UNIT_HH
 #define INPG_NOC_OUTPUT_UNIT_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "common/logging.hh"
@@ -19,6 +20,11 @@ namespace inpg {
 /**
  * Tracks, for each VC of the downstream input port, whether it is bound
  * to an in-flight packet and how many buffer slots remain.
+ *
+ * Storage is structure-of-arrays: a packed busy bitmask plus a flat
+ * credit array, probed per candidate VC in the VA and SA stages every
+ * cycle. The mask makes isVcFree() a single bit test and lets the
+ * free-VC scan skip an entirely-busy vnet range in one compare.
  */
 class OutputUnit
 {
@@ -38,7 +44,12 @@ class OutputUnit
      * True if the VC is unbound and can be granted to a new packet.
      * Inline: probed per candidate VC in the VA stage every cycle.
      */
-    bool isVcFree(VcId vc) const { return !state(vc).busy; }
+    bool
+    isVcFree(VcId vc) const
+    {
+        checkVc(vc);
+        return !(busyMask & bit(vc));
+    }
 
     /** Bind a VC to a packet (VC allocation). */
     void allocateVc(VcId vc);
@@ -47,7 +58,12 @@ class OutputUnit
     void freeVc(VcId vc);
 
     /** Credits remaining on a VC. Inline: probed per SA candidate. */
-    int credits(VcId vc) const { return state(vc).credits; }
+    int
+    credits(VcId vc) const
+    {
+        checkVc(vc);
+        return creditArr[static_cast<std::size_t>(vc)];
+    }
 
     /** Consume one credit (a flit was sent on this VC). */
     void decrementCredit(VcId vc);
@@ -61,31 +77,29 @@ class OutputUnit
      */
     VcId findFreeVcInRange(VcId lo, VcId hi);
 
-    int numVcs() const { return static_cast<int>(states.size()); }
+    int numVcs() const { return static_cast<int>(creditArr.size()); }
 
   private:
-    struct OutVcState {
-        bool busy = false;
-        int credits;
-    };
+    /** Busy VCs as a packed mask (bit == VC index). */
+    std::uint32_t busyMask = 0;
 
-    std::vector<OutVcState> states;
+    /** Credits remaining per VC (flat, cache-resident). */
+    std::vector<int> creditArr;
+
     Channel *channel = nullptr;
     int depth;
     VcId scanPointer = 0;
 
-    OutVcState &
-    state(VcId vc)
+    static std::uint32_t
+    bit(VcId vc)
     {
-        INPG_ASSERT(vc >= 0 && vc < numVcs(), "VC id %d out of range", vc);
-        return states[static_cast<std::size_t>(vc)];
+        return 1u << static_cast<std::uint32_t>(vc);
     }
 
-    const OutVcState &
-    state(VcId vc) const
+    void
+    checkVc(VcId vc) const
     {
         INPG_ASSERT(vc >= 0 && vc < numVcs(), "VC id %d out of range", vc);
-        return states[static_cast<std::size_t>(vc)];
     }
 };
 

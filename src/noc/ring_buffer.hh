@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Power-of-two ring buffers for the NoC hot path.
+ *
+ * Every FIFO the flit path touches per hop -- link delay lines, VC
+ * buffers, the NI inject queues, the generator queue -- used to be a
+ * std::deque. A deque allocates its map and chunk nodes lazily, chases
+ * a double indirection on front()/back(), and its elements straddle
+ * cache lines; on the hot path that cost shows up on every hop of
+ * every flit. RingBuffer stores elements in one flat pow2 array with
+ * head/size counters, so push/pop are an index mask and a move, and a
+ * warm buffer performs zero heap allocation in steady state.
+ *
+ * Growth doubles the capacity (preserving FIFO order), so a cold
+ * buffer warms up once and then never allocates again. Determinism:
+ * growth depends only on occupancy, never on host state.
+ */
+
+#ifndef INPG_NOC_RING_BUFFER_HH
+#define INPG_NOC_RING_BUFFER_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+/**
+ * Growable FIFO over a flat pow2 array.
+ *
+ * @tparam T          element type (move-constructible)
+ * @tparam InitialCap initial capacity; must be a power of two so the
+ *                    wrap is an AND instead of a modulo.
+ */
+template <typename T, std::size_t InitialCap = 8>
+class RingBuffer
+{
+    static_assert(InitialCap > 0 && (InitialCap & (InitialCap - 1)) == 0,
+                  "ring-buffer capacity must be a power of two");
+
+  public:
+    RingBuffer() : slots(InitialCap) {}
+
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+    std::size_t capacity() const { return slots.size(); }
+
+    T &
+    front()
+    {
+        INPG_ASSERT(count > 0, "front() on empty ring buffer");
+        return slots[head];
+    }
+
+    const T &
+    front() const
+    {
+        INPG_ASSERT(count > 0, "front() on empty ring buffer");
+        return slots[head];
+    }
+
+    void
+    push_back(T value)
+    {
+        if (count == slots.size())
+            grow();
+        slots[(head + count) & (slots.size() - 1)] = std::move(value);
+        ++count;
+    }
+
+    /** Pop and return the oldest element. */
+    T
+    pop_front()
+    {
+        INPG_ASSERT(count > 0, "pop_front() on empty ring buffer");
+        T out = std::move(slots[head]);
+        head = (head + 1) & (slots.size() - 1);
+        --count;
+        return out;
+    }
+
+    void
+    clear()
+    {
+        while (count > 0) {
+            slots[head] = T();
+            head = (head + 1) & (slots.size() - 1);
+            --count;
+        }
+        head = 0;
+    }
+
+  private:
+    void
+    grow()
+    {
+        std::vector<T> bigger(slots.size() * 2);
+        for (std::size_t i = 0; i < count; ++i)
+            bigger[i] = std::move(slots[(head + i) & (slots.size() - 1)]);
+        slots = std::move(bigger);
+        head = 0;
+    }
+
+    std::vector<T> slots;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace inpg
+
+#endif // INPG_NOC_RING_BUFFER_HH

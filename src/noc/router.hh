@@ -20,7 +20,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -31,7 +30,9 @@
 #include "noc/link.hh"
 #include "noc/noc_config.hh"
 #include "noc/output_unit.hh"
+#include "noc/ring_buffer.hh"
 #include "noc/routing.hh"
+#include "noc/vc_state.hh"
 #include "sim/ticking.hh"
 #include "telemetry/flight_recorder.hh"
 
@@ -147,7 +148,7 @@ class Router : public Ticking
     const NocConfig &config() const { return cfg; }
 
     /** Number of input ports including the generator port if present. */
-    int numInPorts() const { return static_cast<int>(inputs.size()); }
+    int numInPorts() const { return nInPorts; }
 
     /** Flight recorder, or null when off (BigRouter hook sites). */
     FlightRecorder *flightRecorder() const { return frec; }
@@ -166,6 +167,28 @@ class Router : public Ticking
     void allocateSwitchFast(Cycle now);
     /** One VA attempt for a routed VC; shared by both VA variants. */
     void tryAllocateVc(InputUnit &iu, VcId v, Cycle now);
+
+    // Structure-of-arrays variants, selected by cfg.soaVcState (see
+    // VcStateArray). Same decisions and arbiter-state evolution as the
+    // object-layout stages; only the storage the sweeps walk differs.
+    void allocateVcsSoA(Cycle now);
+    void allocateSwitchSoA(Cycle now);
+    void tryAllocateVcSoA(int port, VcId v, Cycle now);
+    void switchTraverseSoA(int inport, VcId v, int outport, Cycle now);
+
+    /**
+     * Layout-independent view of one input VC, shared by debugJson and
+     * any external occupancy probe so both layouts report byte-identical
+     * diagnosis output. `state` uses the VcStateArray encoding.
+     */
+    struct VcSnapshot {
+        std::uint8_t state;
+        std::size_t occupancy;
+        Direction outPort;
+        VcId outVc;
+        Cycle headAt;
+    };
+    VcSnapshot vcSnapshot(int port, VcId v) const;
 
     /** Bitmask of the VC ids belonging to a virtual network. */
     std::uint32_t
@@ -192,17 +215,51 @@ class Router : public Ticking
      */
     std::vector<Direction> routeTable;
 
+    /**
+     * Object-per-VC input units (reference layout). Empty when the SoA
+     * layout is active -- exactly one of `inputs` / `soa` holds the VC
+     * state.
+     */
     std::vector<std::unique_ptr<InputUnit>> inputs;
+
+    /**
+     * Structure-of-arrays VC state (cfg.soaVcState and the port x VC
+     * product fits the 64-bit masks); null in the reference layout.
+     */
+    std::unique_ptr<VcStateArray> soa;
+
     std::array<std::unique_ptr<OutputUnit>, NUM_PORTS> outputs;
 
     /** Channels feeding each input port (credits go back on these). */
     std::vector<Channel *> inChannels;
 
+    /**
+     * Compact connected-port lists for the per-cycle drain loops
+     * (border routers leave 1-2 ports unconnected; the generator port
+     * has no channel at all). Ascending port order preserves the full
+     * scan's iteration order. Rebuilt by rebuildConnectedLists().
+     */
+    struct ConnectedIn {
+        Channel *channel;
+        int port;
+    };
+    struct ConnectedOut {
+        Channel *channel;
+        OutputUnit *unit;
+    };
+    std::vector<ConnectedIn> flitSources;
+    std::vector<ConnectedOut> creditSources;
+
+    void rebuildConnectedLists();
+
+    /** Input ports in use, including the generator port if present. */
+    int nInPorts = 0;
+
     /** Generator port index, or -1 when absent. */
     int genPort = -1;
 
     /** Generated packets waiting for a free generator-port VC. */
-    std::deque<PacketPtr> genQueue;
+    RingBuffer<PacketPtr, 8> genQueue;
 
     /** VA scan pointer (rotates across input ports for fairness). */
     std::size_t vaPointer = 0;

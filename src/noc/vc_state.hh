@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Structure-of-arrays VC state for the router's Fast-mode hot path.
+ *
+ * The reference layout is one InputUnit object per port, each holding a
+ * vector of VirtualChannel structs whose flit buffer, FSM state and
+ * routing fields live together. That shape is easy to read but hostile
+ * to the per-cycle pipeline sweeps: VA/SA touch one or two fields of
+ * many VCs, so every probe drags a whole VirtualChannel (plus its
+ * buffer header) through the cache, and per-port candidate masks still
+ * require a pointer chase per port.
+ *
+ * VcStateArray flattens the entire router -- all ports, all VCs -- into
+ * parallel arrays indexed by slot = port * numVcs + vc:
+ *
+ *   state[]   1 byte per slot (Idle / WaitVc / Active)
+ *   outPort[] routed output port (valid in WaitVc+)
+ *   outVc[]   allocated downstream VC (valid in Active)
+ *   headAt[]  cycle the resident head flit was buffered
+ *
+ * Flit storage is one pooled ring-buffer arena: capPerVc (vcDepth
+ * rounded up to a power of two) FlitPtr slots per VC, with per-slot
+ * head/count counters. Buffering a flit is an index store; popping is
+ * an index move -- no deque nodes, no per-VC allocation, ever.
+ *
+ * Candidate tracking is three whole-router packed bitmasks (bit ==
+ * slot): pendingMask (Idle VCs holding a head flit), waitMask (WaitVc)
+ * and activeMask (Active VCs holding a flit). A pipeline stage tests
+ * one 64-bit word to know whether the entire router has work, and
+ * extracts a per-port slice with a shift when it does. The mask
+ * lifecycle mirrors InputUnit::refreshMask exactly, so Fast and
+ * Reference modes make bit-identical allocation decisions.
+ *
+ * Capacity: numPorts * numVcs must fit the 64-bit masks. The standard
+ * configuration (5 mesh ports + 1 generator port, 8 VCs) uses 48 bits;
+ * Router falls back to the reference layout when a configuration
+ * exceeds 64 slots.
+ */
+
+#ifndef INPG_NOC_VC_STATE_HH
+#define INPG_NOC_VC_STATE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "noc/flit.hh"
+#include "noc/routing.hh"
+
+namespace inpg {
+
+/** Per-router SoA store of every input VC's state, buffer and masks. */
+class VcStateArray
+{
+  public:
+    /** VC FSM states; values match VirtualChannel::State semantics. */
+    enum : std::uint8_t {
+        Idle = 0,   ///< no packet resident
+        WaitVc = 1, ///< head buffered & routed; waiting for an output VC
+        Active = 2, ///< output VC allocated; flits may traverse
+    };
+
+    VcStateArray(int num_ports, int num_vcs, int vc_depth);
+
+    /** True when the configuration fits the 64-bit whole-router masks. */
+    static bool
+    fits(int num_ports, int num_vcs)
+    {
+        return num_ports * num_vcs <= 64;
+    }
+
+    int numPorts() const { return ports; }
+    int numVcs() const { return vcsPerPort; }
+    int vcDepth() const { return depth; }
+
+    std::size_t
+    slot(int port, VcId vc) const
+    {
+        INPG_ASSERT(port >= 0 && port < ports && vc >= 0 &&
+                        vc < vcsPerPort,
+                    "bad (port %d, vc %d)", port, vc);
+        return static_cast<std::size_t>(port) *
+                   static_cast<std::size_t>(vcsPerPort) +
+               static_cast<std::size_t>(vc);
+    }
+
+    // ----- flit ring buffer, pooled across all slots -----
+
+    bool hasFlit(std::size_t s) const { return count[s] != 0; }
+    std::size_t vcOccupancy(std::size_t s) const { return count[s]; }
+
+    const FlitPtr &
+    front(std::size_t s) const
+    {
+        INPG_ASSERT(count[s] > 0, "front() on empty VC slot %zu", s);
+        return store[s * capPerVc + head[s]];
+    }
+
+    /** Buffer an arriving flit into its VC (flit->vc selects the VC). */
+    void
+    receiveFlit(int port, FlitPtr flit, Cycle now)
+    {
+        INPG_ASSERT(flit->vc >= 0 && flit->vc < vcsPerPort,
+                    "flit arrived on bad VC %d", flit->vc);
+        const std::size_t s = slot(port, flit->vc);
+        INPG_ASSERT(count[s] < static_cast<std::uint32_t>(depth),
+                    "VC %d overflow (credit protocol violated)", flit->vc);
+        // Back-to-back packets may share a VC buffer; a flit landing in
+        // an idle, empty VC must start a packet (same as InputUnit).
+        if (state[s] == Idle && count[s] == 0) {
+            INPG_ASSERT(isHeadFlit(flit->type),
+                        "body flit into idle empty VC %d", flit->vc);
+        }
+        flit->bufferedAt = now;
+        const std::size_t idx =
+            s * capPerVc + ((head[s] + count[s]) & (capPerVc - 1));
+        store[idx] = std::move(flit);
+        ++count[s];
+        ++occupancy;
+        refreshMask(s);
+    }
+
+    /** Pop the head flit of a slot (switch traversal). */
+    FlitPtr
+    popFlit(std::size_t s)
+    {
+        INPG_ASSERT(count[s] > 0, "pop from empty VC slot %zu", s);
+        FlitPtr flit = std::move(store[s * capPerVc + head[s]]);
+        head[s] =
+            (head[s] + 1) & static_cast<std::uint32_t>(capPerVc - 1);
+        --count[s];
+        INPG_ASSERT(occupancy > 0, "router occupancy underflow");
+        --occupancy;
+        refreshMask(s);
+        return flit;
+    }
+
+    // ----- per-slot FSM state (public: the router drives the stages) --
+
+    std::vector<std::uint8_t> state;
+    std::vector<Direction> outPort;
+    std::vector<VcId> outVc;
+    std::vector<Cycle> headAt;
+
+    // ----- whole-router candidate masks (bit == slot) -----
+
+    /** Idle VCs holding a (head) flit: need route computation. */
+    std::uint64_t pendingMask = 0;
+
+    /** VCs in WaitVc: routed, waiting for an output VC. */
+    std::uint64_t waitMask = 0;
+
+    /** Active VCs holding a flit: switch-allocation candidates. */
+    std::uint64_t activeMask = 0;
+
+    /** VA candidates (route-compute or output-VC wait), whole router. */
+    std::uint64_t vaMask() const { return pendingMask | waitMask; }
+
+    /** Per-port VA candidate slice (bit == VC index within the port). */
+    std::uint32_t
+    vaCandidates(int port) const
+    {
+        return portSlice(vaMask(), port);
+    }
+
+    /** Per-port SA-I candidate slice (bit == VC index). */
+    std::uint32_t
+    saCandidates(int port) const
+    {
+        return portSlice(activeMask, port);
+    }
+
+    /** Flits buffered across the whole router. */
+    std::size_t totalOccupancy() const { return occupancy; }
+
+    /** Flits buffered on one port (debug / hang reports). */
+    std::size_t portOccupancy(int port) const;
+
+    /**
+     * Re-derive a slot's candidate-mask bits from its state and buffer
+     * occupancy. Must run after every state transition or buffer
+     * push/pop; receiveFlit/popFlit do so themselves, the router calls
+     * it after writing state[] directly -- the same discipline as
+     * InputUnit::refreshMask.
+     */
+    void
+    refreshMask(std::size_t s)
+    {
+        const std::uint64_t bit = 1ull << s;
+        pendingMask &= ~bit;
+        waitMask &= ~bit;
+        activeMask &= ~bit;
+        switch (state[s]) {
+          case Idle:
+            if (count[s] != 0)
+                pendingMask |= bit;
+            break;
+          case WaitVc:
+            waitMask |= bit;
+            break;
+          case Active:
+            if (count[s] != 0)
+                activeMask |= bit;
+            break;
+          default:
+            INPG_ASSERT(false, "corrupt VC state %u at slot %zu",
+                        state[s], s);
+        }
+    }
+
+  private:
+    std::uint32_t
+    portSlice(std::uint64_t mask, int port) const
+    {
+        return static_cast<std::uint32_t>(
+            (mask >> (static_cast<std::size_t>(port) *
+                      static_cast<std::size_t>(vcsPerPort))) &
+            portAll);
+    }
+
+    int ports;
+    int vcsPerPort;
+    int depth;
+
+    /** Ring capacity per VC: vcDepth rounded up to a power of two. */
+    std::size_t capPerVc;
+
+    /** All-ones mask over one port's VC indices. */
+    std::uint32_t portAll;
+
+    /** Pooled flit arena: slot s owns store[s*capPerVc .. +capPerVc). */
+    std::vector<FlitPtr> store;
+    std::vector<std::uint32_t> head;
+    std::vector<std::uint32_t> count;
+
+    std::size_t occupancy = 0;
+};
+
+} // namespace inpg
+
+#endif // INPG_NOC_VC_STATE_HH

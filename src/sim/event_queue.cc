@@ -46,10 +46,13 @@ EventQueue::schedule(Cycle when, Callback fn)
 void
 EventQueue::pushWheel(Entry &&e)
 {
-    const std::size_t idx = static_cast<std::size_t>(e.when & WHEEL_MASK);
+    const Cycle when = e.when;
+    const std::size_t idx = static_cast<std::size_t>(when & WHEEL_MASK);
     buckets[idx].push_back(std::move(e));
     occupied[idx >> 6] |= std::uint64_t{1} << (idx & 63);
     ++wheelCount;
+    if (wheelNextCacheValid && when < wheelNextCache)
+        wheelNextCache = when;
 }
 
 Cycle
@@ -57,6 +60,8 @@ EventQueue::wheelNextCycle() const
 {
     if (wheelCount == 0)
         return CYCLE_NEVER;
+    if (wheelNextCacheValid)
+        return wheelNextCache;
     // Scan the occupancy bitmap from the base index; buckets hold
     // exactly one cycle's entries, so the first set bit at or after
     // the base is the earliest wheel event, and bits before the base
@@ -75,10 +80,14 @@ EventQueue::wheelNextCycle() const
         const std::size_t idx =
             (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
         // Map the bucket index back to an absolute cycle in
-        // [wheelBase, wheelBase + WHEEL_SIZE).
+        // [wheelBase, wheelBase + WHEEL_SIZE). Absolute cycles stay
+        // correct across advanceBaseTo, so the cache survives window
+        // slides.
         const Cycle offset = (static_cast<Cycle>(idx) - wheelBase) &
                              WHEEL_MASK;
-        return wheelBase + offset;
+        wheelNextCache = wheelBase + offset;
+        wheelNextCacheValid = true;
+        return wheelNextCache;
     }
     return CYCLE_NEVER;
 }
@@ -176,6 +185,7 @@ EventQueue::runDue(Cycle now)
         }
         bucket.clear();
         occupied[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+        wheelNextCacheValid = false;
 
         // Step past the drained cycle before promoting again so an
         // overflow entry at next + WHEEL_SIZE cannot share the bucket.
@@ -217,6 +227,7 @@ EventQueue::clear()
     refHeap.clear();
     wheelCount = 0;
     count = 0;
+    wheelNextCacheValid = false;
 }
 
 void

@@ -164,6 +164,15 @@ class EventQueue
     std::vector<Entry> stale;
     Cycle wheelBase = 0;
     std::size_t wheelCount = 0;
+
+    /**
+     * Cached result of wheelNextCycle()'s bitmap scan. Kept as a min on
+     * every wheel insert, invalidated when a bucket is drained; the
+     * steady-state "anything due this cycle?" probe then costs one
+     * compare instead of a sweep over the occupancy words.
+     */
+    mutable Cycle wheelNextCache = CYCLE_NEVER;
+    mutable bool wheelNextCacheValid = false;
     std::size_t count = 0;
     std::uint64_t nextSeq = 0;
 

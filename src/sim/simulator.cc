@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <string>
 
@@ -30,8 +31,7 @@ Simulator::addTicking(Ticking *component)
     INPG_ASSERT(!component->token.bound(),
                 "component %s registered twice",
                 component->tickName().c_str());
-    component->token.sched = this;
-    component->token.slot = slots.size();
+    component->token.count = &activeCount;
     const std::string name = component->tickName();
     PhaseClass phase = PhaseClass::Other;
     if (name.rfind("router", 0) == 0)
@@ -40,28 +40,20 @@ Simulator::addTicking(Ticking *component)
         phase = PhaseClass::Ni;
     else if (name.rfind("dir", 0) == 0)
         phase = PhaseClass::Dir;
-    slots.push_back(Slot{component, true, phase});
+    const std::size_t idx = slots.size();
+    slots.push_back(Slot{component, phase});
+    if ((idx >> 6) >= activeBits.size())
+        activeBits.push_back(0);
+    activeBits[idx >> 6] |= std::uint64_t{1} << (idx & 63);
     ++activeCount;
-}
-
-void
-Simulator::wakeComponent(std::size_t slot)
-{
-    Slot &s = slots[slot];
-    if (!s.active) {
-        s.active = true;
-        ++activeCount;
-    }
-}
-
-void
-Simulator::suspendComponent(std::size_t slot)
-{
-    Slot &s = slots[slot];
-    if (s.active) {
-        s.active = false;
-        INPG_ASSERT(activeCount > 0, "active count underflow");
-        --activeCount;
+    // Growing the bitmap may have moved its words; re-bind all tokens
+    // so their word pointers track the new storage. Registration is
+    // setup-time only, so the quadratic re-bind is irrelevant next to
+    // the per-wake virtual call this layout replaces.
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        SleepToken &t = slots[i].component->token;
+        t.word = &activeBits[i >> 6];
+        t.bit = std::uint64_t{1} << (i & 63);
     }
 }
 
@@ -89,13 +81,24 @@ Simulator::step()
     } else {
         eventQueue.runDue(currentCycle);
     }
-    // Index loop: a tick may wake components in either direction. A
-    // freshly woken component's tick is a no-op this cycle (its new
-    // input is latched for a later cycle), so ticking it now or next
-    // cycle is equivalent; suspended slots are simply skipped.
-    for (std::size_t i = 0; i < slots.size(); ++i) {
-        if (slots[i].active)
-            slots[i].component->tick(currentCycle);
+    // Sweep the active bitmap in ascending slot order, re-reading the
+    // live word before every pick so a tick that wakes a HIGHER slot
+    // makes it run this same cycle -- exactly the reference flag loop's
+    // semantics (each index is examined once, with its state as of the
+    // moment the scan reaches it). The cursor mask retires the chosen
+    // bit and everything below it, so backward wakes wait for the next
+    // cycle just as the flag loop's already-passed indices did.
+    // Components only ever suspend themselves, so a bit the cursor has
+    // not reached can vanish only with its tick already unnecessary.
+    for (std::size_t w = 0; w < activeBits.size(); ++w) {
+        std::uint64_t eligible = ~std::uint64_t{0};
+        std::uint64_t m;
+        while ((m = activeBits[w] & eligible) != 0) {
+            const std::size_t b =
+                static_cast<std::size_t>(std::countr_zero(m));
+            eligible &= ~std::uint64_t{0} << 1 << b;
+            slots[(w << 6) + b].component->tick(currentCycle);
+        }
     }
     // Diagnosis observers see executed cycles only; null when off, so
     // the disabled cost is two predictable branches.
@@ -116,25 +119,31 @@ Simulator::stepProfiled()
     auto t0 = std::chrono::steady_clock::now(); // lint:allow(nondeterminism)
     eventQueue.runDue(currentCycle);
     profile->eventsSec += secondsSince(t0);
-    for (std::size_t i = 0; i < slots.size(); ++i) {
-        if (!slots[i].active)
-            continue;
-        auto t1 = std::chrono::steady_clock::now(); // lint:allow(nondeterminism)
-        slots[i].component->tick(currentCycle);
-        const double dt = secondsSince(t1);
-        switch (slots[i].phase) {
-          case PhaseClass::Router:
-            profile->routersSec += dt;
-            break;
-          case PhaseClass::Ni:
-            profile->nisSec += dt;
-            break;
-          case PhaseClass::Dir:
-            profile->dirsSec += dt;
-            break;
-          case PhaseClass::Other:
-            profile->otherSec += dt;
-            break;
+    for (std::size_t w = 0; w < activeBits.size(); ++w) {
+        std::uint64_t eligible = ~std::uint64_t{0};
+        std::uint64_t m;
+        while ((m = activeBits[w] & eligible) != 0) {
+            const std::size_t b =
+                static_cast<std::size_t>(std::countr_zero(m));
+            eligible &= ~std::uint64_t{0} << 1 << b;
+            const std::size_t i = (w << 6) + b;
+            auto t1 = std::chrono::steady_clock::now(); // lint:allow(nondeterminism)
+            slots[i].component->tick(currentCycle);
+            const double dt = secondsSince(t1);
+            switch (slots[i].phase) {
+              case PhaseClass::Router:
+                profile->routersSec += dt;
+                break;
+              case PhaseClass::Ni:
+                profile->nisSec += dt;
+                break;
+              case PhaseClass::Dir:
+                profile->dirsSec += dt;
+                break;
+              case PhaseClass::Other:
+                profile->otherSec += dt;
+                break;
+            }
         }
     }
     if (sampler)

@@ -36,7 +36,7 @@ class TimeseriesSampler;
 class ProgressWatchdog;
 
 /** Cycle-driven kernel with an auxiliary event queue. */
-class Simulator : public ActivityScheduler
+class Simulator
 {
   public:
     Simulator() = default;
@@ -146,10 +146,6 @@ class Simulator : public ActivityScheduler
     /** Registered components (active or not). */
     std::size_t numComponents() const { return slots.size(); }
 
-    // ActivityScheduler interface (called through SleepToken).
-    void wakeComponent(std::size_t slot) override;
-    void suspendComponent(std::size_t slot) override;
-
   private:
     /** Tick-name-derived bucket of HostPhaseProfile. */
     enum class PhaseClass : std::uint8_t {
@@ -161,7 +157,6 @@ class Simulator : public ActivityScheduler
 
     struct Slot {
         Ticking *component = nullptr;
-        bool active = true;
         PhaseClass phase = PhaseClass::Other;
     };
 
@@ -176,6 +171,14 @@ class Simulator : public ActivityScheduler
     Cycle currentCycle = 0;
     EventQueue eventQueue;
     std::vector<Slot> slots;
+
+    /**
+     * Packed active set, bit i = slot i. The per-cycle loop sweeps set
+     * bits (ascending index keeps registration-order ticking) instead
+     * of testing a flag per registered component; SleepTokens point at
+     * their word so wake/suspend are single bit operations.
+     */
+    std::vector<std::uint64_t> activeBits;
     std::size_t activeCount = 0;
 
     bool ffEnabled = true;

@@ -8,6 +8,7 @@
 #define INPG_SIM_TICKING_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "common/types.hh"
@@ -15,28 +16,16 @@
 namespace inpg {
 
 /**
- * Scheduler side of the activity contract (implemented by Simulator).
- *
- * Components never talk to it directly; they hold a SleepToken bound at
- * registration time and call suspend()/wake() on that.
- */
-class ActivityScheduler
-{
-  public:
-    /** Put the slot back into the per-cycle tick loop. */
-    virtual void wakeComponent(std::size_t slot) = 0;
-
-    /** Remove the slot from the per-cycle tick loop. */
-    virtual void suspendComponent(std::size_t slot) = 0;
-
-  protected:
-    ~ActivityScheduler() = default;
-};
-
-/**
  * Handle a registered component uses to enter and leave the simulator's
  * active set. Unbound tokens (component never registered, e.g. unit
  * tests ticking by hand) make both operations no-ops.
+ *
+ * The token points straight at the component's bit in the scheduler's
+ * packed active bitmap (plus the active-set counter), so wake/suspend
+ * are a load, a mask and a store on the hot path (Channel pushes wake
+ * consumers millions of times per run). The Simulator re-binds every
+ * token's word pointer whenever its slot table grows, so the pointers
+ * never dangle.
  */
 class SleepToken
 {
@@ -47,25 +36,30 @@ class SleepToken
     void
     wake()
     {
-        if (sched)
-            sched->wakeComponent(slot);
+        if (word && !(*word & bit)) {
+            *word |= bit;
+            ++*count;
+        }
     }
 
     /** Leave the active set (idempotent). */
     void
     suspend()
     {
-        if (sched)
-            sched->suspendComponent(slot);
+        if (word && (*word & bit)) {
+            *word &= ~bit;
+            --*count;
+        }
     }
 
-    bool bound() const { return sched != nullptr; }
+    bool bound() const { return word != nullptr; }
 
   private:
     friend class Simulator;
 
-    ActivityScheduler *sched = nullptr;
-    std::size_t slot = 0;
+    std::uint64_t *word = nullptr;
+    std::uint64_t bit = 0;
+    std::size_t *count = nullptr;
 };
 
 /**

@@ -302,6 +302,7 @@ TEST(ImplMode, ReferenceCollapsesAllStructureToggles)
     cfg.finalize();
     EXPECT_FALSE(cfg.noc.precomputeRoutes);
     EXPECT_FALSE(cfg.noc.fastAllocScan);
+    EXPECT_FALSE(cfg.noc.soaVcState);
     EXPECT_FALSE(cfg.coh.flatContainers);
 
     // Fast (the default) leaves hand-set toggles alone so the

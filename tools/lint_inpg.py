@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Determinism lint for the iNPG simulator sources (DESIGN.md Section 8).
 
-Rules (numbered as DESIGN.md invariants 10-13):
+Rules (numbered as DESIGN.md invariants 10-15):
 
   unordered-iteration  (inv. 10)
       No range-for over std::unordered_map / std::unordered_set in the
@@ -34,6 +34,14 @@ Rules (numbered as DESIGN.md invariants 10-13):
       call passes when a capacity/size guard appears within the
       preceding 16 lines.
 
+  node-container-noc   (inv. 15)
+      No std::deque / std::list / std::forward_list / std::map /
+      std::set (or their multi variants) in src/noc. The NoC hot path
+      is data-oriented: flit and credit queues are pow2 ring buffers,
+      VC state is SoA arrays. A node container reintroduces a heap
+      allocation per enqueued element on the per-cycle path. Cold-path
+      uses (if ever justified) must carry an explicit lint:allow.
+
 A finding is suppressed by an end-of-line marker naming its rule:
 
     auto t0 = std::chrono::steady_clock::now();  // lint:allow(nondeterminism)
@@ -64,6 +72,9 @@ NONDET_RE = re.compile(
     r"|std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
 )
 SHARED_PTR_FLIT_RE = re.compile(r"std::shared_ptr\s*<\s*Flit\b")
+NODE_CONTAINER_RE = re.compile(
+    r"std::(?:deque|list|forward_list|map|set|multimap|multiset)\s*<"
+    r"|#include\s*<(?:deque|list|forward_list|map|set)>")
 
 # Telemetry modules that record per-event data over a run (registries
 # and build-only JSON values are out of scope).
@@ -218,6 +229,24 @@ def check_shared_ptr_flit(files):
     return findings
 
 
+def check_node_container_noc(files):
+    findings = []
+    for path, text in files:
+        if "src/noc" not in path.as_posix():
+            continue
+        lines = text.splitlines()
+        for m in NODE_CONTAINER_RE.finditer(text):
+            ln = line_of(text, m.start())
+            if allowed(lines, ln, "node-container-noc"):
+                continue
+            findings.append(Finding(
+                "node-container-noc", path, ln,
+                "'%s' in src/noc: the NoC hot path uses pow2 ring "
+                "buffers and SoA arrays, not node containers (see "
+                "noc/ring_buffer.hh)" % m.group(0).strip()))
+    return findings
+
+
 def check_unbounded_recording(files):
     findings = []
     for path, text in files:
@@ -264,6 +293,7 @@ def run_lint(root):
     findings += check_raw_flit_new(sim_files)
     findings += check_nondeterminism(sim_files)
     findings += check_shared_ptr_flit(all_files)
+    findings += check_node_container_noc(all_files)
     findings += check_unbounded_recording(all_files)
     findings.sort(key=lambda f: (str(f.path), f.line))
     return findings
@@ -278,6 +308,7 @@ void f() {
     int r = rand();
     auto t = std::chrono::steady_clock::now();
     std::shared_ptr<Flit> keep;
+    std::deque<int> queue;
 }
 """
 
@@ -312,12 +343,14 @@ def run_self_test():
     findings += check_raw_flit_new(files)
     findings += check_nondeterminism(files)
     findings += check_shared_ptr_flit(files)
+    findings += check_node_container_noc(files)
     findings += check_unbounded_recording(
         [(Path("src/telemetry/flight_recorder_bad.cc"),
           strip_comments(SELF_TEST_BAD_RECORDING))])
     fired = {f.rule for f in findings}
     want = {"unordered-iteration", "raw-flit-new", "nondeterminism",
-            "shared-ptr-flit", "unbounded-recording"}
+            "shared-ptr-flit", "node-container-noc",
+            "unbounded-recording"}
     failures = want - fired
     for rule in sorted(want):
         status = "ok" if rule in fired else "MISSED"
@@ -344,6 +377,18 @@ def run_self_test():
     else:
         print("lint_inpg --self-test: ok: capacity guard exempts a "
               "growth call")
+
+    # Node containers stay legal outside src/noc (the coherence layer
+    # keeps deques on its cold paths).
+    coh = [(Path("src/coh/ok.cc"),
+            strip_comments("std::deque<CohMsgPtr> deferred;\n"))]
+    if check_node_container_noc(coh):
+        print("lint_inpg --self-test: MISSED: node containers outside "
+              "src/noc are exempt")
+        failures.add("node-container-scope")
+    else:
+        print("lint_inpg --self-test: ok: node containers outside "
+              "src/noc are exempt")
 
     # Comment text must never trip a rule (flit.hh documents the former
     # shared_ptr design in prose).
@@ -383,7 +428,8 @@ def main():
         return 1
     print("lint_inpg: clean (%s)" % ", ".join(
         ("unordered-iteration", "raw-flit-new", "nondeterminism",
-         "shared-ptr-flit", "unbounded-recording")))
+         "shared-ptr-flit", "node-container-noc",
+         "unbounded-recording")))
     return 0
 
 
