@@ -27,6 +27,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "coh/coherent_system.hh"
 #include "common/histogram.hh"
@@ -197,14 +198,18 @@ emitMeta(std::FILE *out, const char *config_flags)
 #define INPG_BENCH_BUILD_FLAVOR "unknown"
 #endif
     const char *sha = std::getenv("INPG_GIT_SHA");
+    const char *dirty = std::getenv("INPG_GIT_DIRTY");
     std::fprintf(out,
                  "  \"meta\": {\n"
                  "    \"git_sha\": \"%s\",\n"
+                 "    \"dirty\": %s,\n"
                  "    \"build_flavor\": \"%s\",\n"
                  "    \"compiler\": \"%s\",\n"
                  "    \"config_flags\": \"%s\"\n"
                  "  },\n",
                  sha && *sha ? sha : "unknown",
+                 dirty && std::strcmp(dirty, "1") == 0 ? "true"
+                                                       : "false",
                  INPG_BENCH_BUILD_FLAVOR, __VERSION__, config_flags);
 }
 
@@ -431,11 +436,131 @@ runHotpathWorkload(bool optimized, Simulator::HostPhaseProfile *profile,
     return m;
 }
 
+/**
+ * Wall-clock nanoseconds for the thread-scaling curve: intra-run
+ * parallelism trades total CPU time for latency, so CPU time (which
+ * sums across workers) would hide the very effect being measured.
+ */
+double
+wallNowNs()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) * 1e9 +
+           static_cast<double>(ts.tv_nsec);
+}
+
+/**
+ * One busy-spin run at a given mesh radix and kernel thread count for
+ * the scaling curve. Same workload class as the hotpath A/B; csScale
+ * trims the 16x16 runs to bench-friendly lengths.
+ */
+HotpathMetrics
+runScalingWorkload(int mesh, int threads, double cs_scale)
+{
+    SystemConfig cfg;
+    cfg.noc.meshWidth = mesh;
+    cfg.noc.meshHeight = mesh;
+    cfg.lockKind = LockKind::Tas;
+    cfg.threads = threads;
+    cfg.finalize();
+
+    System system(cfg);
+
+    Workload::Params wp;
+    wp.profile = busySpinProfile();
+    wp.threads = cfg.numCores();
+    wp.csScale = cs_scale;
+    wp.lockKind = cfg.lockKind;
+    wp.seed = cfg.seed;
+    Workload workload(wp, system.coherent(), system.locks(),
+                      system.sim());
+
+    const double t0 = wallNowNs();
+    workload.start();
+    system.runUntil([&] { return workload.done(); });
+    const double t1 = wallNowNs();
+
+    HotpathMetrics m;
+    m.simCycles = system.sim().now();
+    m.roiCycles = workload.roiFinish();
+    m.csCompleted = workload.csCompleted();
+    m.cpuNs = t1 - t0; // wall ns for this struct's scaling use
+    m.eventsExecuted = system.sim().events().executedTotal();
+    return m;
+}
+
+/**
+ * Thread-scaling curve: events/s and wall-clock speedup vs threads=1
+ * on 8x8 and 16x16 meshes, threads in {1,2,4,8}, best-of-REPS each.
+ * bit_identical records whether every simulated observable matched
+ * the threads=1 run; hw_threads records the host's parallelism budget
+ * (speedups are bounded by it -- on a 1-CPU host the curve measures
+ * barrier overhead, not gain).
+ */
+std::string
+buildParallelScalingJson()
+{
+    constexpr int REPS = 3;
+    const int threadCounts[] = {1, 2, 4, 8};
+    std::string json = "  \"parallel\": {\n";
+    json += "    \"hw_threads\": " +
+            std::to_string(std::thread::hardware_concurrency()) +
+            ",\n";
+    json += "    \"threads\": [1, 2, 4, 8],\n";
+    bool firstMesh = true;
+    for (int mesh : {8, 16}) {
+        const double csScale = mesh == 16 ? 0.25 : 1.0;
+        HotpathMetrics base;
+        if (!firstMesh)
+            json += ",\n";
+        firstMesh = false;
+        json += "    \"mesh_" + std::to_string(mesh) + "x" +
+                std::to_string(mesh) + "\": {\n";
+        bool firstRun = true;
+        for (int t : threadCounts) {
+            HotpathMetrics best;
+            for (int r = 0; r < REPS; ++r) {
+                HotpathMetrics m = runScalingWorkload(mesh, t, csScale);
+                if (r == 0 || m.cpuNs < best.cpuNs)
+                    best = m;
+            }
+            if (t == 1)
+                base = best;
+            const bool identical =
+                best.simCycles == base.simCycles &&
+                best.roiCycles == base.roiCycles &&
+                best.csCompleted == base.csCompleted &&
+                best.eventsExecuted == base.eventsExecuted;
+            const double speedup =
+                best.cpuNs > 0 ? base.cpuNs / best.cpuNs : 0;
+            char buf[256];
+            std::snprintf(
+                buf, sizeof buf,
+                "%s      \"threads_%d\": {\n"
+                "        \"wall_ns\": %.0f,\n"
+                "        \"events_per_sec\": %.0f,\n"
+                "        \"speedup\": %.2f,\n"
+                "        \"bit_identical\": %s\n"
+                "      }",
+                firstRun ? "" : ",\n", t, best.cpuNs,
+                best.eventsPerSec(), speedup,
+                identical ? "true" : "false");
+            firstRun = false;
+            json += buf;
+        }
+        json += "\n    }";
+    }
+    json += "\n  }\n";
+    return json;
+}
+
 void
 printHotpathJson(std::FILE *out, const HotpathMetrics &ref,
                  const HotpathMetrics &opt,
                  const Simulator::HostPhaseProfile &phases,
-                 const Simulator::HostPhaseProfile &phases8x8)
+                 const Simulator::HostPhaseProfile &phases8x8,
+                 const std::string &parallel_json)
 {
     auto emitRun = [out](const char *label, const HotpathMetrics &m) {
         std::fprintf(out,
@@ -506,7 +631,8 @@ printHotpathJson(std::FILE *out, const HotpathMetrics &ref,
                  "  \"bit_identical\": %s,\n",
                  speedup, identical ? "true" : "false");
     emitSplit("phase_split_optimized", phases, ",");
-    emitSplit("phase_split_optimized_8x8", phases8x8, "");
+    emitSplit("phase_split_optimized_8x8", phases8x8, ",");
+    std::fputs(parallel_json.c_str(), out);
     std::fprintf(out, "}\n");
 }
 
@@ -533,14 +659,16 @@ runHotpathMode(const char *out_path)
     Simulator::HostPhaseProfile phases8x8;
     runHotpathWorkload(true, &phases8x8, 8);
 
-    printHotpathJson(stdout, ref, opt, phases, phases8x8);
+    const std::string parallel = buildParallelScalingJson();
+
+    printHotpathJson(stdout, ref, opt, phases, phases8x8, parallel);
     if (out_path) {
         std::FILE *f = std::fopen(out_path, "w");
         if (!f) {
             std::fprintf(stderr, "cannot write %s\n", out_path);
             return 1;
         }
-        printHotpathJson(f, ref, opt, phases, phases8x8);
+        printHotpathJson(f, ref, opt, phases, phases8x8, parallel);
         std::fclose(f);
     }
 

@@ -7,14 +7,30 @@
 #             build-asan/ (exercises the raw-storage containers and
 #             callback small-buffer code under the sanitizers).
 # --tsan:     configure + build under ThreadSanitizer in build-tsan/
-#             and run the threaded suites (sweep-runner pool, the
-#             thread-safe Trace sink, determinism harness).
+#             and run the threaded suites (parallel simulation
+#             kernel, sweep-runner pool, the thread-safe Trace sink,
+#             determinism harness).
 repo_root=$(dirname "$0")
 # Provenance for BENCH_*.json: bench_micro stamps its output with this
-# SHA so perf numbers stay attributable to a commit.
-INPG_GIT_SHA=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null \
-               || echo unknown)
+# SHA (plus a dirty flag) so perf numbers stay attributable to a
+# commit. A pre-set INPG_GIT_SHA that disagrees with the checkout is a
+# stale-provenance bug -- refuse to stamp numbers with the wrong SHA.
+head_sha=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null \
+           || echo unknown)
+if [ -n "$INPG_GIT_SHA" ] && [ "$INPG_GIT_SHA" != "$head_sha" ]; then
+    echo "run_benches.sh: INPG_GIT_SHA=$INPG_GIT_SHA does not match" \
+         "git HEAD ($head_sha); refusing to stamp stale provenance" >&2
+    exit 1
+fi
+INPG_GIT_SHA=$head_sha
 export INPG_GIT_SHA
+if [ "$head_sha" != "unknown" ] && \
+   ! git -C "$repo_root" diff --quiet HEAD -- 2>/dev/null; then
+    INPG_GIT_DIRTY=1
+else
+    INPG_GIT_DIRTY=0
+fi
+export INPG_GIT_DIRTY
 if [ "$1" = "--sanitize" ]; then
     set -e
     cmake -B "$repo_root/build-asan" -S "$repo_root" \
@@ -30,10 +46,11 @@ if [ "$1" = "--tsan" ]; then
     cmake --build "$repo_root/build-tsan" -j "$(nproc)" \
         --target inpg_tests
     cd "$repo_root/build-tsan"
-    # The race-prone surface: the sweep runner's worker pool and the
+    # The race-prone surface: the parallel simulation kernel's barrier
+    # discipline, the sweep runner's worker pool and the
     # mutex-serialized Trace sink (plus the determinism fingerprints,
     # which would surface any cross-thread state bleed as a mismatch).
-    exec ctest --output-on-failure -R 'Sweep|Trace|Determinism'
+    exec ctest --output-on-failure -R 'Parallel|Sweep|Trace|Determinism'
 fi
 if [ "$1" = "--quick" ]; then
     set -e

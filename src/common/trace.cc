@@ -1,9 +1,9 @@
 #include "common/trace.hh"
 
-#include <atomic>
+#include <atomic> // lint:allow(threading-outside-parallel)
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+#include <mutex> // lint:allow(threading-outside-parallel)
 #include <set>
 
 #include "common/logging.hh"
@@ -23,10 +23,10 @@ namespace {
  * Trace.
  */
 struct TraceState {
-    std::atomic<bool> envChecked{false};
-    std::atomic<bool> allEnabled{false};
-    std::atomic<std::size_t> channelCount{0};
-    std::mutex mtx; ///< guards channels, sink, and emission
+    std::atomic<bool> envChecked{false}; // lint:allow(threading-outside-parallel)
+    std::atomic<bool> allEnabled{false}; // lint:allow(threading-outside-parallel)
+    std::atomic<std::size_t> channelCount{0}; // lint:allow(threading-outside-parallel)
+    std::mutex mtx; ///< guards channels, sink, and emission // lint:allow(threading-outside-parallel)
     std::set<std::string> channels;
     Trace::Sink sink;
 };
@@ -51,7 +51,7 @@ void
 Trace::initFromEnvironment()
 {
     TraceState &s = state();
-    std::lock_guard<std::mutex> lock(s.mtx);
+    std::lock_guard<std::mutex> lock(s.mtx); // lint:allow(threading-outside-parallel)
     const char *env = std::getenv("INPG_TRACE");
     if (env) {
         std::string spec = trim(env);
@@ -74,7 +74,7 @@ Trace::enable(const std::string &channel)
 {
     lazyInit();
     TraceState &s = state();
-    std::lock_guard<std::mutex> lock(s.mtx);
+    std::lock_guard<std::mutex> lock(s.mtx); // lint:allow(threading-outside-parallel)
     if (toLower(channel) == "all") {
         s.allEnabled.store(true, std::memory_order_relaxed);
     } else {
@@ -89,7 +89,7 @@ Trace::disable(const std::string &channel)
 {
     lazyInit();
     TraceState &s = state();
-    std::lock_guard<std::mutex> lock(s.mtx);
+    std::lock_guard<std::mutex> lock(s.mtx); // lint:allow(threading-outside-parallel)
     if (toLower(channel) == "all") {
         s.allEnabled.store(false, std::memory_order_relaxed);
         s.channels.clear();
@@ -108,7 +108,7 @@ Trace::enabled(const std::string &channel)
         return true;
     if (s.channelCount.load(std::memory_order_relaxed) == 0)
         return false;
-    std::lock_guard<std::mutex> lock(s.mtx);
+    std::lock_guard<std::mutex> lock(s.mtx); // lint:allow(threading-outside-parallel)
     return s.channels.count(toLower(channel)) > 0;
 }
 
@@ -117,7 +117,7 @@ Trace::setSink(Sink sink)
 {
     lazyInit();
     TraceState &s = state();
-    std::lock_guard<std::mutex> lock(s.mtx);
+    std::lock_guard<std::mutex> lock(s.mtx); // lint:allow(threading-outside-parallel)
     Sink previous = std::move(s.sink);
     s.sink = std::move(sink);
     return previous;
@@ -133,7 +133,7 @@ Trace::emit(const std::string &channel, Cycle now,
                               static_cast<unsigned long long>(now),
                               channel.c_str(), message.c_str());
     TraceState &s = state();
-    std::lock_guard<std::mutex> lock(s.mtx);
+    std::lock_guard<std::mutex> lock(s.mtx); // lint:allow(threading-outside-parallel)
     if (s.sink)
         s.sink(line);
     else

@@ -29,6 +29,22 @@ sweepThreadCount(std::size_t jobs, int requested)
     return n;
 }
 
+int
+perRunThreadBudget(int sweep_workers, int requested_run_threads,
+                   unsigned hw)
+{
+    if (requested_run_threads <= 1)
+        return 1;
+    if (sweep_workers <= 1)
+        return requested_run_threads;
+    int share = static_cast<int>(hw) /
+                (sweep_workers > 0 ? sweep_workers : 1);
+    if (share < 1)
+        share = 1;
+    return requested_run_threads < share ? requested_run_threads
+                                         : share;
+}
+
 std::vector<RunResult>
 runSweep(const std::vector<RunConfig> &configs, const SweepOptions &opts)
 {
@@ -48,12 +64,24 @@ runSweep(const std::vector<RunConfig> &configs, const SweepOptions &opts)
     Trace::initFromEnvironment();
 
     std::atomic<std::size_t> next{0};
+    const unsigned hw = std::thread::hardware_concurrency();
     auto worker = [&] {
         for (;;) {
             const std::size_t i = next.fetch_add(1);
             if (i >= configs.size())
                 return;
-            results[i] = runBenchmark(configs[i]);
+            // Sweep-level parallelism outranks intra-run parallelism:
+            // clamp each run's kernel threads to its share of the
+            // host so N workers x M kernel threads cannot
+            // oversubscribe. Bit-identical either way.
+            if (configs[i].system.threads > 1) {
+                RunConfig rc = configs[i];
+                rc.system.threads = perRunThreadBudget(
+                    nthreads, rc.system.threads, hw);
+                results[i] = runBenchmark(rc);
+            } else {
+                results[i] = runBenchmark(configs[i]);
+            }
         }
     };
 

@@ -38,6 +38,18 @@ struct SweepOptions {
 int sweepThreadCount(std::size_t jobs, int requested);
 
 /**
+ * Arbitrate the host thread budget between sweep-level and intra-run
+ * parallelism: with `sweep_workers` concurrent runs on `hw` hardware
+ * threads, each run's SystemConfig::threads request is clamped to its
+ * fair share max(1, hw / sweep_workers) so a sweep of parallel-kernel
+ * runs cannot oversubscribe the host. Never raises a request; a
+ * serial run (request <= 1) stays serial. Simulated results are
+ * unaffected (the parallel kernel is bit-identical at any width).
+ */
+int perRunThreadBudget(int sweep_workers, int requested_run_threads,
+                       unsigned hw);
+
+/**
  * Run every configuration and return results in submission order.
  * Runs inline (no threads) when only one worker is warranted.
  */

@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "harness/hang_report.hh"
 #include "inpg/big_router.hh"
+#include "sim/parallel/parallel_kernel.hh"
 
 namespace inpg {
 
@@ -27,7 +28,14 @@ System::System(SystemConfig config) : cfg(std::move(config))
     lockMgr = std::make_unique<LockManager>(*memSys, kernel, cfg.sync);
     if (telem && (telem->timeseries || telem->watchdog))
         wireDiagnosis();
+    // Last: every Ticking must already be registered (the kernel
+    // steals router slots; Simulator::addTicking refuses afterwards).
+    if (cfg.threads > 1)
+        parKernel = std::make_unique<ParallelKernel>(
+            kernel, memSys->network(), cfg.threads);
 }
+
+System::~System() = default;
 
 void
 System::wireDiagnosis()

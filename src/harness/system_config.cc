@@ -88,15 +88,35 @@ SystemConfig::finalize()
     }
     if (const char *env = std::getenv("INPG_TELEMETRY"))
         telemetry.applySpec(env);
+    if (threads < 1)
+        threads = 1;
+    if (threads > 64)
+        threads = 64;
 }
 
 void
 SystemConfig::applyOverrides(const Config &cfg)
 {
+    // "mesh=WxH" preset shorthand for the two dimension keys (e.g.
+    // mesh=16x16); explicit mesh_width/mesh_height still win.
+    if (cfg.has("mesh")) {
+        std::string m = toLower(cfg.getString("mesh"));
+        std::size_t x = m.find('x');
+        int w = 0, h = 0;
+        if (x != std::string::npos) {
+            w = std::atoi(m.substr(0, x).c_str());
+            h = std::atoi(m.substr(x + 1).c_str());
+        }
+        if (w < 1 || h < 1)
+            fatal("bad mesh '%s' (want WxH, e.g. 16x16)", m.c_str());
+        noc.meshWidth = w;
+        noc.meshHeight = h;
+    }
     noc.meshWidth = static_cast<int>(
         cfg.getInt("mesh_width", noc.meshWidth));
     noc.meshHeight = static_cast<int>(
         cfg.getInt("mesh_height", noc.meshHeight));
+    threads = static_cast<int>(cfg.getInt("threads", threads));
     noc.vcsPerVnet = static_cast<int>(
         cfg.getInt("vcs_per_vnet", noc.vcsPerVnet));
     noc.vcDepth = static_cast<int>(cfg.getInt("vc_depth", noc.vcDepth));

@@ -14,8 +14,13 @@
  *    drops (the payload PacketPtr is released at that moment, not
  *    retained by the free list);
  *  - a simulated System must be constructed, run and destroyed on a
- *    single host thread -- flits never legally cross threads (the
- *    parallel sweep runner confines each configuration to one worker);
+ *    single host thread: flits are born and die on that thread (the
+ *    parallel sweep runner confines each configuration to one
+ *    worker). The parallel kernel (src/sim/parallel) keeps this
+ *    true: only the coordinator thread creates or releases flits (NI
+ *    inject/eject, BigRouter generation); fabric workers move
+ *    already-live FlitPtrs between buffers, with ownership handed
+ *    across the quantum barrier's release/acquire edges;
  *  - pool-less Flits (pool == nullptr, e.g. unit tests constructing
  *    Flit on the heap manually) are deleted instead of recycled.
  */

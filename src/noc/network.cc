@@ -64,7 +64,8 @@ Network::Network(const NocConfig &config, Simulator &sim,
 Channel *
 Network::newChannel()
 {
-    channels.push_back(std::make_unique<Channel>(cfg.linkLatency));
+    channels.push_back(
+        std::make_unique<Channel>(cfg.linkLatency, cfg.creditLatency));
     return channels.back().get();
 }
 

@@ -291,7 +291,8 @@ Router::drainFlits(Cycle now)
             if (isHeadFlit(flit->type)) {
                 onHeadFlitArrived(flit, p, now);
                 if (pktTel)
-                    pktTel->onRouterArrive(id, flit->packet->id, now);
+                    telRouterOp(PacketTelOp::Kind::RouterArrive,
+                                flit->packet->id, now);
             }
             if (soa)
                 soa->receiveFlit(p, std::move(flit), now);
@@ -379,7 +380,8 @@ Router::tryAllocateVc(InputUnit &iu, VcId v, Cycle now)
     iu.refreshMask(v);
     ++*vaGrantsCtr;
     if (pktTel)
-        pktTel->onVaGrant(id, ch.buffer.front()->packet->id, now);
+        telRouterOp(PacketTelOp::Kind::VaGrant,
+                    ch.buffer.front()->packet->id, now);
 }
 
 void
@@ -458,7 +460,8 @@ Router::tryAllocateVcSoA(int port, VcId v, Cycle now)
     a.refreshMask(s);
     ++*vaGrantsCtr;
     if (pktTel)
-        pktTel->onVaGrant(id, a.front(s)->packet->id, now);
+        telRouterOp(PacketTelOp::Kind::VaGrant,
+                    a.front(s)->packet->id, now);
 }
 
 void
@@ -506,7 +509,8 @@ Router::switchTraverse(int inport, VcId v, int outport, Cycle now)
                           now);
         ++*packetsRoutedCtr;
         if (pktTel)
-            pktTel->onRouterDepart(id, flit->packet->id, now);
+            telRouterOp(PacketTelOp::Kind::RouterDepart,
+                        flit->packet->id, now);
     }
 
     // Return a buffer credit upstream (none for the generator port).
@@ -776,7 +780,8 @@ Router::switchTraverseSoA(int inport, VcId v, int outport, Cycle now)
                           now);
         ++*packetsRoutedCtr;
         if (pktTel)
-            pktTel->onRouterDepart(id, flit->packet->id, now);
+            telRouterOp(PacketTelOp::Kind::RouterDepart,
+                        flit->packet->id, now);
     }
 
     // Return a buffer credit upstream (none for the generator port).

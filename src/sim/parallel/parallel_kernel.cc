@@ -1,0 +1,368 @@
+#include "sim/parallel/parallel_kernel.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "noc/network.hh"
+#include "noc/router.hh"
+#include "sim/simulator.hh"
+#include "telemetry/telemetry.hh"
+
+namespace inpg {
+
+namespace {
+
+/**
+ * Coordinator router share from the measured hotpath phase split
+ * (BENCH_hotpath.json, 8x8 optimized: routers ~77% of cycle time,
+ * events+NIs+dirs ~23%). The coordinator always carries the non-router
+ * load, so it keeps the router fraction x that equalizes
+ * coordinator (O + R*x) and worker (R * (1 - x) / W) per-quantum work.
+ * Pure arithmetic on constants: the partition is deterministic.
+ */
+std::size_t
+coordinatorShare(std::size_t eligible, int threads)
+{
+    constexpr double R = 0.77; // router fraction of a hot cycle
+    constexpr double O = 0.23; // everything the coordinator must own
+    const int w = threads - 1;
+    double x = (R - O * static_cast<double>(w)) /
+               (R * static_cast<double>(threads));
+    x = std::clamp(x, 0.0, 1.0);
+    return static_cast<std::size_t>(
+        std::lround(x * static_cast<double>(eligible)));
+}
+
+} // namespace
+
+ParallelKernel::ParallelKernel(Simulator &sim_, Network &net_,
+                               int threads)
+    : sim(sim_), net(net_), nThreads(threads)
+{
+    INPG_ASSERT(threads >= 2,
+                "ParallelKernel needs >= 2 threads; threads=1 is the "
+                "serial kernel");
+    const NocConfig &cfg = net.config();
+    lookaheadCycles =
+        std::min<Cycle>(cfg.linkLatency + 1, cfg.creditLatency);
+    INPG_ASSERT(lookaheadCycles >= 1, "degenerate lookahead");
+
+    // Fabric-eligible components: plain routers only. BigRouters pin
+    // to the coordinator (they mutate packets, allocate from the
+    // network's id space, and feed the flight recorder / LCO sinks);
+    // so does everything that isn't a router.
+    std::vector<NodeId> eligible;
+    for (NodeId id = 0; id < net.numNodes(); ++id)
+        if (!net.router(id).isBigRouter())
+            eligible.push_back(id);
+
+    const int nWorkers = nThreads - 1;
+    domains.resize(static_cast<std::size_t>(nWorkers));
+
+    // Contiguous node-id stripes (row bands of the mesh) minimize
+    // boundary channels; the coordinator keeps the first
+    // coordinatorShare() routers, workers split the rest evenly.
+    std::vector<int> domainByNode(
+        static_cast<std::size_t>(net.numNodes()), 0);
+    const std::size_t keep = coordinatorShare(eligible.size(), nThreads);
+    const std::size_t rem = eligible.size() - keep;
+    std::size_t cursor = keep;
+    for (int w = 0; w < nWorkers; ++w) {
+        std::size_t len = rem / static_cast<std::size_t>(nWorkers) +
+                          (static_cast<std::size_t>(w) <
+                                   rem % static_cast<std::size_t>(nWorkers)
+                               ? 1
+                               : 0);
+        for (std::size_t i = 0; i < len; ++i, ++cursor)
+            domainByNode[static_cast<std::size_t>(eligible[cursor])] =
+                w + 1;
+    }
+    INPG_ASSERT(cursor == eligible.size(), "partition missed routers");
+
+    // Steal fabric routers out of the serial active set. Ascending
+    // node id preserves the serial relative tick order inside each
+    // domain (routers register in node order).
+    for (NodeId id : eligible) {
+        const int dom = domainByNode[static_cast<std::size_t>(id)];
+        if (dom == 0)
+            continue;
+        Router &r = net.router(id);
+        adopt(&r, dom);
+        r.setPacketTelLog(&domains[static_cast<std::size_t>(dom - 1)]
+                               .telLog);
+    }
+    for (Domain &d : domains)
+        rebindDomainTokens(d);
+
+    classifyBoundaries(net, domainByNode);
+
+    sim.attachParallel(this);
+
+    workers.reserve(static_cast<std::size_t>(nWorkers));
+    for (int w = 0; w < nWorkers; ++w)
+        workers.emplace_back(
+            [this, w] { workerLoop(static_cast<std::size_t>(w)); });
+}
+
+ParallelKernel::~ParallelKernel() { shutdown(); }
+
+void
+ParallelKernel::adopt(Router *comp, int domain)
+{
+    SleepToken &tok = comp->sleepToken();
+    INPG_ASSERT(tok.bound(),
+                "stealing a component that never registered");
+    std::size_t slot = sim.slots.size();
+    for (std::size_t i = 0; i < sim.slots.size(); ++i) {
+        if (sim.slots[i].component == comp) {
+            slot = i;
+            break;
+        }
+    }
+    INPG_ASSERT(slot < sim.slots.size(),
+                "stolen component not registered with this simulator");
+    const bool wasActive = (*tok.word & tok.bit) != 0;
+    tok.suspend(); // drop out of the serial sweep
+    Domain &d = domains[static_cast<std::size_t>(domain - 1)];
+    const std::size_t idx = d.comps.size();
+    d.comps.push_back(comp);
+    if ((idx >> 6) >= d.bits.size())
+        d.bits.push_back(0);
+    if (wasActive) {
+        d.bits[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+        ++d.activeCount;
+    }
+    stolen.push_back(StolenSlot{comp, slot, domain});
+}
+
+void
+ParallelKernel::rebindDomainTokens(Domain &d)
+{
+    // Deferred until the domain stops growing: d.bits reallocation
+    // would dangle any pointer bound mid-adoption.
+    for (std::size_t i = 0; i < d.comps.size(); ++i) {
+        SleepToken &tok = d.comps[i]->sleepToken();
+        tok.word = &d.bits[i >> 6];
+        tok.bit = std::uint64_t{1} << (i & 63);
+        tok.count = &d.activeCount;
+    }
+}
+
+void
+ParallelKernel::classifyBoundaries(Network &network,
+                                   const std::vector<int> &domainByNode)
+{
+    // Map channel sinks to domains: routers by node id, every other
+    // component (NIs feed the coordinator) is domain 0.
+    std::vector<std::pair<const Ticking *, int>> routerDomain;
+    routerDomain.reserve(
+        static_cast<std::size_t>(network.numNodes()));
+    for (NodeId id = 0; id < network.numNodes(); ++id)
+        routerDomain.emplace_back(
+            &network.router(id),
+            domainByNode[static_cast<std::size_t>(id)]);
+    std::sort(routerDomain.begin(), routerDomain.end());
+    auto domainOf = [&](const Ticking *t) {
+        if (!t)
+            return 0;
+        auto it = std::lower_bound(
+            routerDomain.begin(), routerDomain.end(),
+            std::make_pair(t, 0),
+            [](const auto &a, const auto &b) { return a.first < b.first; });
+        return (it != routerDomain.end() && it->first == t) ? it->second
+                                                            : 0;
+    };
+
+    const auto &channels = network.allChannels();
+    std::size_t n = 0;
+    for (const auto &ch : channels)
+        if (domainOf(ch->flitSinkComponent()) !=
+            domainOf(ch->creditSinkComponent()))
+            ++n;
+    boundaries.reserve(n); // outbox addresses must stay stable
+    for (const auto &ch : channels) {
+        if (domainOf(ch->flitSinkComponent()) ==
+            domainOf(ch->creditSinkComponent()))
+            continue;
+        boundaries.push_back(Boundary{ch.get(), ChannelOutbox{}});
+        ch->setOutbox(&boundaries.back().box);
+    }
+}
+
+std::size_t
+ParallelKernel::fabricActive() const
+{
+    // Plain reads: only valid between quanta, when every worker is
+    // parked (ordered by the per-domain arrival gates).
+    std::size_t n = 0;
+    for (const Domain &d : domains)
+        n += d.activeCount;
+    return n;
+}
+
+void
+ParallelKernel::workerLoop(std::size_t d)
+{
+    Domain &dom = domains[d];
+    std::uint64_t epoch = 0;
+    for (;;) {
+        ++epoch;
+        go.await(epoch);
+        if (stopFlag.load(std::memory_order_acquire)) {
+            dom.done.release(epoch);
+            return;
+        }
+        sweepDomain(dom, quantumBase, quantumLen);
+        dom.done.release(epoch);
+    }
+}
+
+void
+ParallelKernel::sweepDomain(Domain &d, Cycle base, Cycle quantum)
+{
+    // Same cursor-mask sweep as the serial kernel: live word re-read
+    // so a forward wake inside the domain runs this same cycle,
+    // retired bits wait for the next cycle.
+    for (Cycle c = 0; c < quantum; ++c) {
+        const Cycle now = base + c;
+        for (std::size_t w = 0; w < d.bits.size(); ++w) {
+            std::uint64_t eligible = ~std::uint64_t{0};
+            std::uint64_t m;
+            while ((m = d.bits[w] & eligible) != 0) {
+                const std::size_t b =
+                    static_cast<std::size_t>(std::countr_zero(m));
+                eligible &= ~std::uint64_t{0} << 1 << b;
+                d.comps[(w << 6) + b]->tick(now);
+            }
+        }
+    }
+}
+
+void
+ParallelKernel::step(Cycle quantum)
+{
+    INPG_ASSERT(sim.profile == nullptr,
+                "host phase profiling requires the serial kernel "
+                "(--threads=1)");
+    Cycle q = quantum;
+    // Diagnosis observers sample per executed cycle; their view must
+    // match the serial kernel's, so their presence pins the quantum.
+    if (sim.sampler || sim.wdog)
+        q = 1;
+    q = std::clamp<Cycle>(q, 1, lookaheadCycles);
+
+    // Elide the barrier round-trip while every fabric domain sleeps;
+    // the coordinator's own merge below can wake them back up.
+    const bool fabricBusy = fabricActive() != 0;
+    if (fabricBusy) {
+        ++seq;
+        quantumBase = sim.currentCycle;
+        quantumLen = q;
+        go.release(seq);
+    }
+    for (Cycle i = 0;;) {
+        sim.runEventPhase();
+        sim.sweepActive();
+        if (++i >= q)
+            break;
+        ++sim.currentCycle;
+    }
+    if (fabricBusy) {
+        for (Domain &d : domains)
+            d.done.await(seq);
+    }
+    drainOutboxes();
+    replayTelLogs();
+    if (sim.sampler)
+        sim.sampler->onCycle(sim.currentCycle);
+    if (sim.wdog)
+        sim.wdog->onCycle(sim.currentCycle);
+    ++sim.currentCycle;
+}
+
+void
+ParallelKernel::drainOutboxes()
+{
+    // Deterministic merge: fixed channel order, FIFO within each
+    // channel (single producer per direction), and every re-push
+    // carries its original cycle so DelayLine delivery cycles -- and
+    // the sink wakes -- are exactly the serial ones.
+    for (Boundary &b : boundaries) {
+        if (b.box.empty())
+            continue;
+        Channel *ch = b.channel;
+        ch->setOutbox(nullptr);
+        for (auto &e : b.box.flits)
+            ch->pushFlit(std::move(e.second), e.first);
+        for (auto &e : b.box.credits)
+            ch->pushCredit(e.second, e.first);
+        b.box.flits.clear();
+        b.box.credits.clear();
+        ch->setOutbox(&b.box);
+    }
+}
+
+void
+ParallelKernel::replayTelLogs()
+{
+    // Fabric routers defer packet-lifetime hooks into per-domain logs
+    // (the tracker's map lives on the coordinator). Replay order
+    // across domains is immaterial: one packet occupies one router per
+    // cycle, so its ops land in a single domain log in program order,
+    // and ops of different packets touch disjoint records.
+    for (Domain &d : domains) {
+        if (d.telLog.empty())
+            continue;
+        for (const PacketTelOp &op : d.telLog) {
+            PacketLifetimeTracker *t =
+                net.router(op.router).packetTracker();
+            INPG_ASSERT(t != nullptr, "deferred op without tracker");
+            t->apply(op);
+        }
+        d.telLog.clear();
+    }
+}
+
+void
+ParallelKernel::shutdown()
+{
+    if (joined)
+        return;
+    stopFlag.store(true, std::memory_order_release);
+    ++seq;
+    go.release(seq);
+    for (std::thread &t : workers)
+        if (t.joinable())
+            t.join();
+    workers.clear();
+    joined = true;
+
+    // Flush any unmerged traffic (normally none: shutdown happens
+    // between quanta, after the merge), then undo the diversion.
+    drainOutboxes();
+    replayTelLogs();
+    for (Boundary &b : boundaries)
+        b.channel->setOutbox(nullptr);
+
+    // Hand every stolen component back to the serial kernel with its
+    // activity preserved; subsequent serial stepping is bit-identical
+    // to a kernel that was never sharded.
+    for (const StolenSlot &s : stolen) {
+        SleepToken &tok = s.comp->sleepToken();
+        const bool active = (*tok.word & tok.bit) != 0;
+        if (active)
+            tok.suspend();
+        tok.word = &sim.activeBits[s.mainSlot >> 6];
+        tok.bit = std::uint64_t{1} << (s.mainSlot & 63);
+        tok.count = &sim.activeCount;
+        if (active)
+            tok.wake();
+        s.comp->setPacketTelLog(nullptr);
+    }
+    stolen.clear();
+    sim.attachParallel(nullptr);
+}
+
+} // namespace inpg

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * ParallelKernel: tile-sharded execution mode for the simulation
+ * kernel.
+ *
+ * The mesh is partitioned into per-thread tiles ("fabric domains") of
+ * plain routers; every protocol component -- NIs, L1s, directories,
+ * memory controllers, locks, thread contexts, the workload, and every
+ * BigRouter -- stays on the coordinator (domain 0, the calling
+ * thread), which also owns the event queue. Plain routers are pure
+ * dataflow machines: they never schedule events, never allocate
+ * packets, and only talk to their channels, so a fabric domain needs
+ * no event-queue shard and no allocator -- the per-edge outbox
+ * mailboxes carry the only cross-tile traffic (flits and credits).
+ *
+ * Each quantum the coordinator releases the workers, sweeps its own
+ * active set (events + domain-0 components) for the same cycles,
+ * waits for all workers to arrive, then merges: boundary-channel
+ * outboxes are drained in deterministic channel order (each re-push
+ * carries the original push cycle, so delivery cycles are exactly the
+ * serial ones), and deferred packet-telemetry ops are replayed into
+ * the tracker. The quantum length is bounded by the conservative
+ * lookahead min(linkLatency + 1, creditLatency): no cross-domain item
+ * pushed inside a quantum can become deliverable before the quantum
+ * ends, so the merge is never late. Diagnosis observers (timeseries
+ * sampler, progress watchdog) and runUntil predicates must see every
+ * executed cycle, so their presence clamps the quantum to one cycle.
+ *
+ * Determinism: at every quantum boundary the simulated state --
+ * channel contents, active sets, telemetry -- is identical to the
+ * serial kernel's state at that cycle. The only elided difference is
+ * that a component woken mid-cycle by a cross-domain push wakes at the
+ * merge instead; the skipped ticks are provably behavioral no-ops
+ * (router and NI ticks early-out without mutating arbiter state when
+ * nothing is buffered), and the post-merge active set matches the
+ * serial one bit for bit. tests/test_parallel_kernel.cc holds the
+ * fingerprint, stats-JSON, and hang-report equivalence suites.
+ */
+
+#ifndef INPG_SIM_PARALLEL_PARALLEL_KERNEL_HH
+#define INPG_SIM_PARALLEL_PARALLEL_KERNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+#include "noc/link.hh"
+#include "sim/parallel/spin_barrier.hh"
+#include "telemetry/packet_lifetime.hh"
+
+namespace inpg {
+
+class Network;
+class Router;
+class Simulator;
+class Ticking;
+
+/** Tile-sharded parallel stepper; see file comment. */
+class ParallelKernel
+{
+  public:
+    /**
+     * Shard `net`'s plain routers across `threads - 1` worker domains
+     * (the coordinator keeps a load-balancing share), divert every
+     * boundary channel through an outbox, and attach to `sim` so
+     * step()/run()/runUntil() delegate to quantum stepping. threads
+     * must be >= 2; the serial kernel IS the threads == 1 path.
+     *
+     * All components must already be registered with `sim`; the
+     * simulator rejects addTicking() while a parallel kernel is
+     * attached.
+     */
+    ParallelKernel(Simulator &sim, Network &net, int threads);
+
+    ~ParallelKernel();
+
+    ParallelKernel(const ParallelKernel &) = delete;
+    ParallelKernel &operator=(const ParallelKernel &) = delete;
+
+    /**
+     * Join the workers and hand every stolen component back to the
+     * serial kernel (bits, counts and sleep tokens restored), leaving
+     * the simulator in a state bit-identical to a serial kernel that
+     * executed the same cycles. Idempotent; runs automatically at
+     * destruction.
+     */
+    void shutdown();
+
+    /** Advance up to `quantum` cycles (clamped to the lookahead). */
+    void step(Cycle quantum);
+
+    /** Total threads, including the coordinator. */
+    int threads() const { return nThreads; }
+
+    /**
+     * Conservative lookahead in cycles: the minimum latency of any
+     * cross-domain pipe, i.e. min(linkLatency + 1, creditLatency).
+     * A quantum never exceeds it.
+     */
+    Cycle lookahead() const { return lookaheadCycles; }
+
+    /** Stolen components currently awake across all fabric domains. */
+    std::size_t fabricActive() const;
+
+    /** Channels whose endpoints live in different domains. */
+    std::size_t boundaryChannels() const { return boundaries.size(); }
+
+    /** Components stolen into fabric domains. */
+    std::size_t stolenComponents() const { return stolen.size(); }
+
+  private:
+    /** One worker thread's tile: components, active set, arrival gate. */
+    struct Domain {
+        std::vector<Ticking *> comps;
+        std::vector<std::uint64_t> bits;
+        std::size_t activeCount = 0;
+        /** Deferred packet-telemetry ops, replayed at the merge. */
+        std::vector<PacketTelOp> telLog;
+        QuantumGate done;
+    };
+
+    /** A cross-domain channel and its diversion mailbox. */
+    struct Boundary {
+        Channel *channel = nullptr;
+        ChannelOutbox box;
+    };
+
+    /** Steal record so shutdown() can restore the serial binding. */
+    struct StolenSlot {
+        Router *comp = nullptr;
+        std::size_t mainSlot = 0;
+        int domain = 0;
+    };
+
+    void adopt(Router *comp, int domain);
+    void rebindDomainTokens(Domain &d);
+    void classifyBoundaries(Network &net,
+                            const std::vector<int> &domainByNode);
+    void workerLoop(std::size_t d);
+    void sweepDomain(Domain &d, Cycle base, Cycle quantum);
+    void drainOutboxes();
+    void replayTelLogs();
+
+    Simulator &sim;
+    Network &net;
+    int nThreads;
+    Cycle lookaheadCycles = 1;
+
+    // deque, not vector: Domain holds a QuantumGate (atomics) and is
+    // therefore immovable; deque grows without relocating elements.
+    std::deque<Domain> domains;
+    std::vector<Boundary> boundaries;
+    std::vector<StolenSlot> stolen;
+    std::vector<std::thread> workers;
+
+    /** Quantum bounds, published to workers by the `go` release. */
+    Cycle quantumBase = 0;
+    Cycle quantumLen = 1;
+
+    QuantumGate go;
+    std::uint64_t seq = 0;
+    std::atomic<bool> stopFlag{false};
+    bool joined = false;
+};
+
+} // namespace inpg
+
+#endif // INPG_SIM_PARALLEL_PARALLEL_KERNEL_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Coordinator/worker quantum gate for the parallel kernel.
+ *
+ * The parallel kernel advances the fabric domains in lockstep quanta:
+ * the coordinator publishes a quantum (release), every worker sweeps
+ * its domain and arrives (also release, on its own gate), and the
+ * coordinator waits for all arrivals before merging boundary traffic.
+ * A gate is a monotonically increasing epoch counter; release stores
+ * the new epoch, await blocks until the published epoch reaches the
+ * requested one. All cross-thread data (quantum bounds, domain bitmaps,
+ * outboxes, telemetry logs) is plain memory ordered exclusively by the
+ * release/acquire pairs on these epochs -- there is no other lock in
+ * the simulator.
+ *
+ * Waiters spin briefly, then park on the futex behind
+ * std::atomic::wait. Quanta are typically one simulated cycle
+ * (microseconds of work), so the spin catches the common case on a
+ * multi-core host, while the park keeps an oversubscribed host -- CI
+ * containers with fewer cores than worker threads -- from melting into
+ * a spin storm.
+ */
+
+#ifndef INPG_SIM_PARALLEL_SPIN_BARRIER_HH
+#define INPG_SIM_PARALLEL_SPIN_BARRIER_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace inpg {
+
+/** One-directional epoch gate (see file comment). */
+class alignas(64) QuantumGate
+{
+  public:
+    /** Publish epoch `e`; wakes every parked waiter. */
+    void
+    release(std::uint64_t e)
+    {
+        epoch.store(e, std::memory_order_release);
+        epoch.notify_all();
+    }
+
+    /** Block until the published epoch reaches `e`. */
+    void
+    await(std::uint64_t e) const
+    {
+        for (int i = 0; i < SPIN_ROUNDS; ++i) {
+            if (epoch.load(std::memory_order_acquire) >= e)
+                return;
+        }
+        std::uint64_t cur = epoch.load(std::memory_order_acquire);
+        while (cur < e) {
+            epoch.wait(cur, std::memory_order_acquire);
+            cur = epoch.load(std::memory_order_acquire);
+        }
+    }
+
+    std::uint64_t
+    current() const
+    {
+        return epoch.load(std::memory_order_acquire);
+    }
+
+  private:
+    static constexpr int SPIN_ROUNDS = 256;
+
+    std::atomic<std::uint64_t> epoch{0};
+};
+
+} // namespace inpg
+
+#endif // INPG_SIM_PARALLEL_SPIN_BARRIER_HH

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "sim/parallel/parallel_kernel.hh"
 #include "telemetry/telemetry.hh"
 
 namespace inpg {
@@ -28,6 +29,9 @@ void
 Simulator::addTicking(Ticking *component)
 {
     INPG_ASSERT(component != nullptr, "registering null component");
+    INPG_ASSERT(parKernel == nullptr,
+                "cannot register components while a parallel kernel "
+                "is attached (it has already partitioned the slots)");
     INPG_ASSERT(!component->token.bound(),
                 "component %s registered twice",
                 component->tickName().c_str());
@@ -67,12 +71,24 @@ Simulator::setTelemetry(Telemetry *t)
 }
 
 void
-Simulator::step()
+Simulator::attachParallel(ParallelKernel *k)
 {
-    if (profile) {
-        stepProfiled();
-        return;
-    }
+    INPG_ASSERT(k == nullptr || parKernel == nullptr,
+                "a parallel kernel is already attached");
+    INPG_ASSERT(k == nullptr || profile == nullptr,
+                "host phase profiling requires the serial kernel");
+    parKernel = k;
+}
+
+std::size_t
+Simulator::totalActive() const
+{
+    return activeCount + (parKernel ? parKernel->fabricActive() : 0);
+}
+
+void
+Simulator::runEventPhase()
+{
     if (kernelProf) {
         const std::uint64_t before = eventQueue.executedTotal();
         eventQueue.runDue(currentCycle);
@@ -81,6 +97,11 @@ Simulator::step()
     } else {
         eventQueue.runDue(currentCycle);
     }
+}
+
+void
+Simulator::sweepActive()
+{
     // Sweep the active bitmap in ascending slot order, re-reading the
     // live word before every pick so a tick that wakes a HIGHER slot
     // makes it run this same cycle -- exactly the reference flag loop's
@@ -100,6 +121,21 @@ Simulator::step()
             slots[(w << 6) + b].component->tick(currentCycle);
         }
     }
+}
+
+void
+Simulator::step()
+{
+    if (profile) {
+        stepProfiled();
+        return;
+    }
+    if (parKernel) {
+        parKernel->step(1);
+        return;
+    }
+    runEventPhase();
+    sweepActive();
     // Diagnosis observers see executed cycles only; null when off, so
     // the disabled cost is two predictable branches.
     if (sampler)
@@ -159,7 +195,7 @@ Simulator::run(Cycle n)
 {
     const Cycle limit = currentCycle + n;
     while (currentCycle < limit) {
-        if (ffEnabled && activeCount == 0) {
+        if (ffEnabled && totalActive() == 0) {
             const Cycle target = std::min(limit, idleHorizon());
             if (target > currentCycle) {
                 if (kernelProf)
@@ -172,7 +208,14 @@ Simulator::run(Cycle n)
                 continue;
             }
         }
-        step();
+        if (parKernel && !profile) {
+            // Fixed-horizon stepping has no per-cycle predicate, so
+            // the parallel kernel may batch up to its conservative
+            // lookahead per barrier round-trip (it clamps internally).
+            parKernel->step(limit - currentCycle);
+        } else {
+            step();
+        }
     }
 }
 
@@ -184,7 +227,7 @@ Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles,
     while (currentCycle < limit) {
         if (done())
             return true;
-        if (ffEnabled && activeCount == 0) {
+        if (ffEnabled && totalActive() == 0) {
             if (wdog && mode == PredicateMode::StateChange &&
                 eventQueue.empty()) {
                 // Every component is asleep and the event horizon is

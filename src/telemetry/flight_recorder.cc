@@ -1,7 +1,7 @@
 #include "telemetry/flight_recorder.hh"
 
 #include <algorithm>
-#include <mutex>
+#include <mutex> // lint:allow(threading-outside-parallel)
 
 #include "common/logging.hh"
 
@@ -15,10 +15,10 @@ namespace {
  * is mutex-guarded; recorders register at construction and leave at
  * destruction.
  */
-std::mutex &
+std::mutex & // lint:allow(threading-outside-parallel)
 registryMutex()
 {
-    static std::mutex m;
+    static std::mutex m; // lint:allow(threading-outside-parallel)
     return m;
 }
 
@@ -32,7 +32,7 @@ registry()
 void
 panicDumpAll()
 {
-    std::lock_guard<std::mutex> g(registryMutex());
+    std::lock_guard<std::mutex> g(registryMutex()); // lint:allow(threading-outside-parallel)
     for (FlightRecorder *fr : registry()) {
         std::fprintf(stderr,
                      "--- flight recorder (%zu retained, %llu lost to "
@@ -75,14 +75,14 @@ FlightRecorder::FlightRecorder(std::size_t capacity)
     ring.resize(cap);
     mask = cap - 1;
 
-    std::lock_guard<std::mutex> g(registryMutex());
+    std::lock_guard<std::mutex> g(registryMutex()); // lint:allow(threading-outside-parallel)
     registry().push_back(this);
     setPanicHook(&panicDumpAll);
 }
 
 FlightRecorder::~FlightRecorder()
 {
-    std::lock_guard<std::mutex> g(registryMutex());
+    std::lock_guard<std::mutex> g(registryMutex()); // lint:allow(threading-outside-parallel)
     auto &r = registry();
     r.erase(std::remove(r.begin(), r.end(), this), r.end());
 }

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Parallel-kernel equivalence tests: the tile-sharded kernel
+ * (src/sim/parallel) must be bit-identical in simulated results to
+ * the serial kernel at every thread count -- workload fingerprints,
+ * full stats-JSON snapshots, and seeded-hang reports all byte-equal
+ * -- and hand the simulator back to serial stepping unchanged after
+ * shutdown(). Also covers the lookahead quantum with creditLatency
+ * >= 2, the mesh=WxH preset, and the sweep thread-budget arbiter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/config.hh"
+#include "harness/sweep_runner.hh"
+#include "harness/system.hh"
+#include "noc/network.hh"
+#include "sim/parallel/parallel_kernel.hh"
+#include "telemetry/watchdog.hh"
+#include "workload/benchmark_profile.hh"
+#include "workload/workload.hh"
+
+namespace inpg {
+namespace {
+
+/** Everything a run can legally differ in shows up in these fields. */
+struct Fingerprint {
+    Cycle simCycles = 0;
+    Cycle roiCycles = 0;
+    std::uint64_t csCompleted = 0;
+    Cycle parallelCycles = 0;
+    Cycle cohCycles = 0;
+    Cycle sleepCycles = 0;
+    Cycle cseCycles = 0;
+    std::uint64_t earlyInvs = 0;
+    std::uint64_t flitsSent = 0;
+
+    bool
+    operator==(const Fingerprint &o) const
+    {
+        return simCycles == o.simCycles && roiCycles == o.roiCycles &&
+               csCompleted == o.csCompleted &&
+               parallelCycles == o.parallelCycles &&
+               cohCycles == o.cohCycles && sleepCycles == o.sleepCycles &&
+               cseCycles == o.cseCycles && earlyInvs == o.earlyInvs &&
+               flitsSent == o.flitsSent;
+    }
+};
+
+struct RunSpec {
+    int threads = 1;
+    int mesh = 4;
+    Mechanism mech = Mechanism::Original;
+    const char *bench = "freq";
+    double csScale = 0.05;
+    bool statsJson = false;
+};
+
+Fingerprint
+runOnce(const RunSpec &spec, std::string *stats_json = nullptr)
+{
+    SystemConfig cfg;
+    cfg.noc.meshWidth = spec.mesh;
+    cfg.noc.meshHeight = spec.mesh;
+    cfg.mechanism = spec.mech;
+    cfg.lockKind = LockKind::Qsl;
+    cfg.threads = spec.threads;
+    cfg.finalize();
+
+    System system(cfg);
+    EXPECT_EQ(system.parallelKernel() != nullptr, spec.threads > 1);
+
+    Workload::Params wp;
+    wp.profile = benchmarkByName(spec.bench);
+    wp.threads = cfg.numCores();
+    wp.csScale = spec.csScale;
+    wp.lockKind = cfg.lockKind;
+    wp.seed = cfg.seed;
+    Workload workload(wp, system.coherent(), system.locks(),
+                      system.sim());
+    workload.start();
+    system.runUntil([&] { return workload.done(); });
+
+    Fingerprint f;
+    f.simCycles = system.sim().now();
+    f.roiCycles = workload.roiFinish();
+    f.csCompleted = workload.csCompleted();
+    f.parallelCycles = workload.totalCycles(ThreadPhase::Parallel);
+    f.cohCycles = workload.totalCycles(ThreadPhase::Coh);
+    f.sleepCycles = workload.totalCycles(ThreadPhase::Sleep);
+    f.cseCycles = workload.totalCycles(ThreadPhase::Cse);
+    f.earlyInvs = system.totalEarlyInvs();
+    for (NodeId n = 0; n < system.coherent().network().numNodes(); ++n)
+        f.flitsSent += system.coherent().network().router(n)
+                           .stats.value("flits_sent");
+    if (stats_json)
+        *stats_json = system.statsSnapshot().dump(2);
+    return f;
+}
+
+TEST(ParallelKernel, FingerprintMatchesSerialOn4x4)
+{
+    RunSpec serial;
+    Fingerprint ref = runOnce(serial);
+    for (int t : {2, 4, 8}) {
+        RunSpec par = serial;
+        par.threads = t;
+        EXPECT_TRUE(runOnce(par) == ref) << "threads=" << t;
+    }
+}
+
+TEST(ParallelKernel, FingerprintMatchesSerialOn8x8)
+{
+    RunSpec serial;
+    serial.mesh = 8;
+    serial.csScale = 0.02;
+    Fingerprint ref = runOnce(serial);
+    for (int t : {2, 4}) {
+        RunSpec par = serial;
+        par.threads = t;
+        EXPECT_TRUE(runOnce(par) == ref) << "threads=" << t;
+    }
+}
+
+TEST(ParallelKernel, FingerprintMatchesSerialWithInpg)
+{
+    RunSpec serial;
+    serial.mesh = 8;
+    serial.mech = Mechanism::Inpg;
+    serial.csScale = 0.02;
+    Fingerprint ref = runOnce(serial);
+    RunSpec par = serial;
+    par.threads = 4;
+    EXPECT_TRUE(runOnce(par) == ref);
+}
+
+TEST(ParallelKernel, FingerprintMatchesSerialOn16x16)
+{
+    RunSpec serial;
+    serial.mesh = 16;
+    serial.csScale = 0.005;
+    Fingerprint ref = runOnce(serial);
+    RunSpec par = serial;
+    par.threads = 4;
+    EXPECT_TRUE(runOnce(par) == ref);
+}
+
+TEST(ParallelKernel, StatsSnapshotByteIdentical)
+{
+    // The full machine-readable stats surface -- every router, NI,
+    // directory, L1 and lock counter -- must match, not just the
+    // workload-level fingerprint.
+    RunSpec serial;
+    serial.mech = Mechanism::Inpg;
+    std::string ref, par_json;
+    runOnce(serial, &ref);
+    RunSpec par = serial;
+    par.threads = 4;
+    runOnce(par, &par_json);
+    EXPECT_EQ(ref, par_json);
+}
+
+/**
+ * Seeded protocol hang under full diagnosis instrumentation
+ * (watchdog + flight recorder + packet-lifetime tracking). The hang
+ * report dumps router pipeline state, in-flight packet waterfalls and
+ * the recorder ring; all of it must be byte-identical when the fabric
+ * ran sharded -- this is what makes --threads an honest debugging
+ * tool, not just a fast one.
+ */
+std::string
+hangReport(int threads)
+{
+    SystemConfig cfg;
+    cfg.noc.meshWidth = 4;
+    cfg.noc.meshHeight = 4;
+    cfg.lockKind = LockKind::Tas;
+    cfg.threads = threads;
+    cfg.coh.dropDirResponseNth = 1;
+    cfg.telemetry.watchdogWindow = 50000;
+    cfg.telemetry.recorder = true;
+    cfg.telemetry.packets = true;
+    cfg.finalize();
+    System system(cfg);
+
+    Workload::Params wp;
+    wp.profile = benchmarkByName("freq");
+    wp.threads = cfg.numCores();
+    wp.csScale = 0.01;
+    wp.lockKind = cfg.lockKind;
+    Workload w(wp, system.coherent(), system.locks(), system.sim());
+    w.start();
+    try {
+        system.runUntil([&] { return w.done(); }, 5000000);
+    } catch (const SimHangError &e) {
+        return e.reportJson();
+    }
+    ADD_FAILURE() << "seeded hang did not trip the watchdog";
+    return std::string();
+}
+
+TEST(ParallelKernel, SeededHangReportByteIdentical)
+{
+    std::string serial = hangReport(1);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, hangReport(4));
+}
+
+/** Standalone NoC harness (no coherence layer) for kernel-level tests. */
+struct NocHarness {
+    NocHarness(int w, int h, Cycle credit_latency = 1)
+    {
+        cfg.meshWidth = w;
+        cfg.meshHeight = h;
+        cfg.creditLatency = credit_latency;
+        net = std::make_unique<Network>(cfg, sim);
+        for (NodeId id = 0; id < net->numNodes(); ++id) {
+            net->ni(id).setDeliverCallback(
+                [this, id](const PacketPtr &pkt, Cycle now) {
+                    (void)now;
+                    ++delivered[pkt->id];
+                    lastDst[pkt->id] = id;
+                });
+        }
+    }
+
+    void
+    injectAll()
+    {
+        // A deterministic all-to-one + neighbor pattern crossing every
+        // vertical tile boundary.
+        for (NodeId src = 0; src < net->numNodes(); ++src) {
+            NodeId dst = static_cast<NodeId>(
+                (src * 7 + 3) % net->numNodes());
+            net->inject(net->makePacket(src, dst, src % 3, 1 + src % 4),
+                        sim.now());
+        }
+    }
+
+    std::uint64_t
+    flitsSent() const
+    {
+        return net->routerCounterTotal("flits_sent");
+    }
+
+    NocConfig cfg;
+    Simulator sim;
+    std::unique_ptr<Network> net;
+    std::map<PacketId, int> delivered;
+    std::map<PacketId, NodeId> lastDst;
+};
+
+TEST(ParallelKernel, LookaheadFollowsCreditLatency)
+{
+    // Default latencies give lookahead 1; a 2-cycle credit loop
+    // stretches the conservative quantum to 2.
+    NocHarness h1(4, 4);
+    ParallelKernel k1(h1.sim, *h1.net, 2);
+    EXPECT_EQ(k1.lookahead(), 1u);
+
+    NocHarness h2(4, 4, 2);
+    ParallelKernel k2(h2.sim, *h2.net, 2);
+    EXPECT_EQ(k2.lookahead(), 2u);
+}
+
+TEST(ParallelKernel, MultiCycleQuantumMatchesSerial)
+{
+    // With creditLatency=2 the kernel may batch 2 cycles per barrier;
+    // the simulated outcome must still match the serial kernel cycle
+    // for cycle.
+    const Cycle span = 400;
+    NocHarness serial(4, 4, 2);
+    serial.injectAll();
+    serial.sim.run(span);
+
+    NocHarness par(4, 4, 2);
+    par.injectAll();
+    ParallelKernel k(par.sim, *par.net, 4);
+    EXPECT_EQ(k.lookahead(), 2u);
+    par.sim.run(span);
+    k.shutdown();
+
+    EXPECT_EQ(par.sim.now(), serial.sim.now());
+    EXPECT_EQ(par.delivered, serial.delivered);
+    EXPECT_EQ(par.lastDst, serial.lastDst);
+    EXPECT_EQ(par.flitsSent(), serial.flitsSent());
+}
+
+TEST(ParallelKernel, ShutdownHandsBackSerialStepping)
+{
+    // Run the first half sharded, shut the kernel down mid-flight,
+    // finish serially; every simulated observable must match a run
+    // that was serial throughout.
+    const Cycle half = 40, full = 400;
+    NocHarness serial(4, 4);
+    serial.injectAll();
+    serial.sim.run(full);
+
+    NocHarness par(4, 4);
+    par.injectAll();
+    {
+        ParallelKernel k(par.sim, *par.net, 4);
+        EXPECT_GT(k.stolenComponents(), 0u);
+        EXPECT_GT(k.boundaryChannels(), 0u);
+        par.sim.run(half);
+        k.shutdown();
+    }
+    par.sim.run(full - half);
+
+    EXPECT_EQ(par.sim.now(), serial.sim.now());
+    EXPECT_EQ(par.delivered, serial.delivered);
+    EXPECT_EQ(par.flitsSent(), serial.flitsSent());
+    EXPECT_TRUE(par.net->quiescent());
+}
+
+TEST(ParallelKernel, MeshPresetParsesWxH)
+{
+    Config overrides;
+    overrides.loadString("mesh = 16x16\nthreads = 4\n");
+    SystemConfig cfg;
+    cfg.applyOverrides(overrides);
+    EXPECT_EQ(cfg.noc.meshWidth, 16);
+    EXPECT_EQ(cfg.noc.meshHeight, 16);
+    EXPECT_EQ(cfg.threads, 4);
+
+    // Explicit dimension keys still win over the preset.
+    Config both;
+    both.loadString("mesh = 16x16\nmesh_width = 8\nmesh_height = 4\n");
+    SystemConfig cfg2;
+    cfg2.applyOverrides(both);
+    EXPECT_EQ(cfg2.noc.meshWidth, 8);
+    EXPECT_EQ(cfg2.noc.meshHeight, 4);
+}
+
+TEST(ParallelKernel, ThreadsClampToSaneRange)
+{
+    Config overrides;
+    overrides.loadString("threads = 0\n");
+    SystemConfig cfg;
+    cfg.applyOverrides(overrides);
+    EXPECT_EQ(cfg.threads, 1);
+
+    Config big;
+    big.loadString("threads = 9999\n");
+    SystemConfig cfg2;
+    cfg2.applyOverrides(big);
+    EXPECT_EQ(cfg2.threads, 64);
+}
+
+TEST(ParallelKernel, SweepThreadBudgetArbitration)
+{
+    // Serial runs stay serial regardless of the sweep width.
+    EXPECT_EQ(perRunThreadBudget(8, 1, 16), 1);
+    // A lone sweep worker hands the whole host to the run.
+    EXPECT_EQ(perRunThreadBudget(1, 8, 16), 8);
+    // Concurrent runs split the host evenly...
+    EXPECT_EQ(perRunThreadBudget(4, 8, 16), 4);
+    // ...but a request below the share is honored as-is...
+    EXPECT_EQ(perRunThreadBudget(4, 2, 16), 2);
+    // ...and oversubscribed hosts degrade to serial runs.
+    EXPECT_EQ(perRunThreadBudget(16, 8, 4), 1);
+}
+
+} // namespace
+} // namespace inpg

@@ -12,8 +12,10 @@
 #   3. seeded-hang watchdog smoke -- inpg_sim with the test-only
 #      drop_dir_response knob must exit 86 (HANG_EXIT_CODE) and write
 #      a well-formed structured hang report;
-#   4. ./run_benches.sh --sanitize -- configure + build + full ctest
-#      under ASan/UBSan in build-asan/.
+#   4. ./run_benches.sh --tsan then --sanitize -- the threaded suites
+#      (parallel kernel, sweep pool, trace sink) under
+#      ThreadSanitizer in build-tsan/, then configure + build + full
+#      ctest under ASan/UBSan in build-asan/.
 # Flags:
 #   --tidy       additionally run clang-tidy over src/ (skipped with a
 #                note when clang-tidy is not installed);
@@ -115,5 +117,9 @@ cmake --build "$repo_root/build" -j "$(nproc)" --target bench_micro
 echo "=== ci.sh stage 3: seeded-hang watchdog smoke ==="
 run_hang_smoke
 
-echo "=== ci.sh stage 4: sanitizer suite ==="
+echo "=== ci.sh stage 4: sanitizer suites ==="
+# ThreadSanitizer over the threaded surfaces first (parallel kernel
+# bit-identity suite, sweep pool, trace sink), then the full ASan/
+# UBSan tree. Both configure their own build dirs.
+"$repo_root/run_benches.sh" --tsan
 "$repo_root/run_benches.sh" --sanitize

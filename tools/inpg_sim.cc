@@ -11,6 +11,8 @@
  *   inpg_sim benchmark=freq mechanism=inpg lock=qsl cs_scale=0.1
  *   inpg_sim benchmark=all csv=1 > results.csv
  *   inpg_sim benchmark=kdtree dump_stats=1 mesh_width=4 mesh_height=4
+ *   inpg_sim benchmark=freq mesh=16x16 threads=4   # parallel kernel;
+ *       bit-identical to threads=1 (src/sim/parallel)
  *   inpg_sim config=myrun.cfg        # "key = value" lines
  *   inpg_sim benchmark=freq --trace-out=run.json   # Chrome trace
  *   inpg_sim benchmark=freq telemetry=lco --stats-json=stats.json

@@ -34,6 +34,16 @@ Rules (numbered as DESIGN.md invariants 10-15):
       call passes when a capacity/size guard appears within the
       preceding 16 lines.
 
+  threading-outside-parallel (inv. 16)
+      No std::thread / std::mutex / std::atomic /
+      std::condition_variable (or their headers) outside
+      src/sim/parallel/ and src/harness/. Simulated components are
+      single-threaded by construction -- the parallel kernel's barrier
+      discipline is the only sanctioned cross-thread channel, and a
+      stray atomic in a component silently turns a determinism bug
+      into a data race. Host-side infrastructure (the trace registry,
+      the recorder registry) must opt out per line.
+
   node-container-noc   (inv. 15)
       No std::deque / std::list / std::forward_list / std::map /
       std::set (or their multi variants) in src/noc. The NoC hot path
@@ -75,6 +85,15 @@ SHARED_PTR_FLIT_RE = re.compile(r"std::shared_ptr\s*<\s*Flit\b")
 NODE_CONTAINER_RE = re.compile(
     r"std::(?:deque|list|forward_list|map|set|multimap|multiset)\s*<"
     r"|#include\s*<(?:deque|list|forward_list|map|set)>")
+
+THREADING_RE = re.compile(
+    r"std::(?:thread|jthread|mutex|recursive_mutex|shared_mutex"
+    r"|condition_variable|atomic)\b"
+    r"|#include\s*<(?:thread|mutex|shared_mutex|atomic"
+    r"|condition_variable)>")
+# Directories where host-side threading primitives are sanctioned:
+# the parallel kernel itself and the harness (sweep thread pool).
+THREADING_OK_DIRS = ("src/sim/parallel", "src/harness")
 
 # Telemetry modules that record per-event data over a run (registries
 # and build-only JSON values are out of scope).
@@ -247,6 +266,26 @@ def check_node_container_noc(files):
     return findings
 
 
+def check_threading_scope(files):
+    findings = []
+    for path, text in files:
+        posix = path.as_posix()
+        if any(posix.startswith(d) for d in THREADING_OK_DIRS):
+            continue
+        lines = text.splitlines()
+        for m in THREADING_RE.finditer(text):
+            ln = line_of(text, m.start())
+            if allowed(lines, ln, "threading-outside-parallel"):
+                continue
+            findings.append(Finding(
+                "threading-outside-parallel", path, ln,
+                "'%s' outside src/sim/parallel and src/harness: "
+                "simulated components are single-threaded; cross-"
+                "thread state belongs to the parallel kernel's barrier "
+                "discipline" % m.group(0).strip()))
+    return findings
+
+
 def check_unbounded_recording(files):
     findings = []
     for path, text in files:
@@ -295,6 +334,7 @@ def run_lint(root):
     findings += check_shared_ptr_flit(all_files)
     findings += check_node_container_noc(all_files)
     findings += check_unbounded_recording(all_files)
+    findings += check_threading_scope(all_files)
     findings.sort(key=lambda f: (str(f.path), f.line))
     return findings
 
@@ -309,6 +349,7 @@ void f() {
     auto t = std::chrono::steady_clock::now();
     std::shared_ptr<Flit> keep;
     std::deque<int> queue;
+    std::atomic<int> racy{0};
 }
 """
 
@@ -347,10 +388,11 @@ def run_self_test():
     findings += check_unbounded_recording(
         [(Path("src/telemetry/flight_recorder_bad.cc"),
           strip_comments(SELF_TEST_BAD_RECORDING))])
+    findings += check_threading_scope(files)
     fired = {f.rule for f in findings}
     want = {"unordered-iteration", "raw-flit-new", "nondeterminism",
             "shared-ptr-flit", "node-container-noc",
-            "unbounded-recording"}
+            "unbounded-recording", "threading-outside-parallel"}
     failures = want - fired
     for rule in sorted(want):
         status = "ok" if rule in fired else "MISSED"
@@ -389,6 +431,20 @@ def run_self_test():
     else:
         print("lint_inpg --self-test: ok: node containers outside "
               "src/noc are exempt")
+
+    # Threading primitives are legal inside the parallel kernel and
+    # the harness thread pool.
+    par = [(Path("src/sim/parallel/ok.hh"),
+            strip_comments("std::atomic<bool> stopFlag{false};\n")),
+           (Path("src/harness/ok.cc"),
+            strip_comments("std::thread worker;\n"))]
+    if check_threading_scope(par):
+        print("lint_inpg --self-test: MISSED: threading inside "
+              "src/sim/parallel and src/harness is exempt")
+        failures.add("threading-scope")
+    else:
+        print("lint_inpg --self-test: ok: threading inside "
+              "src/sim/parallel and src/harness is exempt")
 
     # Comment text must never trip a rule (flit.hh documents the former
     # shared_ptr design in prose).
@@ -429,7 +485,7 @@ def main():
     print("lint_inpg: clean (%s)" % ", ".join(
         ("unordered-iteration", "raw-flit-new", "nondeterminism",
          "shared-ptr-flit", "node-container-noc",
-         "unbounded-recording")))
+         "unbounded-recording", "threading-outside-parallel")))
     return 0
 
 
