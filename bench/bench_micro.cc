@@ -15,8 +15,11 @@
  *    containers, virtual per-flit route calls -- and again on the
  *    optimized ones: timing wheel + SBO callbacks, flat-hash tables,
  *    precomputed route tables), written to --hotpath-out, including
- *    events/sec, schedule-path heap-allocation counts and a
- *    per-subsystem wall-clock phase split.
+ *    events/sec, schedule-path heap-allocation counts, a
+ *    per-subsystem wall-clock phase split, a fabric-comparison
+ *    `topology` section (8x8 mesh vs torus vs cmesh:4x4x4 at equal
+ *    core count, each re-checked bit-identical under threads=2) and
+ *    the thread-scaling `parallel` section.
  * The `perf-smoke` ctest target drives this mode.
  */
 
@@ -37,6 +40,7 @@
 #include "noc/arbiter.hh"
 #include "noc/flit_pool.hh"
 #include "noc/network.hh"
+#include "noc/topology.hh"
 #include "sim/simulator.hh"
 #include "workload/benchmark_profile.hh"
 #include "workload/workload.hh"
@@ -67,7 +71,8 @@ BM_NetworkUniformTraffic(benchmark::State &state)
     Simulator sim;
     Network net(cfg, sim);
     for (NodeId n = 0; n < net.numNodes(); ++n)
-        net.ni(n).setDeliverCallback([](const PacketPtr &, Cycle) {});
+        net.niFor(n).setDeliverCallback(n,
+                                        [](const PacketPtr &, Cycle) {});
     Rng rng(7);
     for (auto _ : state) {
         // One random single-flit packet injected per cycle.
@@ -555,11 +560,105 @@ buildParallelScalingJson()
     return json;
 }
 
+/**
+ * One busy-spin run on an arbitrary fabric (`topology=` spec string)
+ * for the fabric-comparison section. Same workload class as the
+ * hotpath A/B.
+ */
+HotpathMetrics
+runFabricWorkload(const char *spec_text, int threads)
+{
+    SystemConfig cfg;
+    TopologySpec::parse(spec_text).applyTo(cfg.noc);
+    cfg.lockKind = LockKind::Tas;
+    cfg.threads = threads;
+    cfg.finalize();
+
+    System system(cfg);
+
+    Workload::Params wp;
+    wp.profile = busySpinProfile();
+    wp.threads = cfg.numCores();
+    wp.csScale = 1.0;
+    wp.lockKind = cfg.lockKind;
+    wp.seed = cfg.seed;
+    Workload workload(wp, system.coherent(), system.locks(),
+                      system.sim());
+
+    const double t0 = wallNowNs();
+    workload.start();
+    system.runUntil([&] { return workload.done(); });
+    const double t1 = wallNowNs();
+
+    HotpathMetrics m;
+    m.simCycles = system.sim().now();
+    m.roiCycles = workload.roiFinish();
+    m.csCompleted = workload.csCompleted();
+    m.cpuNs = t1 - t0; // wall ns, comparable with the parallel section
+    m.eventsExecuted = system.sim().events().executedTotal();
+    return m;
+}
+
+/**
+ * Fabric comparison at equal core count (64): the paper's 8x8 mesh
+ * baseline vs the torus (wrap links shorten average hop distance but
+ * route through dateline escape VCs) vs the concentrated mesh
+ * (cmesh:4x4x4 -- 16 routers, 4 cores each, NI fan-in). Each point is
+ * best-of-REPS serial wall time; bit_identical_threads2 records
+ * whether a threads=2 run of the same config matched every simulated
+ * observable (the DESIGN.md Section 12 cross-fabric identity claim,
+ * re-checked at bench time).
+ */
+std::string
+buildTopologyJson()
+{
+    constexpr int REPS = 3;
+    const char *fabrics[] = {"mesh:8x8", "torus:8x8", "cmesh:4x4x4"};
+    std::string json = "  \"topology\": {\n";
+    bool first = true;
+    for (const char *fabric : fabrics) {
+        HotpathMetrics best;
+        for (int r = 0; r < REPS; ++r) {
+            HotpathMetrics m = runFabricWorkload(fabric, 1);
+            if (r == 0 || m.cpuNs < best.cpuNs)
+                best = m;
+        }
+        const HotpathMetrics par = runFabricWorkload(fabric, 2);
+        const bool identical =
+            par.simCycles == best.simCycles &&
+            par.roiCycles == best.roiCycles &&
+            par.csCompleted == best.csCompleted &&
+            par.eventsExecuted == best.eventsExecuted;
+        char buf[320];
+        std::snprintf(
+            buf, sizeof buf,
+            "%s    \"%s\": {\n"
+            "      \"wall_ns\": %.0f,\n"
+            "      \"events_per_sec\": %.0f,\n"
+            "      \"sim_cycles\": %llu,\n"
+            "      \"roi_cycles\": %llu,\n"
+            "      \"cs_completed\": %llu,\n"
+            "      \"bit_identical_threads2\": %s\n"
+            "    }",
+            first ? "" : ",\n", fabric, best.cpuNs,
+            best.eventsPerSec(),
+            static_cast<unsigned long long>(best.simCycles),
+            static_cast<unsigned long long>(best.roiCycles),
+            static_cast<unsigned long long>(best.csCompleted),
+            identical ? "true" : "false");
+        first = false;
+        json += buf;
+    }
+    json += "\n  },\n";
+    return json;
+}
+
 void
 printHotpathJson(std::FILE *out, const HotpathMetrics &ref,
                  const HotpathMetrics &opt,
                  const Simulator::HostPhaseProfile &phases,
                  const Simulator::HostPhaseProfile &phases8x8,
+                 const std::string &topology_json,
                  const std::string &parallel_json)
 {
     auto emitRun = [out](const char *label, const HotpathMetrics &m) {
@@ -632,6 +731,7 @@ printHotpathJson(std::FILE *out, const HotpathMetrics &ref,
                  speedup, identical ? "true" : "false");
     emitSplit("phase_split_optimized", phases, ",");
     emitSplit("phase_split_optimized_8x8", phases8x8, ",");
+    std::fputs(topology_json.c_str(), out);
     std::fputs(parallel_json.c_str(), out);
     std::fprintf(out, "}\n");
 }
@@ -659,16 +759,19 @@ runHotpathMode(const char *out_path)
     Simulator::HostPhaseProfile phases8x8;
     runHotpathWorkload(true, &phases8x8, 8);
 
+    const std::string topology = buildTopologyJson();
     const std::string parallel = buildParallelScalingJson();
 
-    printHotpathJson(stdout, ref, opt, phases, phases8x8, parallel);
+    printHotpathJson(stdout, ref, opt, phases, phases8x8, topology,
+                     parallel);
     if (out_path) {
         std::FILE *f = std::fopen(out_path, "w");
         if (!f) {
             std::fprintf(stderr, "cannot write %s\n", out_path);
             return 1;
         }
-        printHotpathJson(f, ref, opt, phases, phases8x8, parallel);
+        printHotpathJson(f, ref, opt, phases, phases8x8, topology,
+                         parallel);
         std::fclose(f);
     }
 

@@ -105,7 +105,8 @@ main(int argc, char **argv)
         if (m == Mechanism::Inpg) {
             std::printf("  big routers (%d deployed):\n",
                         system.deployedBigRouters());
-            for (NodeId n = 0; n < sc.numCores(); ++n) {
+            for (NodeId n = 0;
+                 n < system.coherent().network().numRouters(); ++n) {
                 auto *br = dynamic_cast<BigRouter *>(
                     &system.coherent().network().router(n));
                 if (!br)

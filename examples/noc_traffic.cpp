@@ -44,8 +44,8 @@ main(int argc, char **argv)
     std::uint64_t delivered = 0;
 
     for (NodeId n = 0; n < net.numNodes(); ++n) {
-        net.ni(n).setDeliverCallback(
-            [&latency, &delivered, &sim](const PacketPtr &pkt, Cycle) {
+        net.niFor(n).setDeliverCallback(
+            n, [&latency, &delivered, &sim](const PacketPtr &pkt, Cycle) {
                 latency.add(sim.now() - pkt->injectCycle);
                 ++delivered;
             });

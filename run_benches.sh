@@ -70,6 +70,10 @@ new = json.load(open(new_path))
 if new.get("bit_identical") is not True:
     sys.exit("FAIL: BENCH_hotpath.json has bit_identical: false -- "
              "the optimized hot path changed simulated results")
+for fabric, row in new.get("topology", {}).items():
+    if row.get("bit_identical_threads2") is not True:
+        sys.exit("FAIL: fabric %s diverged between the serial and "
+                 "threads=2 kernels (topology section)" % fabric)
 try:
     old = json.load(open(old_path))
 except FileNotFoundError:

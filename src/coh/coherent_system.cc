@@ -24,8 +24,8 @@ CoherentSystem::CoherentSystem(const NocConfig &noc_cfg,
     }
 
     // Big routers report Inv-Ack round trips into the shared sink.
-    for (NodeId n = 0; n < noc_cfg.numNodes(); ++n) {
-        if (auto *br = dynamic_cast<BigRouter *>(&net->router(n)))
+    for (NodeId r = 0; r < noc_cfg.numRouters(); ++r) {
+        if (auto *br = dynamic_cast<BigRouter *>(&net->router(r)))
             br->generator().setCohStats(stats.get());
     }
 
@@ -42,8 +42,8 @@ CoherentSystem::CoherentSystem(const NocConfig &noc_cfg,
 
         L1Controller *l1p = l1s.back().get();
         Directory *dirp = dirs.back().get();
-        net->ni(n).setDeliverCallback(
-            [l1p, dirp](const PacketPtr &pkt, Cycle now) {
+        net->niFor(n).setDeliverCallback(
+            n, [l1p, dirp](const PacketPtr &pkt, Cycle now) {
                 auto msg =
                     std::static_pointer_cast<CoherenceMsg>(pkt->payload);
                 INPG_ASSERT(msg != nullptr,

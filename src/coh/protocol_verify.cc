@@ -6,6 +6,7 @@
 
 #include "coh/protocol_tables.hh"
 #include "common/logging.hh"
+#include "noc/topology.hh"
 
 namespace inpg {
 
@@ -267,6 +268,29 @@ verifyReachability(const ProtoTableBase &t)
                        t.stateName(s),
                        t.stateName(t.initialState()))));
     }
+    return out;
+}
+
+std::vector<ProtoDiagnostic>
+verifyChannelDeps(const Topology &topo)
+{
+    std::vector<ProtoDiagnostic> out;
+    const ChannelDepGraph g = topo.channelDependencies();
+    const std::vector<std::int32_t> cycle = findChannelDepCycle(g);
+    if (cycle.empty())
+        return out;
+    std::string path;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        if (i)
+            path += " -> ";
+        path += g.describe(static_cast<std::size_t>(cycle[i]));
+    }
+    out.push_back(ProtoDiagnostic{
+        "channel-deps", topo.name(),
+        format("channel dependency cycle (routing can deadlock): %s. "
+               "On a torus, enable escape VCs (escape_vcs=1) so the "
+               "dateline classes cut the ring",
+               path.c_str())});
     return out;
 }
 

@@ -35,6 +35,8 @@
 
 namespace inpg {
 
+class Topology;
+
 /** One verifier finding, precise enough to locate the table hole. */
 struct ProtoDiagnostic {
     std::string check; ///< "coverage", "vnet-graph", "lco-hooks", ...
@@ -71,6 +73,17 @@ verifyLcoHooks(const std::vector<const ProtoTableBase *> &tables);
 
 /** Check 4: every state reachable from the initial state. */
 std::vector<ProtoDiagnostic> verifyReachability(const ProtoTableBase &t);
+
+/**
+ * Check 5 (topology-aware): the fabric's channel-dependency graph --
+ * one node per (link, VC class) pair the routing function uses, one
+ * edge per may-wait-for relation -- must be acyclic, or routing alone
+ * can deadlock regardless of what the message-class graph says. The
+ * vnet check (check 2) covers protocol-induced cycles; this covers
+ * fabric-induced ones (torus wraparound without escape VCs). The
+ * diagnostic carries the full cycle as a channel-path witness.
+ */
+std::vector<ProtoDiagnostic> verifyChannelDeps(const Topology &topo);
 
 /** All checks over a set of tables, concatenated. */
 std::vector<ProtoDiagnostic>

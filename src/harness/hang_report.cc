@@ -58,26 +58,33 @@ buildHangReport(System &sys, Cycle now, const char *reason)
     JsonValue dirs = JsonValue::array();
     JsonValue barriers = JsonValue::array();
     std::uint64_t idle_routers = 0, idle_nis = 0, idle_dirs = 0;
-    for (NodeId n = 0; n < net.numNodes(); ++n) {
-        Router &r = net.router(n);
+    // Routers/NIs/barrier tables live on the router grid; directories
+    // are per node. With concentration=1 the nested walk reproduces
+    // the historical flat loop, so hang reports stay byte-identical.
+    const int conc = net.topology().concentration();
+    for (NodeId rt = 0; rt < net.numRouters(); ++rt) {
+        Router &r = net.router(rt);
         if (r.bufferedFlits() > 0)
             routers.push(r.debugJson(now));
         else
             ++idle_routers;
-        NetworkInterface &ni = net.ni(n);
+        NetworkInterface &ni = net.ni(rt);
         if (!ni.idle())
             nis.push(ni.debugJson());
         else
             ++idle_nis;
-        Directory &dir = mem.directory(n);
-        if (!dir.idle())
-            dirs.push(dir.debugJson(now));
-        else
-            ++idle_dirs;
+        for (int k = 0; k < conc; ++k) {
+            Directory &dir = mem.directory(rt * conc + k);
+            if (!dir.idle())
+                dirs.push(dir.debugJson(now));
+            else
+                ++idle_dirs;
+        }
         if (auto *br = dynamic_cast<BigRouter *>(&r)) {
             if (br->generator().barrierTable().numBarriers() > 0) {
                 JsonValue bj = JsonValue::object();
-                bj["node"] = static_cast<long long>(n);
+                bj["node"] = static_cast<long long>(
+                    net.topology().firstNodeOf(rt));
                 bj["table"] =
                     br->generator().barrierTable().debugJson(now);
                 barriers.push(std::move(bj));

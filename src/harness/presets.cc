@@ -1,0 +1,34 @@
+#include "harness/presets.hh"
+
+namespace inpg {
+
+const std::vector<TopologyPreset> &
+topologyPresets()
+{
+    // The 8x8 mesh is the paper's evaluated machine and stays the
+    // default (no preset needed). The scale-out presets are the
+    // configurations the big-router placement question actually
+    // changes at: 256 cores, then 1024 cores as one router per core
+    // (32x32), as a wraparound fabric of the same radix, and as a
+    // concentrated mesh that keeps the router grid at 16x16.
+    static const std::vector<TopologyPreset> presets = {
+        {"16x16", "mesh:16x16", "256-core mesh"},
+        {"32x32", "mesh:32x32", "1024-core mesh scale-out"},
+        {"32x32-torus", "torus:32x32",
+         "1024-core torus (escape-VC dateline routing)"},
+        {"1024c", "cmesh:16x16x4",
+         "1024 cores, 4 per router on a 16x16 concentrated mesh"},
+    };
+    return presets;
+}
+
+const char *
+lookupTopologyPreset(const std::string &name)
+{
+    for (const TopologyPreset &p : topologyPresets())
+        if (name == p.name)
+            return p.spec;
+    return nullptr;
+}
+
+} // namespace inpg

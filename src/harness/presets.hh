@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Named machine-scale presets for the `topology=` configuration knob.
+ *
+ * A preset is a short memorable name ("32x32", "1024c") that expands
+ * to a full topology spec before parsing, so scripts can say
+ * `topology=32x32` instead of spelling the fabric out. Unknown names
+ * simply fall through to TopologySpec::parse, which accepts the
+ * explicit `kind:WxH[xC]` forms (and fatals on anything else).
+ */
+
+#ifndef INPG_HARNESS_PRESETS_HH
+#define INPG_HARNESS_PRESETS_HH
+
+#include <string>
+#include <vector>
+
+namespace inpg {
+
+/** One named topology preset. */
+struct TopologyPreset {
+    const char *name; ///< what the user types ("32x32")
+    const char *spec; ///< the topology spec it expands to
+    const char *note; ///< one-line description for help text
+};
+
+/** All presets, in display order. */
+const std::vector<TopologyPreset> &topologyPresets();
+
+/**
+ * Expand a preset name to its spec string, or nullptr when the name is
+ * not a preset (the caller then parses it as an explicit spec).
+ */
+const char *lookupTopologyPreset(const std::string &name);
+
+} // namespace inpg
+
+#endif // INPG_HARNESS_PRESETS_HH

@@ -6,7 +6,10 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/strutil.hh"
 #include "common/trace.hh"
+#include "harness/presets.hh"
+#include "noc/topology.hh"
 
 namespace inpg {
 
@@ -92,6 +95,28 @@ runSweep(const std::vector<RunConfig> &configs, const SweepOptions &opts)
     for (auto &th : pool)
         th.join();
     return results;
+}
+
+std::vector<RunConfig>
+buildPlacementSweep(const RunConfig &base,
+                    const std::vector<std::string> &fabrics,
+                    const std::vector<int> &big_router_counts)
+{
+    std::vector<RunConfig> out;
+    out.reserve(fabrics.size() * big_router_counts.size());
+    for (const std::string &fabric : fabrics) {
+        std::string text = toLower(trim(fabric));
+        if (const char *spec = lookupTopologyPreset(text))
+            text = spec;
+        const TopologySpec spec = TopologySpec::parse(text);
+        for (int count : big_router_counts) {
+            RunConfig rc = base;
+            spec.applyTo(rc.system.noc);
+            rc.system.inpg.numBigRouters = count;
+            out.push_back(std::move(rc));
+        }
+    }
+    return out;
 }
 
 } // namespace inpg

@@ -56,6 +56,20 @@ int perRunThreadBudget(int sweep_workers, int requested_run_threads,
 std::vector<RunResult> runSweep(const std::vector<RunConfig> &configs,
                                 const SweepOptions &opts = {});
 
+/**
+ * Big-router-placement sweep grid: one RunConfig per (fabric,
+ * big-router count) pair, row-major in the given order. Each fabric is
+ * a topology spec or preset name ("torus:8x8", "32x32"); each count
+ * sets inpg.numBigRouters on a copy of `base` (counts above the
+ * fabric's router total clamp at finalize, as everywhere else). The
+ * base's mechanism/lock/benchmark are preserved, so callers sweep
+ * placement under exactly the configuration they care about.
+ */
+std::vector<RunConfig>
+buildPlacementSweep(const RunConfig &base,
+                    const std::vector<std::string> &fabrics,
+                    const std::vector<int> &big_router_counts);
+
 } // namespace inpg
 
 #endif // INPG_HARNESS_SWEEP_RUNNER_HH

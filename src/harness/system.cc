@@ -1,8 +1,10 @@
 #include "harness/system.hh"
 
+#include "coh/protocol_verify.hh"
 #include "common/logging.hh"
 #include "harness/hang_report.hh"
 #include "inpg/big_router.hh"
+#include "noc/topology.hh"
 #include "sim/parallel/parallel_kernel.hh"
 
 namespace inpg {
@@ -10,6 +12,18 @@ namespace inpg {
 System::System(SystemConfig config) : cfg(std::move(config))
 {
     cfg.finalize();
+    // Wraparound fabrics are only admitted with a proof: the routing
+    // function's channel-dependency graph must be acyclic, or the
+    // fabric can deadlock no matter what the protocol tables say. A
+    // torus without escape VCs fails here with the ring cycle as the
+    // witness. Meshes (incl. cmesh) are minimal dimension-order
+    // fabrics -- acyclic by construction -- so the check is skipped.
+    if (cfg.noc.topology == TopologyKind::Torus) {
+        const auto diags = verifyChannelDeps(*makeTopology(cfg.noc));
+        if (!diags.empty())
+            fatal("topology rejected: %s",
+                  diags.front().toString().c_str());
+    }
     // The queue mode must flip before any component can schedule.
     if (cfg.impl == ImplMode::Reference)
         kernel.events().setReferenceMode(true);
@@ -48,31 +62,40 @@ System::wireDiagnosis()
         });
         ts->addGauge("events.executed_total",
                      [k] { return k->events().executedTotal(); });
-        for (NodeId n = 0; n < net.numNodes(); ++n) {
-            const Router *r = &net.router(n);
-            ts->addGauge(format("router.%d.occ", n), [r] {
+        // Routers and NIs are router-grid resources; directories are
+        // per-node. The nested walk keeps the concentration=1
+        // registration order identical to the historical flat loop.
+        const int conc = net.topology().concentration();
+        for (NodeId rt = 0; rt < net.numRouters(); ++rt) {
+            const Router *r = &net.router(rt);
+            ts->addGauge(format("router.%d.occ", rt), [r] {
                 return static_cast<std::uint64_t>(r->bufferedFlits());
             });
-            ts->addCounter(format("router.%d.flits_sent", n),
-                           &net.router(n).stats.counter("flits_sent"));
-            const Directory *d = &memSys->directory(n);
-            ts->addGauge(format("dir.%d.qdepth", n), [d] {
-                return static_cast<std::uint64_t>(d->queueDepth());
-            });
+            ts->addCounter(format("router.%d.flits_sent", rt),
+                           &net.router(rt).stats.counter("flits_sent"));
+            for (int k = 0; k < conc; ++k) {
+                const NodeId n = rt * conc + k;
+                const Directory *d = &memSys->directory(n);
+                ts->addGauge(format("dir.%d.qdepth", n), [d] {
+                    return static_cast<std::uint64_t>(d->queueDepth());
+                });
+            }
             ts->addCounter(
-                format("ni.%d.delivered", n),
-                &net.ni(n).stats.counter("packets_delivered"));
+                format("ni.%d.delivered", rt),
+                &net.ni(rt).stats.counter("packets_delivered"));
         }
     }
     if (ProgressWatchdog *wd = telem->watchdog) {
         // Progress = packet deliveries + retired memory ops. Event
         // executions deliberately do NOT count: spinning cores fire
         // events throughout a genuine protocol deadlock.
-        for (NodeId n = 0; n < net.numNodes(); ++n) {
+        const int conc = net.topology().concentration();
+        for (NodeId rt = 0; rt < net.numRouters(); ++rt) {
             wd->watchCounter(
-                &net.ni(n).stats.counter("packets_delivered"));
-            wd->watchCounter(
-                &memSys->l1(n).stats.counter("ops_completed"));
+                &net.ni(rt).stats.counter("packets_delivered"));
+            for (int k = 0; k < conc; ++k)
+                wd->watchCounter(&memSys->l1(rt * conc + k)
+                                      .stats.counter("ops_completed"));
         }
         wd->setOnTrip([this](Cycle at, const char *reason) {
             JsonValue report = buildHangReport(*this, at, reason);
@@ -106,7 +129,7 @@ int
 System::deployedBigRouters() const
 {
     int n = 0;
-    for (NodeId id = 0; id < memSys->network().numNodes(); ++id)
+    for (NodeId id = 0; id < memSys->network().numRouters(); ++id)
         n += memSys->network().router(id).isBigRouter() ? 1 : 0;
     return n;
 }
@@ -115,7 +138,7 @@ std::uint64_t
 System::totalEarlyInvs() const
 {
     std::uint64_t total = 0;
-    for (NodeId id = 0; id < memSys->network().numNodes(); ++id) {
+    for (NodeId id = 0; id < memSys->network().numRouters(); ++id) {
         auto *br = dynamic_cast<BigRouter *>(&memSys->network().router(id));
         if (br)
             total += br->generator().stats.value("early_invs_generated");
@@ -131,15 +154,23 @@ System::buildStatsRegistry() const
         reg.addGroup(format("lock.%s", lock->name().c_str()),
                      &lock->stats);
     Network &net = memSys->network();
-    for (NodeId n = 0; n < net.numNodes(); ++n) {
-        reg.addGroup(format("l1.%d", n), &memSys->l1(n).stats);
-        reg.addGroup(format("dir.%d", n), &memSys->directory(n).stats);
-        reg.addGroup(format("router.%d", n), &net.router(n).stats);
-        reg.addGroup(format("ni.%d", n), &net.ni(n).stats);
-        if (auto *br = dynamic_cast<BigRouter *>(&net.router(n))) {
-            reg.addGroup(format("inpg.gen.%d", n),
+    // Per-node (l1/dir) and per-router (router/ni/inpg) groups, nested
+    // so the concentration=1 group order matches the historical flat
+    // loop byte-for-byte in stats snapshots.
+    const int conc = net.topology().concentration();
+    for (NodeId rt = 0; rt < net.numRouters(); ++rt) {
+        for (int k = 0; k < conc; ++k) {
+            const NodeId n = rt * conc + k;
+            reg.addGroup(format("l1.%d", n), &memSys->l1(n).stats);
+            reg.addGroup(format("dir.%d", n),
+                         &memSys->directory(n).stats);
+        }
+        reg.addGroup(format("router.%d", rt), &net.router(rt).stats);
+        reg.addGroup(format("ni.%d", rt), &net.ni(rt).stats);
+        if (auto *br = dynamic_cast<BigRouter *>(&net.router(rt))) {
+            reg.addGroup(format("inpg.gen.%d", rt),
                          &br->generator().stats);
-            reg.addGroup(format("inpg.table.%d", n),
+            reg.addGroup(format("inpg.table.%d", rt),
                          &br->generator().barrierTable().stats);
         }
     }

@@ -5,6 +5,8 @@
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
+#include "harness/presets.hh"
+#include "noc/topology.hh"
 
 namespace inpg {
 
@@ -60,11 +62,21 @@ SystemConfig::finalize()
                                            : SwitchPolicy::RoundRobin;
     noc.agingQuantum = sync.ocor.agingQuantum;
     sync.ocorEnabled = usesOcor(mechanism);
+    if (noc.topology != TopologyKind::CMesh && noc.concentration != 1)
+        fatal("concentration %d requires topology=cmesh",
+              noc.concentration);
+    if (noc.topology == TopologyKind::Torus && noc.escapeVcs &&
+        (noc.vcsPerVnet < 2 || noc.vcsPerVnet % 2 != 0)) {
+        fatal("torus escape VCs need an even vcs_per_vnet >= 2 (got %d) "
+              "to split each vnet into two dateline classes",
+              noc.vcsPerVnet);
+    }
     // NB: inpg.numBigRouters is NOT zeroed for non-iNPG mechanisms --
     // the same config is reused across mechanism sweeps; System gates
-    // deployment on usesInpg(mechanism) instead.
-    if (inpg.numBigRouters > noc.numNodes())
-        inpg.numBigRouters = noc.numNodes();
+    // deployment on usesInpg(mechanism) instead. Big routers are
+    // router-grid sites, so the clamp is against numRouters.
+    if (inpg.numBigRouters > noc.numRouters())
+        inpg.numBigRouters = noc.numRouters();
 
     // One switch for every host-side data-structure flavor. The
     // environment wins over programmatic configuration; an explicit
@@ -97,8 +109,19 @@ SystemConfig::finalize()
 void
 SystemConfig::applyOverrides(const Config &cfg)
 {
-    // "mesh=WxH" preset shorthand for the two dimension keys (e.g.
-    // mesh=16x16); explicit mesh_width/mesh_height still win.
+    // "topology=kind:WxH[xC]" is the one fabric knob: mesh:16x16,
+    // torus:8x8, cmesh:8x8x4, a bare WxH (mesh), or a named preset
+    // ("32x32", "1024c"). Strict parse -- unknown kinds and malformed
+    // geometry are fatal.
+    if (cfg.has("topology")) {
+        std::string t = toLower(cfg.getString("topology"));
+        if (const char *spec = lookupTopologyPreset(t))
+            t = spec;
+        TopologySpec::parse(t).applyTo(noc);
+    }
+    // "mesh=WxH" is the deprecated spelling of topology=mesh:WxH; keep
+    // it working (a lot of scripts use it) but nudge toward the new
+    // key. Explicit mesh_width/mesh_height still win.
     if (cfg.has("mesh")) {
         std::string m = toLower(cfg.getString("mesh"));
         std::size_t x = m.find('x');
@@ -109,6 +132,10 @@ SystemConfig::applyOverrides(const Config &cfg)
         }
         if (w < 1 || h < 1)
             fatal("bad mesh '%s' (want WxH, e.g. 16x16)", m.c_str());
+        warn("mesh=%s is deprecated; use topology=mesh:%dx%d", m.c_str(),
+             w, h);
+        noc.topology = TopologyKind::Mesh;
+        noc.concentration = 1;
         noc.meshWidth = w;
         noc.meshHeight = h;
     }
@@ -116,6 +143,7 @@ SystemConfig::applyOverrides(const Config &cfg)
         cfg.getInt("mesh_width", noc.meshWidth));
     noc.meshHeight = static_cast<int>(
         cfg.getInt("mesh_height", noc.meshHeight));
+    noc.escapeVcs = cfg.getBool("escape_vcs", noc.escapeVcs);
     threads = static_cast<int>(cfg.getInt("threads", threads));
     noc.vcsPerVnet = static_cast<int>(
         cfg.getInt("vcs_per_vnet", noc.vcsPerVnet));
@@ -190,11 +218,17 @@ SystemConfig::applyOverrides(const Config &cfg)
 std::string
 SystemConfig::describe() const
 {
+    TopologySpec spec;
+    spec.kind = noc.topology;
+    spec.width = noc.meshWidth;
+    spec.height = noc.meshHeight;
+    spec.concentration = noc.concentration;
     std::ostringstream os;
-    os << "Cores      : " << numCores() << " (" << noc.meshWidth << "x"
-       << noc.meshHeight << " mesh, XY routing, 2-stage router, "
-       << noc.vcsPerVnet << " VCs/vnet x " << noc.numVnets
-       << " vnets, " << noc.vcDepth << "-flit VCs)\n";
+    os << "Cores      : " << numCores() << " (" << spec.canonical()
+       << ", " << (noc.routing == RoutingKind::YX ? "YX" : "XY")
+       << " routing, 2-stage router, " << noc.vcsPerVnet
+       << " VCs/vnet x " << noc.numVnets << " vnets, " << noc.vcDepth
+       << "-flit VCs)\n";
     os << "L1 cache   : private, " << coh.l1Latency
        << "-cycle latency, " << coh.lineSize << " B blocks\n";
     os << "L2 cache   : shared, 1 bank/tile, " << coh.l2Latency

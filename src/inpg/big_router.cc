@@ -9,7 +9,8 @@ BigRouter::BigRouter(NodeId node_id, const NocConfig &noc_cfg,
                      const RoutingAlgorithm *routing,
                      const InpgConfig &inpg_cfg, const CohConfig &coh_cfg)
     : Router(node_id, noc_cfg, routing),
-      gen(node_id, inpg_cfg, coh_cfg), cohCfg(coh_cfg),
+      brNode(node_id * noc_cfg.concentration),
+      gen(brNode, inpg_cfg, coh_cfg), cohCfg(coh_cfg),
       // Generated packets need ids that cannot collide with the
       // Network's allocator; tag them with the node in the top bits.
       nextGenPacketId((static_cast<PacketId>(node_id) << 40) |
@@ -29,7 +30,7 @@ BigRouter::onHeadFlitArrived(const FlitPtr &flit, int inport, Cycle now)
 
     // Relay InvAcks answering our early invalidations toward the home
     // node (header rewrite before route computation).
-    if (flit->packet->dst == nodeId() &&
+    if (flit->packet->dst == brNode &&
         msg->kind == CohMsgKind::InvAck && msg->fromBigRouter) {
         NodeId home = gen.onInvAckArrival(msg, now);
         INPG_TRACE_LINE("br", now, "BR %d ACK-RELAY %s", nodeId(),
@@ -51,7 +52,7 @@ BigRouter::onHeadFlitArrived(const FlitPtr &flit, int inport, Cycle now)
     if (inv) {
         INPG_TRACE_LINE("br", now, "BR %d STOP %s", nodeId(),
                         msg->toString().c_str());
-        auto pkt = std::make_shared<Packet>(nextGenPacketId++, nodeId(),
+        auto pkt = std::make_shared<Packet>(nextGenPacketId++, brNode,
                                             static_cast<NodeId>(
                                                 inv->requester),
                                             vnetForKind(inv->kind),

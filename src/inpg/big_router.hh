@@ -57,6 +57,13 @@ class BigRouter : public Router
     }
 
   private:
+    /**
+     * The router's network address for generated traffic. A
+     * concentrated router serves several nodes; packets it emits carry
+     * the first local node's id so returning InvAcks (dst = collector)
+     * route back to this router. Equals nodeId() when concentration=1.
+     */
+    NodeId brNode;
     PacketGenerator gen;
     CohConfig cohCfg;
     PacketId nextGenPacketId;

@@ -2,33 +2,20 @@
 
 #include "coh/protocol_tables.hh"
 #include "common/logging.hh"
+#include "noc/topology.hh"
 
 namespace inpg {
 
 /**
- * Even big-router placement: count = n/2 yields the interleaved
- * checkerboard of paper Figure 3; other counts spread marks evenly with
- * a Bresenham-style accumulator.
+ * Even big-router placement, delegated to the topology layer's
+ * evenPlacementSite (count = n/2 yields the interleaved checkerboard
+ * of paper Figure 3; other counts spread marks evenly with a
+ * Bresenham-style accumulator). `node` is a router-grid site.
  */
 bool
 isBigRouterNode(NodeId node, int mesh_w, int mesh_h, int count)
 {
-    const int n = mesh_w * mesh_h;
-    if (count <= 0)
-        return false;
-    if (count >= n)
-        return true;
-    // Checkerboard interleave for the half-populated case; otherwise
-    // evenly strided marks.
-    if (count * 2 == n) {
-        int x = node % mesh_w;
-        int y = node / mesh_w;
-        return (x + y) % 2 == 1;
-    }
-    // node k is big iff floor((k+1)*count/n) > floor(k*count/n)
-    long long prev = static_cast<long long>(node) * count / n;
-    long long cur = (static_cast<long long>(node) + 1) * count / n;
-    return cur > prev;
+    return evenPlacementSite(node, mesh_w, mesh_h, count);
 }
 
 PacketGenerator::PacketGenerator(NodeId node_id, const InpgConfig &config,

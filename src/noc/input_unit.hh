@@ -31,6 +31,9 @@ struct VirtualChannel {
     /** Output port computed by route computation (valid in WaitVc+). */
     Direction outPort = Direction::Local;
 
+    /** Dateline VC class from route computation (valid in WaitVc+). */
+    std::uint8_t outClass = VC_CLASS_ANY;
+
     /** Downstream VC granted by VC allocation (valid in Active). */
     VcId outVc = INVALID_VC;
 

@@ -7,13 +7,10 @@ namespace inpg {
 
 Network::Network(const NocConfig &config, Simulator &sim,
                  RouterFactory factory)
-    : cfg(config), meshShape(config.meshWidth, config.meshHeight)
+    : cfg(config), topo(makeTopology(config))
 {
-    if (cfg.routing == RoutingKind::YX)
-        routingAlgo = std::make_unique<YXRouting>(meshShape);
-    else
-        routingAlgo = std::make_unique<XYRouting>(meshShape);
-    const int n = cfg.numNodes();
+    routingAlgo = topo->makeRouting();
+    const int n = topo->numRouters();
     routers.reserve(static_cast<std::size_t>(n));
     nis.reserve(static_cast<std::size_t>(n));
 
@@ -37,21 +34,20 @@ Network::Network(const NocConfig &config, Simulator &sim,
         nis[static_cast<std::size_t>(id)]->connect(to_router, from_router);
     }
 
-    // Mesh wiring: one channel per direction per adjacent pair.
-    for (NodeId id = 0; id < n; ++id) {
-        for (Direction d : {Direction::East, Direction::South}) {
-            NodeId nb = meshShape.neighbor(id, d);
-            if (nb == INVALID_NODE)
-                continue;
-            Channel *fwd = newChannel();
-            Channel *rev = newChannel();
-            routers[static_cast<std::size_t>(id)]->connectOutput(d, fwd);
-            routers[static_cast<std::size_t>(nb)]->connectInput(
-                opposite(d), fwd);
-            routers[static_cast<std::size_t>(nb)]->connectOutput(
-                opposite(d), rev);
-            routers[static_cast<std::size_t>(id)]->connectInput(d, rev);
-        }
+    // Inter-router wiring from the topology's canonical link list (the
+    // mesh subset enumerates in the same order the old builder did, so
+    // allChannels() is unchanged on meshes).
+    for (const TopoLink &link : topo->links()) {
+        Channel *fwd = newChannel();
+        Channel *rev = newChannel();
+        routers[static_cast<std::size_t>(link.from)]->connectOutput(
+            link.dir, fwd);
+        routers[static_cast<std::size_t>(link.to)]->connectInput(
+            opposite(link.dir), fwd);
+        routers[static_cast<std::size_t>(link.to)]->connectOutput(
+            opposite(link.dir), rev);
+        routers[static_cast<std::size_t>(link.from)]->connectInput(
+            link.dir, rev);
     }
 
     // Deterministic tick order: all routers, then all NIs.
@@ -72,7 +68,7 @@ Network::newChannel()
 Router &
 Network::router(NodeId id)
 {
-    INPG_ASSERT(id >= 0 && id < numNodes(), "router id %d out of range",
+    INPG_ASSERT(id >= 0 && id < numRouters(), "router id %d out of range",
                 id);
     return *routers[static_cast<std::size_t>(id)];
 }
@@ -80,7 +76,7 @@ Network::router(NodeId id)
 NetworkInterface &
 Network::ni(NodeId id)
 {
-    INPG_ASSERT(id >= 0 && id < numNodes(), "NI id %d out of range", id);
+    INPG_ASSERT(id >= 0 && id < numRouters(), "NI id %d out of range", id);
     return *nis[static_cast<std::size_t>(id)];
 }
 
@@ -96,7 +92,7 @@ Network::makePacket(NodeId src, NodeId dst, VnetId vnet, int num_flits,
 void
 Network::inject(const PacketPtr &pkt, Cycle now)
 {
-    ni(pkt->src).sendPacket(pkt, now);
+    niFor(pkt->src).sendPacket(pkt, now);
 }
 
 bool

@@ -1,7 +1,8 @@
 /**
  * @file
- * Network: owns and wires the full mesh NoC (routers, NIs, channels)
- * and provides the endpoint API used by the coherence controllers.
+ * Network: owns and wires the full NoC (routers, NIs, channels) from a
+ * Topology (mesh, torus or concentrated mesh) and provides the endpoint
+ * API used by the coherence controllers.
  */
 
 #ifndef INPG_NOC_NETWORK_HH
@@ -18,6 +19,7 @@
 #include "noc/noc_config.hh"
 #include "noc/router.hh"
 #include "noc/routing.hh"
+#include "noc/topology.hh"
 #include "sim/simulator.hh"
 
 namespace inpg {
@@ -34,12 +36,12 @@ class Network
 {
   public:
     /**
-     * Build a meshWidth x meshHeight mesh, register all components with
-     * the simulator, and wire every channel.
+     * Build the fabric described by cfg.topology, register all
+     * components with the simulator, and wire every channel.
      *
      * @param cfg     NoC parameters
      * @param sim     kernel the components register with
-     * @param factory optional per-node router factory
+     * @param factory optional per-router router factory
      */
     Network(const NocConfig &cfg, Simulator &sim,
             RouterFactory factory = nullptr);
@@ -48,13 +50,25 @@ class Network
     Network &operator=(const Network &) = delete;
 
     const NocConfig &config() const { return cfg; }
-    const MeshShape &shape() const { return meshShape; }
+    const Topology &topology() const { return *topo; }
+    const MeshShape &shape() const { return topo->routerGrid(); }
     const RoutingAlgorithm &routing() const { return *routingAlgo; }
 
+    /** Router by router id (0 .. numRouters() - 1). */
     Router &router(NodeId id);
+
+    /** NI by router id; one NI serves a router's attached cores. */
     NetworkInterface &ni(NodeId id);
 
+    /** NI serving a node (core) id. */
+    NetworkInterface &
+    niFor(NodeId node)
+    {
+        return ni(topo->routerOf(node));
+    }
+
     int numNodes() const { return cfg.numNodes(); }
+    int numRouters() const { return cfg.numRouters(); }
 
     /** Allocate a packet with a fresh network-unique id. */
     PacketPtr makePacket(NodeId src, NodeId dst, VnetId vnet, int num_flits,
@@ -94,7 +108,7 @@ class Network
 
   private:
     NocConfig cfg;
-    MeshShape meshShape;
+    std::unique_ptr<Topology> topo;
     std::unique_ptr<RoutingAlgorithm> routingAlgo;
     std::vector<std::unique_ptr<Router>> routers;
     std::vector<std::unique_ptr<NetworkInterface>> nis;

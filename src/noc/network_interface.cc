@@ -6,7 +6,9 @@
 namespace inpg {
 
 NetworkInterface::NetworkInterface(NodeId node_id, const NocConfig &config)
-    : id(node_id), cfg(config), routerPort(cfg.totalVcs(), cfg.vcDepth)
+    : id(node_id), cfg(config), baseNode(node_id * cfg.concentration),
+      deliver(static_cast<std::size_t>(cfg.concentration)),
+      routerPort(cfg.totalVcs(), cfg.vcDepth)
 {
     stats = StatGroup(format("ni%d", node_id));
     packetsQueuedCtr = &stats.counter("packets_queued");
@@ -34,7 +36,7 @@ NetworkInterface::sendPacket(const PacketPtr &pkt, Cycle now)
 {
     INPG_ASSERT(pkt->vnet >= 0 && pkt->vnet < cfg.numVnets,
                 "packet on invalid vnet %d", pkt->vnet);
-    INPG_ASSERT(pkt->src == id, "packet src %d injected at NI %d",
+    INPG_ASSERT(servesNode(pkt->src), "packet src %d injected at NI %d",
                 pkt->src, id);
     INPG_ASSERT(pkt->dst >= 0 && pkt->dst < cfg.numNodes(),
                 "packet dst %d out of range", pkt->dst);
@@ -96,7 +98,7 @@ NetworkInterface::ejectFlits(Cycle now)
         return;
     while (rxChannel->flits.ready(now)) {
         FlitPtr flit = rxChannel->flits.pop(now);
-        INPG_ASSERT(flit->packet->dst == id,
+        INPG_ASSERT(servesNode(flit->packet->dst),
                     "NI %d ejected packet destined to %d", id,
                     flit->packet->dst);
         const VcId vc = flit->vc;
@@ -123,8 +125,10 @@ NetworkInterface::ejectFlits(Cycle now)
                 frec->record(FrKind::NiEject, now, id, pkt->id,
                              static_cast<std::uint64_t>(pkt->src));
             }
-            if (deliver)
-                deliver(pkt, now);
+            const auto sink =
+                static_cast<std::size_t>(pkt->dst - baseNode);
+            if (deliver[sink])
+                deliver[sink](pkt, now);
         }
     }
 }

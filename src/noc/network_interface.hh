@@ -6,6 +6,14 @@
  * for the router's local input port), injects at most one flit per cycle
  * (128-bit link), reassembles inbound flits into packets and delivers
  * them to the attached controller via a callback.
+ *
+ * Concentration (cmesh): one NI serves the `concentration` cores of its
+ * router -- nodes [id * concentration, (id + 1) * concentration). The
+ * cores' traffic fans into the shared local port through the per-vnet
+ * inject queues (the clock-derived vnet rotation plus the inflight
+ * round-robin are the fan-in arbitration), and inbound packets demux to
+ * a per-node deliver callback. With concentration == 1 this degenerates
+ * to the classic one-NI-per-core tile, bit-identically.
  */
 
 #ifndef INPG_NOC_NETWORK_INTERFACE_HH
@@ -15,6 +23,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "noc/link.hh"
@@ -44,8 +53,15 @@ class NetworkInterface : public Ticking
      */
     void connect(Channel *to_router, Channel *from_router);
 
-    /** Register the packet sink (the tile's message demux). */
-    void setDeliverCallback(DeliverFn fn) { deliver = std::move(fn); }
+    /** Register the packet sink for one served node (tile demux). */
+    void
+    setDeliverCallback(NodeId node, DeliverFn fn)
+    {
+        INPG_ASSERT(servesNode(node), "NI %d does not serve node %d", id,
+                    node);
+        deliver[static_cast<std::size_t>(node - baseNode)] =
+            std::move(fn);
+    }
 
     /**
      * Queue a packet for injection. Takes effect the cycle after the
@@ -58,6 +74,17 @@ class NetworkInterface : public Ticking
     std::string tickName() const override;
 
     NodeId nodeId() const { return id; }
+
+    /** First node this NI serves (== nodeId() when concentration 1). */
+    NodeId baseNodeId() const { return baseNode; }
+
+    /** True when `node` attaches to this NI's router. */
+    bool
+    servesNode(NodeId node) const
+    {
+        return node >= baseNode &&
+               node < baseNode + static_cast<NodeId>(deliver.size());
+    }
 
     /** True when no packet is queued, serializing, or reassembling. */
     bool idle() const;
@@ -84,7 +111,12 @@ class NetworkInterface : public Ticking
 
     NodeId id;
     NocConfig cfg;
-    DeliverFn deliver;
+
+    /** First served node (id * concentration). */
+    NodeId baseNode;
+
+    /** Per-served-node packet sinks, indexed by node - baseNode. */
+    std::vector<DeliverFn> deliver;
 
     Channel *txChannel = nullptr;
     Channel *rxChannel = nullptr;

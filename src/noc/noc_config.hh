@@ -21,6 +21,13 @@ enum class RoutingKind {
     YX, ///< Y-then-X dimension order
 };
 
+/** Fabric selector; see noc/topology.hh for the full contract. */
+enum class TopologyKind {
+    Mesh,  ///< rectangular mesh (paper baseline)
+    Torus, ///< mesh + wraparound links, dateline escape VCs
+    CMesh, ///< concentrated mesh: `concentration` cores per router
+};
+
 /** Switch-allocation policy selector. */
 enum class SwitchPolicy {
     RoundRobin, ///< baseline Garnet-style fair arbitration
@@ -29,8 +36,29 @@ enum class SwitchPolicy {
 
 /** Static NoC configuration shared by routers, NIs and the builder. */
 struct NocConfig {
+    /**
+     * Router-grid dimensions. With concentration == 1 (mesh/torus)
+     * routers and cores coincide; a cmesh hangs `concentration` cores
+     * off each router, so numNodes() = meshWidth * meshHeight *
+     * concentration.
+     */
     int meshWidth = 8;
     int meshHeight = 8;
+
+    /** Fabric kind; geometry interpretation lives in noc/topology.cc. */
+    TopologyKind topology = TopologyKind::Mesh;
+
+    /** Cores per router (1 for mesh/torus, typically 4 for cmesh). */
+    int concentration = 1;
+
+    /**
+     * Torus dateline escape VCs: split each vnet's VC range into two
+     * classes and restrict wrap-crossing traffic to class 0 (see
+     * noc/topology.hh for the acyclicity argument). Turning this off
+     * on a torus is a deliberate negative-testing knob -- the protocol
+     * verifier rejects that configuration with a cycle witness.
+     */
+    bool escapeVcs = true;
 
     /** Message classes; see coh/coherence_msg.hh for the assignment. */
     int numVnets = 4;
@@ -108,7 +136,29 @@ struct NocConfig {
     /** Vnet that owns a VC index. */
     VnetId vnetOfVc(VcId vc) const { return vc / vcsPerVnet; }
 
-    int numNodes() const { return meshWidth * meshHeight; }
+    /**
+     * First VC of a vnet's dateline class (0 or 1): the vnet's VC
+     * range split in half. Requires an even vcsPerVnet >= 2 when a
+     * torus runs with escape VCs (validated in SystemConfig).
+     */
+    VcId
+    classVcLo(VnetId v, int cls) const
+    {
+        return vnetVcLo(v) + cls * (vcsPerVnet / 2);
+    }
+
+    /** Last VC of a vnet's dateline class. */
+    VcId
+    classVcHi(VnetId v, int cls) const
+    {
+        return classVcLo(v, cls) + vcsPerVnet / 2 - 1;
+    }
+
+    /** Routers in the fabric (the router grid; the config owns it). */
+    int numRouters() const { return meshWidth * meshHeight; } // lint:allow(coordinate-arithmetic)
+
+    /** Cores / network endpoints (routers x concentration). */
+    int numNodes() const { return numRouters() * concentration; }
 };
 
 } // namespace inpg

@@ -141,7 +141,7 @@ Router::vcSnapshot(int port, VcId v) const
     if (soa) {
         const std::size_t s = soa->slot(port, v);
         return {soa->state[s], soa->vcOccupancy(s), soa->outPort[s],
-                soa->outVc[s], soa->headAt[s]};
+                soa->outClass[s], soa->outVc[s], soa->headAt[s]};
     }
     const VirtualChannel &ch = inputs[static_cast<std::size_t>(port)]->vc(v);
     std::uint8_t st = VcStateArray::Idle;
@@ -149,7 +149,8 @@ Router::vcSnapshot(int port, VcId v) const
         st = VcStateArray::WaitVc;
     else if (ch.state == VirtualChannel::State::Active)
         st = VcStateArray::Active;
-    return {st, ch.buffer.size(), ch.outPort, ch.outVc, ch.headEnqueuedAt};
+    return {st, ch.buffer.size(), ch.outPort, ch.outClass, ch.outVc,
+            ch.headEnqueuedAt};
 }
 
 JsonValue
@@ -181,6 +182,11 @@ Router::debugJson(Cycle now) const
             vj["occupancy"] = static_cast<std::uint64_t>(ch.occupancy);
             if (ch.state != VcStateArray::Idle) {
                 vj["out_port"] = directionName(ch.outPort);
+                // Emitted only when a dateline class restricts the
+                // route, so mesh hang reports keep their exact bytes.
+                if (ch.outClass != VC_CLASS_ANY)
+                    vj["vc_class"] =
+                        static_cast<long long>(ch.outClass);
                 if (ch.outVc != INVALID_VC)
                     vj["out_vc"] = static_cast<long long>(ch.outVc);
                 vj["head_age"] =
@@ -308,9 +314,11 @@ void
 Router::routeCompute(const FlitPtr &flit, VirtualChannel &ch)
 {
     const NodeId dst = flit->packet->dst;
-    ch.outPort = routeTable.empty()
-                     ? router->route(id, dst)
-                     : routeTable[static_cast<std::size_t>(dst)];
+    const RouteEntry entry =
+        routeTable.empty() ? router->routeEntry(id, dst)
+                           : routeTable[static_cast<std::size_t>(dst)];
+    ch.outPort = entry.dir;
+    ch.outClass = entry.vcClass;
     ch.outVc = INVALID_VC;
     ch.state = VirtualChannel::State::WaitVc;
     ch.headEnqueuedAt = flit->bufferedAt;
@@ -369,9 +377,8 @@ Router::tryAllocateVc(InputUnit &iu, VcId v, Cycle now)
     if (now <= ch.headEnqueuedAt)
         return; // stage-1 charge: eligible the cycle after buffering
     OutputUnit &ou = *outputs[static_cast<std::size_t>(ch.outPort)];
-    VnetId vnet = cfg.vnetOfVc(v);
-    VcId out_vc =
-        ou.findFreeVcInRange(cfg.vnetVcLo(vnet), cfg.vnetVcHi(vnet));
+    const auto [vc_lo, vc_hi] = outVcRange(cfg.vnetOfVc(v), ch.outClass);
+    VcId out_vc = ou.findFreeVcInRange(vc_lo, vc_hi);
     if (out_vc == INVALID_VC)
         return;
     ou.allocateVc(out_vc);
@@ -436,9 +443,11 @@ Router::tryAllocateVcSoA(int port, VcId v, Cycle now)
         INPG_ASSERT(isHeadFlit(front->type),
                     "non-head flit at front of idle VC %d", v);
         const NodeId dst = front->packet->dst;
-        a.outPort[s] = routeTable.empty()
-                           ? router->route(id, dst)
-                           : routeTable[static_cast<std::size_t>(dst)];
+        const RouteEntry entry =
+            routeTable.empty() ? router->routeEntry(id, dst)
+                               : routeTable[static_cast<std::size_t>(dst)];
+        a.outPort[s] = entry.dir;
+        a.outClass[s] = entry.vcClass;
         a.outVc[s] = INVALID_VC;
         a.state[s] = VcStateArray::WaitVc;
         a.headAt[s] = front->bufferedAt;
@@ -449,9 +458,9 @@ Router::tryAllocateVcSoA(int port, VcId v, Cycle now)
     if (now <= a.headAt[s])
         return; // stage-1 charge: eligible the cycle after buffering
     OutputUnit &ou = *outputs[static_cast<std::size_t>(a.outPort[s])];
-    VnetId vnet = cfg.vnetOfVc(v);
-    VcId out_vc =
-        ou.findFreeVcInRange(cfg.vnetVcLo(vnet), cfg.vnetVcHi(vnet));
+    const auto [vc_lo, vc_hi] =
+        outVcRange(cfg.vnetOfVc(v), a.outClass[s]);
+    VcId out_vc = ou.findFreeVcInRange(vc_lo, vc_hi);
     if (out_vc == INVALID_VC)
         return;
     ou.allocateVc(out_vc);

@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hh"
@@ -198,10 +199,21 @@ class Router : public Ticking
         std::uint8_t state;
         std::size_t occupancy;
         Direction outPort;
+        std::uint8_t outClass;
         VcId outVc;
         Cycle headAt;
     };
     VcSnapshot vcSnapshot(int port, VcId v) const;
+
+    /** Output-VC search range for a routed VC's vnet + dateline class. */
+    std::pair<VcId, VcId>
+    outVcRange(VnetId vnet, std::uint8_t out_class) const
+    {
+        if (out_class == VC_CLASS_ANY)
+            return {cfg.vnetVcLo(vnet), cfg.vnetVcHi(vnet)};
+        return {cfg.classVcLo(vnet, out_class),
+                cfg.classVcHi(vnet, out_class)};
+    }
 
     /** Bitmask of the VC ids belonging to a virtual network. */
     std::uint32_t
@@ -220,13 +232,14 @@ class Router : public Ticking
     const RoutingAlgorithm *router;
 
     /**
-     * Destination-indexed output-port table (filled at construction
-     * when cfg.precomputeRoutes; empty otherwise, falling back to the
-     * virtual route() call). iNPG destination rewrites happen in
-     * onHeadFlitArrived, before route computation, so a static table
-     * stays correct.
+     * Destination-indexed route table (output port + dateline VC
+     * class; filled by the topology's routing algorithm at
+     * construction when cfg.precomputeRoutes, empty otherwise --
+     * falling back to the virtual routeEntry() call). iNPG destination
+     * rewrites happen in onHeadFlitArrived, before route computation,
+     * so a static table stays correct.
      */
-    std::vector<Direction> routeTable;
+    std::vector<RouteEntry> routeTable;
 
     /**
      * Object-per-VC input units (reference layout). Empty when the SoA

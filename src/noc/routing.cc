@@ -101,36 +101,87 @@ MeshShape::hopDistance(NodeId a, NodeId b) const
     return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
 }
 
-Direction
-YXRouting::route(NodeId here, NodeId dst) const
+RouteEntry
+YXRouting::routeEntry(NodeId here, NodeId dst) const
 {
     Coord ch = shape.coordOf(here);
-    Coord cd = shape.coordOf(dst);
+    Coord cd = shape.coordOf(dstRouter(dst));
     if (ch.y < cd.y)
-        return Direction::South;
+        return {Direction::South, VC_CLASS_ANY};
     if (ch.y > cd.y)
-        return Direction::North;
+        return {Direction::North, VC_CLASS_ANY};
     if (ch.x < cd.x)
-        return Direction::East;
+        return {Direction::East, VC_CLASS_ANY};
     if (ch.x > cd.x)
-        return Direction::West;
-    return Direction::Local;
+        return {Direction::West, VC_CLASS_ANY};
+    return {Direction::Local, VC_CLASS_ANY};
 }
 
-Direction
-XYRouting::route(NodeId here, NodeId dst) const
+RouteEntry
+XYRouting::routeEntry(NodeId here, NodeId dst) const
 {
     Coord ch = shape.coordOf(here);
-    Coord cd = shape.coordOf(dst);
+    Coord cd = shape.coordOf(dstRouter(dst));
     if (ch.x < cd.x)
-        return Direction::East;
+        return {Direction::East, VC_CLASS_ANY};
     if (ch.x > cd.x)
-        return Direction::West;
+        return {Direction::West, VC_CLASS_ANY};
     if (ch.y < cd.y)
-        return Direction::South;
+        return {Direction::South, VC_CLASS_ANY};
     if (ch.y > cd.y)
-        return Direction::North;
-    return Direction::Local;
+        return {Direction::North, VC_CLASS_ANY};
+    return {Direction::Local, VC_CLASS_ANY};
+}
+
+TorusRouting::TorusRouting(MeshShape mesh_shape, RoutingKind order,
+                           bool escape_vcs, int concentration)
+    : RoutingAlgorithm(concentration),
+      shape(mesh_shape),
+      xFirst(order == RoutingKind::XY),
+      escapeVcs(escape_vcs)
+{
+    if (shape.width() < 3 || shape.height() < 3)
+        fatal("torus needs at least a 3x3 router grid (%dx%d): smaller "
+              "rings make the wrap link coincide with the mesh link",
+              shape.width(), shape.height());
+}
+
+RouteEntry
+TorusRouting::routeDim(int here_c, int dst_c, int extent,
+                       Direction inc_dir, Direction dec_dir) const
+{
+    if (here_c == dst_c)
+        return {Direction::Local, VC_CLASS_ANY};
+    // Minimal path around the ring; ties break toward the increasing
+    // direction so the decision is a pure function of the coordinates.
+    const int delta_inc = (dst_c - here_c + extent) % extent;
+    const bool go_inc = 2 * delta_inc <= extent;
+    std::uint8_t cls = VC_CLASS_ANY;
+    if (escapeVcs) {
+        // Dateline rule: class 0 while the wrap edge of this ring is
+        // still ahead, class 1 once past it (or when the path never
+        // wraps). Increasing direction wraps iff here > dst; the
+        // decreasing one iff here < dst.
+        if (go_inc)
+            cls = here_c > dst_c ? 0 : 1;
+        else
+            cls = here_c < dst_c ? 0 : 1;
+    }
+    return {go_inc ? inc_dir : dec_dir, cls};
+}
+
+RouteEntry
+TorusRouting::routeEntry(NodeId here, NodeId dst) const
+{
+    Coord ch = shape.coordOf(here);
+    Coord cd = shape.coordOf(dstRouter(dst));
+    const RouteEntry x_hop = routeDim(ch.x, cd.x, shape.width(),
+                                      Direction::East, Direction::West);
+    const RouteEntry y_hop = routeDim(ch.y, cd.y, shape.height(),
+                                      Direction::South, Direction::North);
+    if (xFirst)
+        return x_hop.dir != Direction::Local ? x_hop : y_hop;
+    return y_hop.dir != Direction::Local ? y_hop : x_hop;
 }
 
 } // namespace inpg

@@ -1,17 +1,26 @@
 /**
  * @file
- * Routing: port naming for the mesh and the XY dimension-order
- * algorithm used by the paper's target architecture (deadlock-free on a
- * mesh with no turnaround).
+ * Routing: port naming, the XY/YX dimension-order algorithms used by
+ * the paper's target architecture (deadlock-free on a mesh with no
+ * turnaround), and the torus variant whose route entries carry the
+ * dateline VC class that keeps wraparound links deadlock-free.
+ *
+ * A route decision is a RouteEntry: the output port plus the VC class
+ * the packet must allocate on the downstream input. Mesh and cmesh
+ * entries always carry VC_CLASS_ANY (any VC of the message's vnet),
+ * which keeps the VA stage byte-for-byte identical to the
+ * pre-Topology code on those fabrics.
  */
 
 #ifndef INPG_NOC_ROUTING_HH
 #define INPG_NOC_ROUTING_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/types.hh"
+#include "noc/noc_config.hh"
 
 namespace inpg {
 
@@ -26,6 +35,28 @@ enum class Direction : int {
 
 /** Number of ports on a mesh router. */
 inline constexpr int NUM_PORTS = 5;
+
+/**
+ * "Any VC of the vnet": the route imposes no dateline class. All mesh
+ * and cmesh entries use this, as do torus hops that have already
+ * crossed (or never cross) the wrap edge of their dimension.
+ */
+inline constexpr std::uint8_t VC_CLASS_ANY = 0xff;
+
+/**
+ * One routing decision: the output port and the downstream VC class
+ * restriction (VC_CLASS_ANY, 0, or 1).
+ */
+struct RouteEntry {
+    Direction dir = Direction::Local;
+    std::uint8_t vcClass = VC_CLASS_ANY;
+
+    bool
+    operator==(const RouteEntry &o) const
+    {
+        return dir == o.dir && vcClass == o.vcClass;
+    }
+};
 
 /** Short name ("L","N","E","S","W"). */
 std::string directionName(Direction d);
@@ -69,41 +100,66 @@ class MeshShape
     int meshHeight;
 };
 
-/** Strategy interface: pick the output port toward a destination. */
+/**
+ * Strategy interface: pick the output port (and downstream VC class)
+ * toward a destination node. `here` is always a router id; `dst` is a
+ * node (core) id -- under concentration several nodes share a router,
+ * so the algorithm maps dst to its router before comparing
+ * coordinates.
+ */
 class RoutingAlgorithm
 {
   public:
+    explicit RoutingAlgorithm(int concentration = 1)
+        : conc(concentration)
+    {}
     virtual ~RoutingAlgorithm() = default;
 
     /**
      * @param here router evaluating the route
      * @param dst  final destination node
-     * @return output port to take from `here` (Local when here == dst).
+     * @return port to take from `here` (Local when dst attaches here)
+     *         plus the VC class restriction for the next hop.
      */
-    virtual Direction route(NodeId here, NodeId dst) const = 0;
+    virtual RouteEntry routeEntry(NodeId here, NodeId dst) const = 0;
+
+    /** Port-only view of routeEntry() for callers and legacy tests. */
+    Direction
+    route(NodeId here, NodeId dst) const
+    {
+        return routeEntry(here, dst).dir;
+    }
 
     /**
      * Materialize this router's routing decisions as a dense
-     * destination-indexed table (one byte per destination) so the RC
+     * destination-indexed table (two bytes per destination) so the RC
      * pipeline stage can replace the virtual call with an array index.
      */
-    std::vector<Direction>
+    std::vector<RouteEntry>
     buildTable(NodeId here, int num_nodes) const
     {
-        std::vector<Direction> table(static_cast<std::size_t>(num_nodes));
+        std::vector<RouteEntry> table(static_cast<std::size_t>(num_nodes));
         for (NodeId dst = 0; dst < num_nodes; ++dst)
-            table[static_cast<std::size_t>(dst)] = route(here, dst);
+            table[static_cast<std::size_t>(dst)] = routeEntry(here, dst);
         return table;
     }
+
+  protected:
+    /** Router serving a destination node. */
+    NodeId dstRouter(NodeId dst) const { return dst / conc; }
+
+    int conc;
 };
 
 /** X-first-then-Y dimension-order routing. */
 class XYRouting : public RoutingAlgorithm
 {
   public:
-    explicit XYRouting(MeshShape mesh_shape) : shape(mesh_shape) {}
+    explicit XYRouting(MeshShape mesh_shape, int concentration = 1)
+        : RoutingAlgorithm(concentration), shape(mesh_shape)
+    {}
 
-    Direction route(NodeId here, NodeId dst) const override;
+    RouteEntry routeEntry(NodeId here, NodeId dst) const override;
 
   private:
     MeshShape shape;
@@ -117,12 +173,43 @@ class XYRouting : public RoutingAlgorithm
 class YXRouting : public RoutingAlgorithm
 {
   public:
-    explicit YXRouting(MeshShape mesh_shape) : shape(mesh_shape) {}
+    explicit YXRouting(MeshShape mesh_shape, int concentration = 1)
+        : RoutingAlgorithm(concentration), shape(mesh_shape)
+    {}
 
-    Direction route(NodeId here, NodeId dst) const override;
+    RouteEntry routeEntry(NodeId here, NodeId dst) const override;
 
   private:
     MeshShape shape;
+};
+
+/**
+ * Torus dimension-order routing: minimal-path per dimension (wrapping
+ * when the wrap direction is shorter; ties break toward East/South),
+ * X before Y under RoutingKind::XY and Y before X under YX. With
+ * escape VCs enabled each hop carries a dateline class -- class 0
+ * while the dimension's wrap edge is still ahead, class 1 after it --
+ * which is what makes the wraparound rings acyclic (see
+ * noc/topology.hh). With escape VCs disabled every entry is
+ * VC_CLASS_ANY: deliberately deadlock-prone, for negative verifier
+ * tests.
+ */
+class TorusRouting : public RoutingAlgorithm
+{
+  public:
+    TorusRouting(MeshShape mesh_shape, RoutingKind order,
+                 bool escape_vcs, int concentration = 1);
+
+    RouteEntry routeEntry(NodeId here, NodeId dst) const override;
+
+  private:
+    /** Decision for one dimension; Local when already aligned. */
+    RouteEntry routeDim(int here_c, int dst_c, int extent,
+                        Direction inc_dir, Direction dec_dir) const;
+
+    MeshShape shape;
+    bool xFirst;
+    bool escapeVcs;
 };
 
 } // namespace inpg

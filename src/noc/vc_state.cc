@@ -21,6 +21,7 @@ VcStateArray::VcStateArray(int num_ports, int num_vcs, int vc_depth)
 
     state.assign(slots, Idle);
     outPort.assign(slots, Direction::Local);
+    outClass.assign(slots, VC_CLASS_ANY);
     outVc.assign(slots, INVALID_VC);
     headAt.assign(slots, 0);
 

@@ -141,6 +141,7 @@ class VcStateArray
 
     std::vector<std::uint8_t> state;
     std::vector<Direction> outPort;
+    std::vector<std::uint8_t> outClass; ///< dateline class (WaitVc+)
     std::vector<VcId> outVc;
     std::vector<Cycle> headAt;
 

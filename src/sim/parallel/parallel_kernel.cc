@@ -54,18 +54,21 @@ ParallelKernel::ParallelKernel(Simulator &sim_, Network &net_,
     // network's id space, and feed the flight recorder / LCO sinks);
     // so does everything that isn't a router.
     std::vector<NodeId> eligible;
-    for (NodeId id = 0; id < net.numNodes(); ++id)
+    for (NodeId id = 0; id < net.numRouters(); ++id)
         if (!net.router(id).isBigRouter())
             eligible.push_back(id);
 
     const int nWorkers = nThreads - 1;
     domains.resize(static_cast<std::size_t>(nWorkers));
 
-    // Contiguous node-id stripes (row bands of the mesh) minimize
-    // boundary channels; the coordinator keeps the first
-    // coordinatorShare() routers, workers split the rest evenly.
+    // Contiguous router-id stripes (row bands of the router grid)
+    // minimize boundary channels; the coordinator keeps the first
+    // coordinatorShare() routers, workers split the rest evenly. On a
+    // torus the wraparound links are just more boundary channels --
+    // the outbox/merge path handles them like any other cross-domain
+    // edge, so no special casing is needed.
     std::vector<int> domainByNode(
-        static_cast<std::size_t>(net.numNodes()), 0);
+        static_cast<std::size_t>(net.numRouters()), 0);
     const std::size_t keep = coordinatorShare(eligible.size(), nThreads);
     const std::size_t rem = eligible.size() - keep;
     std::size_t cursor = keep;
@@ -158,8 +161,8 @@ ParallelKernel::classifyBoundaries(Network &network,
     // component (NIs feed the coordinator) is domain 0.
     std::vector<std::pair<const Ticking *, int>> routerDomain;
     routerDomain.reserve(
-        static_cast<std::size_t>(network.numNodes()));
-    for (NodeId id = 0; id < network.numNodes(); ++id)
+        static_cast<std::size_t>(network.numRouters()));
+    for (NodeId id = 0; id < network.numRouters(); ++id)
         routerDomain.emplace_back(
             &network.router(id),
             domainByNode[static_cast<std::size_t>(id)]);

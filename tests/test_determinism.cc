@@ -87,7 +87,8 @@ runOnce(Mechanism mech, LockKind lock, bool fast_forward,
     f.sleepCycles = workload.totalCycles(ThreadPhase::Sleep);
     f.cseCycles = workload.totalCycles(ThreadPhase::Cse);
     f.earlyInvs = system.totalEarlyInvs();
-    for (NodeId n = 0; n < system.coherent().network().numNodes(); ++n)
+    for (NodeId n = 0; n < system.coherent().network().numRouters();
+         ++n)
         f.flitsSent += system.coherent().network().router(n)
                            .stats.value("flits_sent");
     if (ff_cycles)

@@ -120,7 +120,7 @@ struct InpgHarness {
     totalEarlyInvs()
     {
         std::uint64_t total = 0;
-        for (NodeId n = 0; n < sys->network().numNodes(); ++n) {
+        for (NodeId n = 0; n < sys->network().numRouters(); ++n) {
             auto *br = dynamic_cast<BigRouter *>(&sys->network().router(n));
             if (br)
                 total += br->generator().stats.value(

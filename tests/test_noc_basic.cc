@@ -21,8 +21,8 @@ struct NocHarness {
         cfg.meshHeight = h;
         net = std::make_unique<Network>(cfg, sim);
         for (NodeId id = 0; id < net->numNodes(); ++id) {
-            net->ni(id).setDeliverCallback(
-                [this, id](const PacketPtr &pkt, Cycle now) {
+            net->niFor(id).setDeliverCallback(
+                id, [this, id](const PacketPtr &pkt, Cycle now) {
                     (void)now;
                     ++delivered[pkt->id];
                     lastDst[pkt->id] = id;

@@ -245,8 +245,8 @@ TEST_P(NocConservation, RandomTrafficIsConserved)
     std::map<PacketId, NodeId> expect;
     std::map<PacketId, int> got;
     for (NodeId n = 0; n < net.numNodes(); ++n) {
-        net.ni(n).setDeliverCallback(
-            [&got, n, &expect](const PacketPtr &p, Cycle) {
+        net.niFor(n).setDeliverCallback(
+            n, [&got, n, &expect](const PacketPtr &p, Cycle) {
                 ++got[p->id];
                 EXPECT_EQ(expect[p->id], n);
             });

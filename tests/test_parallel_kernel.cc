@@ -93,7 +93,8 @@ runOnce(const RunSpec &spec, std::string *stats_json = nullptr)
     f.sleepCycles = workload.totalCycles(ThreadPhase::Sleep);
     f.cseCycles = workload.totalCycles(ThreadPhase::Cse);
     f.earlyInvs = system.totalEarlyInvs();
-    for (NodeId n = 0; n < system.coherent().network().numNodes(); ++n)
+    for (NodeId n = 0; n < system.coherent().network().numRouters();
+         ++n)
         f.flitsSent += system.coherent().network().router(n)
                            .stats.value("flits_sent");
     if (stats_json)
@@ -218,8 +219,8 @@ struct NocHarness {
         cfg.creditLatency = credit_latency;
         net = std::make_unique<Network>(cfg, sim);
         for (NodeId id = 0; id < net->numNodes(); ++id) {
-            net->ni(id).setDeliverCallback(
-                [this, id](const PacketPtr &pkt, Cycle now) {
+            net->niFor(id).setDeliverCallback(
+                id, [this, id](const PacketPtr &pkt, Cycle now) {
                     (void)now;
                     ++delivered[pkt->id];
                     lastDst[pkt->id] = id;

@@ -4,7 +4,7 @@
 #   1. static analysis -- tools/protocol_check --self-test (declarative
 #      transition tables: coverage, vnet acyclicity, LCO hook tiling,
 #      reachability) and tools/lint_inpg.py --self-test (determinism
-#      lint, DESIGN.md invariants 10-13);
+#      lint, DESIGN.md invariants 10-17);
 #   2. ./run_benches.sh --quick    -- kernel fast-forward A/B and busy
 #      hot-path A/B perf smokes (non-zero exit if either optimization
 #      changes simulated results or the optimized schedule path
@@ -12,7 +12,11 @@
 #   3. seeded-hang watchdog smoke -- inpg_sim with the test-only
 #      drop_dir_response knob must exit 86 (HANG_EXIT_CODE) and write
 #      a well-formed structured hang report;
-#   4. ./run_benches.sh --tsan then --sanitize -- the threaded suites
+#   4. torus/fabric smoke -- a torus:8x8 iNPG run must be
+#      deterministic and bit-identical between the serial and parallel
+#      kernels, the no-escape-VC torus must be rejected by the
+#      channel-dependency verifier, and a cmesh run must complete;
+#   5. ./run_benches.sh --tsan then --sanitize -- the threaded suites
 #      (parallel kernel, sweep pool, trace sink) under
 #      ThreadSanitizer in build-tsan/, then configure + build + full
 #      ctest under ASan/UBSan in build-asan/.
@@ -22,7 +26,9 @@
 #   --tidy-only  run just the clang-tidy stage (the ci-clang-tidy
 #                ctest entry);
 #   --hang-only  run just the seeded-hang watchdog smoke (the
-#                ci-hang-smoke ctest entry).
+#                ci-hang-smoke ctest entry);
+#   --torus-only run just the torus/fabric smoke (the ci-torus-smoke
+#                ctest entry).
 # Expects ./build to be configured (configures it if missing). Wired
 # as the `ci-smoke` ctest when the tree is configured with
 # -DINPG_CI_SMOKE=ON; off by default because it builds and tests a
@@ -33,12 +39,15 @@ repo_root=$(cd "$(dirname "$0")/.." && pwd)
 want_tidy=0
 tidy_only=0
 hang_only=0
+torus_only=0
 for arg in "$@"; do
     case "$arg" in
       --tidy) want_tidy=1 ;;
       --tidy-only) want_tidy=1; tidy_only=1 ;;
       --hang-only) hang_only=1 ;;
-      *) echo "usage: tools/ci.sh [--tidy|--tidy-only|--hang-only]" >&2
+      --torus-only) torus_only=1 ;;
+      *) echo "usage: tools/ci.sh" \
+              "[--tidy|--tidy-only|--hang-only|--torus-only]" >&2
          exit 2 ;;
     esac
 done
@@ -92,6 +101,42 @@ print("hang report OK: reason=%s cycle=%d, %d recorder events"
 EOF
 }
 
+# Torus/fabric smoke: the wraparound fabric must run deterministically
+# under both kernels, the deadlock-capable configuration (no escape
+# VCs) must be refused at System construction with the cycle witness,
+# and the concentrated mesh must complete a run.
+run_torus_smoke() {
+    cmake --build "$repo_root/build" -j "$(nproc)" --target inpg_sim
+    sim="$repo_root/build/tools/inpg_sim"
+    out_a=$("$sim" benchmark=freq mechanism=inpg topology=torus:8x8 \
+        big_routers=8 csv=1)
+    out_b=$("$sim" benchmark=freq mechanism=inpg topology=torus:8x8 \
+        big_routers=8 csv=1)
+    if [ "$out_a" != "$out_b" ]; then
+        echo "FAIL: torus runs are not deterministic" >&2
+        exit 1
+    fi
+    out_par=$("$sim" benchmark=freq mechanism=inpg topology=torus:8x8 \
+        big_routers=8 threads=4 csv=1)
+    if [ "$out_a" != "$out_par" ]; then
+        echo "FAIL: torus threads=4 diverges from the serial kernel" >&2
+        exit 1
+    fi
+    set +e
+    "$sim" benchmark=freq topology=torus:8x8 escape_vcs=0 \
+        >/dev/null 2>&1
+    rc=$?
+    set -e
+    if [ "$rc" = 0 ]; then
+        echo "FAIL: no-escape-VC torus was accepted (verifier hole)" >&2
+        exit 1
+    fi
+    "$sim" benchmark=freq mechanism=inpg topology=cmesh:4x4x4 \
+        big_routers=4 csv=1 >/dev/null
+    echo "torus smoke OK: deterministic, serial==threads=4," \
+         "no-escape-VC rejected, cmesh completes"
+}
+
 if [ "$tidy_only" = 1 ]; then
     run_tidy
     exit 0
@@ -99,6 +144,11 @@ fi
 if [ "$hang_only" = 1 ]; then
     echo "=== ci.sh: seeded-hang watchdog smoke ==="
     run_hang_smoke
+    exit 0
+fi
+if [ "$torus_only" = 1 ]; then
+    echo "=== ci.sh: torus/fabric smoke ==="
+    run_torus_smoke
     exit 0
 fi
 
@@ -117,7 +167,10 @@ cmake --build "$repo_root/build" -j "$(nproc)" --target bench_micro
 echo "=== ci.sh stage 3: seeded-hang watchdog smoke ==="
 run_hang_smoke
 
-echo "=== ci.sh stage 4: sanitizer suites ==="
+echo "=== ci.sh stage 4: torus/fabric smoke ==="
+run_torus_smoke
+
+echo "=== ci.sh stage 5: sanitizer suites ==="
 # ThreadSanitizer over the threaded surfaces first (parallel kernel
 # bit-identity suite, sweep pool, trace sink), then the full ASan/
 # UBSan tree. Both configure their own build dirs.

@@ -11,8 +11,10 @@
  *   inpg_sim benchmark=freq mechanism=inpg lock=qsl cs_scale=0.1
  *   inpg_sim benchmark=all csv=1 > results.csv
  *   inpg_sim benchmark=kdtree dump_stats=1 mesh_width=4 mesh_height=4
- *   inpg_sim benchmark=freq mesh=16x16 threads=4   # parallel kernel;
- *       bit-identical to threads=1 (src/sim/parallel)
+ *   inpg_sim benchmark=freq topology=torus:8x8     # wraparound fabric
+ *   inpg_sim benchmark=freq topology=cmesh:4x4x4   # 4 cores/router
+ *   inpg_sim benchmark=freq topology=mesh:16x16 threads=4  # parallel
+ *       kernel; bit-identical to threads=1 (src/sim/parallel)
  *   inpg_sim config=myrun.cfg        # "key = value" lines
  *   inpg_sim benchmark=freq --trace-out=run.json   # Chrome trace
  *   inpg_sim benchmark=freq telemetry=lco --stats-json=stats.json
@@ -94,10 +96,12 @@ runWithDump(const RunConfig &rc, bool dump)
     StatGroup routers("routers.total");
     StatGroup dirs("dirs.total");
     StatGroup l1s("l1s.total");
-    for (NodeId n = 0; n < sys_cfg.numCores(); ++n) {
+    Network &dump_net = system.coherent().network();
+    for (NodeId r = 0; r < dump_net.numRouters(); ++r)
         for (const auto &kv :
-             system.coherent().network().router(n).stats.allCounters())
+             dump_net.router(r).stats.allCounters())
             routers.counter(kv.first) += kv.second;
+    for (NodeId n = 0; n < sys_cfg.numCores(); ++n) {
         for (const auto &kv :
              system.coherent().directory(n).stats.allCounters())
             dirs.counter(kv.first) += kv.second;
@@ -110,9 +114,9 @@ runWithDump(const RunConfig &rc, bool dump)
     std::fputs(l1s.dump().c_str(), stdout);
     for (const auto &lock : system.locks().locks())
         std::fputs(lock->stats.dump().c_str(), stdout);
-    for (NodeId n = 0; n < sys_cfg.numCores(); ++n) {
+    for (NodeId n = 0; n < dump_net.numRouters(); ++n) {
         if (auto *br = dynamic_cast<BigRouter *>(
-                &system.coherent().network().router(n))) {
+                &dump_net.router(n))) {
             if (br->generator().stats.value("early_invs_generated"))
                 std::fputs(br->generator().stats.dump().c_str(), stdout);
         }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Determinism lint for the iNPG simulator sources (DESIGN.md Section 8).
 
-Rules (numbered as DESIGN.md invariants 10-15):
+Rules (numbered as DESIGN.md invariants 10-17):
 
   unordered-iteration  (inv. 10)
       No range-for over std::unordered_map / std::unordered_set in the
@@ -43,6 +43,15 @@ Rules (numbered as DESIGN.md invariants 10-15):
       stray atomic in a component silently turns a determinism bug
       into a data race. Host-side infrastructure (the trace registry,
       the recorder registry) must opt out per line.
+
+  coordinate-arithmetic (inv. 17)
+      No arithmetic on meshWidth / meshHeight (or mesh_w / mesh_h
+      parameters) outside src/noc/topology.{hh,cc} and
+      src/noc/routing.{hh,cc}. Grid geometry -- id <-> coordinate
+      decomposition, wrap math, placement -- is the Topology layer's
+      contract; a stray `id % meshWidth` elsewhere silently assumes a
+      non-concentrated mesh and breaks on torus/cmesh fabrics. The
+      config's own numRouters() product opts out per line.
 
   node-container-noc   (inv. 15)
       No std::deque / std::list / std::forward_list / std::map /
@@ -94,6 +103,19 @@ THREADING_RE = re.compile(
 # Directories where host-side threading primitives are sanctioned:
 # the parallel kernel itself and the harness (sweep thread pool).
 THREADING_OK_DIRS = ("src/sim/parallel", "src/harness")
+
+# Grid-geometry identifiers whose arithmetic use marks coordinate
+# math: the NocConfig members and the conventional parameter
+# spellings. An arithmetic operator directly before or after the
+# identifier is the signal; bare reads (assignment, argument passing,
+# comparisons in min/max clamps) stay legal everywhere.
+COORD_ARITH_RE = re.compile(
+    r"[%*/+\-]\s*(?:\w+\s*(?:\.|->)\s*)?"
+    r"mesh(?:Width|Height|_w(?:idth)?|_h(?:eight)?)\b"
+    r"|\bmesh(?:Width|Height|_w(?:idth)?|_h(?:eight)?)\b\s*[%*/+\-]")
+# Files that own grid geometry: the Topology implementations and the
+# dimension-order routing helpers they are built on.
+COORD_OK_PREFIXES = ("src/noc/topology", "src/noc/routing")
 
 # Telemetry modules that record per-event data over a run (registries
 # and build-only JSON values are out of scope).
@@ -286,6 +308,27 @@ def check_threading_scope(files):
     return findings
 
 
+def check_coordinate_arithmetic(files):
+    findings = []
+    for path, text in files:
+        posix = path.as_posix()
+        if any(posix.startswith(p) for p in COORD_OK_PREFIXES):
+            continue
+        lines = text.splitlines()
+        for m in COORD_ARITH_RE.finditer(text):
+            ln = line_of(text, m.start())
+            if allowed(lines, ln, "coordinate-arithmetic"):
+                continue
+            findings.append(Finding(
+                "coordinate-arithmetic", path, ln,
+                "'%s': grid geometry (id <-> coordinate decomposition, "
+                "wrap math, placement) belongs to src/noc/topology* / "
+                "src/noc/routing*; ask the Topology object instead of "
+                "doing width/height arithmetic here"
+                % m.group(0).strip()))
+    return findings
+
+
 def check_unbounded_recording(files):
     findings = []
     for path, text in files:
@@ -335,6 +378,7 @@ def run_lint(root):
     findings += check_node_container_noc(all_files)
     findings += check_unbounded_recording(all_files)
     findings += check_threading_scope(all_files)
+    findings += check_coordinate_arithmetic(all_files)
     findings.sort(key=lambda f: (str(f.path), f.line))
     return findings
 
@@ -350,6 +394,7 @@ void f() {
     std::shared_ptr<Flit> keep;
     std::deque<int> queue;
     std::atomic<int> racy{0};
+    int x = id % cfg.meshWidth;
 }
 """
 
@@ -389,10 +434,12 @@ def run_self_test():
         [(Path("src/telemetry/flight_recorder_bad.cc"),
           strip_comments(SELF_TEST_BAD_RECORDING))])
     findings += check_threading_scope(files)
+    findings += check_coordinate_arithmetic(files)
     fired = {f.rule for f in findings}
     want = {"unordered-iteration", "raw-flit-new", "nondeterminism",
             "shared-ptr-flit", "node-container-noc",
-            "unbounded-recording", "threading-outside-parallel"}
+            "unbounded-recording", "threading-outside-parallel",
+            "coordinate-arithmetic"}
     failures = want - fired
     for rule in sorted(want):
         status = "ok" if rule in fired else "MISSED"
@@ -446,6 +493,22 @@ def run_self_test():
         print("lint_inpg --self-test: ok: threading inside "
               "src/sim/parallel and src/harness is exempt")
 
+    # Coordinate math is legal inside the Topology layer itself (the
+    # decomposition in topology.cc and routing.cc is the one sanctioned
+    # home for it).
+    topo = [(Path("src/noc/topology.cc"),
+             strip_comments("Coord c{id % cfg.meshWidth,"
+                            " id / cfg.meshWidth};\n")),
+            (Path("src/noc/routing.cc"),
+             strip_comments("return c.y * meshWidth + c.x;\n"))]
+    if check_coordinate_arithmetic(topo):
+        print("lint_inpg --self-test: MISSED: coordinate math inside "
+              "src/noc/topology* and src/noc/routing* is exempt")
+        failures.add("coordinate-scope")
+    else:
+        print("lint_inpg --self-test: ok: coordinate math inside "
+              "src/noc/topology* and src/noc/routing* is exempt")
+
     # Comment text must never trip a rule (flit.hh documents the former
     # shared_ptr design in prose).
     commented = [(Path("src/noc/doc.hh"),
@@ -485,7 +548,8 @@ def main():
     print("lint_inpg: clean (%s)" % ", ".join(
         ("unordered-iteration", "raw-flit-new", "nondeterminism",
          "shared-ptr-flit", "node-container-noc",
-         "unbounded-recording", "threading-outside-parallel")))
+         "unbounded-recording", "threading-outside-parallel",
+         "coordinate-arithmetic")))
     return 0
 
 

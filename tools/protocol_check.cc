@@ -17,6 +17,13 @@
  *                      cursor hooks and jointly tile the attribution
  *                      legs.
  *  4. reachability  -- no dead states.
+ *  5. channel-deps  -- topology-aware routing deadlock freedom: the
+ *                      channel-dependency graph each supported fabric's
+ *                      routing function induces (mesh, torus with
+ *                      escape VCs, cmesh) is acyclic, and a torus
+ *                      WITHOUT escape VCs is correctly rejected with a
+ *                      ring-cycle witness (the check's own negative
+ *                      control).
  *
  * Exit 0 when the protocol verifies clean, 1 when any diagnostic
  * fires. `--self-test` additionally feeds deliberately broken tables
@@ -30,6 +37,7 @@
 
 #include "coh/protocol_tables.hh"
 #include "coh/protocol_verify.hh"
+#include "noc/topology.hh"
 
 namespace {
 
@@ -74,9 +82,52 @@ runProduction(bool verbose)
                      d.toString().c_str());
         worst = 1;
     }
+
+    // Check 5: fabric-level deadlock freedom across the supported
+    // topologies, plus the negative control (a torus with the escape
+    // VCs disabled MUST produce a cycle, or the check is vacuous).
+    struct FabricCase {
+        const char *label;
+        TopologyKind kind;
+        int w, h, conc;
+        bool escape;
+        bool expect_cycle;
+    };
+    const FabricCase fabrics[] = {
+        {"mesh:8x8", TopologyKind::Mesh, 8, 8, 1, true, false},
+        {"torus:8x8", TopologyKind::Torus, 8, 8, 1, true, false},
+        {"cmesh:4x4x4", TopologyKind::CMesh, 4, 4, 4, true, false},
+        {"torus:8x8 (no escape VCs)", TopologyKind::Torus, 8, 8, 1,
+         false, true},
+    };
+    for (const FabricCase &fc : fabrics) {
+        NocConfig noc;
+        noc.topology = fc.kind;
+        noc.meshWidth = fc.w;
+        noc.meshHeight = fc.h;
+        noc.concentration = fc.conc;
+        noc.escapeVcs = fc.escape;
+        const auto cd = verifyChannelDeps(*makeTopology(noc));
+        const bool cyclic = !cd.empty();
+        if (cyclic != fc.expect_cycle) {
+            std::fprintf(stderr,
+                         "protocol_check: channel-deps [%s]: expected "
+                         "%s, got %s\n",
+                         fc.label, fc.expect_cycle ? "a cycle" : "acyclic",
+                         cyclic ? cd.front().toString().c_str()
+                                : "acyclic");
+            worst = 1;
+        } else {
+            std::printf("protocol_check: channel-deps %-26s %s\n",
+                        fc.label,
+                        cyclic ? "cycle detected (as expected)"
+                               : "acyclic");
+        }
+    }
     if (worst == 0)
         std::printf("protocol_check: all checks passed "
-                    "(coverage, vnet-graph, lco-hooks, reachability)\n");
+                    "(coverage, vnet-graph, lco-hooks, reachability, "
+                    "channel-deps)\n");
     return worst;
 }
 
