@@ -211,25 +211,25 @@ Directory::process(const CohMsgPtr &msg, Cycle now)
     switch (static_cast<DirAction>(tr.action)) {
       case DirAction::GrantExclusive:
         grantExclusive(msg, e, now);
-        return;
+        break;
       case DirAction::AnswerShared:
         answerShared(msg, e, now);
-        return;
+        break;
       case DirAction::ForwardGetS:
         forwardGetS(msg, e, now);
-        return;
+        break;
       case DirAction::InvalidateAndGrant:
         invalidateAndGrant(msg, e, now);
-        return;
+        break;
       case DirAction::ForwardGetX:
         forwardGetX(msg, e, now);
-        return;
+        break;
       case DirAction::OwnerUpgrade:
         ownerUpgrade(msg, e, now);
-        return;
+        break;
       case DirAction::DemoteViaOwner:
         demoteViaOwner(msg, e, now);
-        return;
+        break;
       case DirAction::DemoteOrGrant:
         // The home holds the line: demote only while the lock reads
         // held; a free lock falls through to the full exclusive grant
@@ -238,13 +238,27 @@ Directory::process(const CohMsgPtr &msg, Cycle now)
             demoteAtHome(msg, e, now);
         else
             invalidateAndGrant(msg, e, now);
-        return;
+        break;
       case DirAction::TrimSharer:
         trimSharer(msg, e, now);
-        return;
+        break;
       default:
         panic("directory %d: table action %d has no dispatch for %s",
               node, tr.action, msg->toString().c_str());
+    }
+
+    // Arm the trim guard only after the action ran: the marked GetX's
+    // own demote registration belongs to the same transaction, not a
+    // newer one. A second early-invalidated GetX from a core whose
+    // ack is still in flight is ambiguous -- forgo both trims (the
+    // trim is an optimization; skipping it only costs one redundant
+    // Inv/Ack round trip later).
+    if ((ev == DirEvent::GetX || ev == DirEvent::GetXDemotable) &&
+        msg->earlyInvalidated) {
+        if (!e.eiPending.insert(msg->requester).second) {
+            e.eiPending.erase(msg->requester);
+            ++stats.counter("ei_guard_ambiguous");
+        }
     }
 }
 
@@ -270,6 +284,8 @@ Directory::answerShared(const CohMsgPtr &msg, DirEntry &e, Cycle now)
 {
     const CoreId req = msg->requester;
     e.sharers.insert(req);
+    // A fresh registration invalidates any EI ack still in flight.
+    e.eiPending.erase(req);
     auto data = std::make_shared<CoherenceMsg>();
     data->kind = CohMsgKind::Data;
     data->addr = msg->addr;
@@ -291,6 +307,8 @@ Directory::forwardGetS(const CohMsgPtr &msg, DirEntry &e, Cycle now)
     fwd->isLock = msg->isLock;
     fwd->epoch = epochCounter;
     e.sharers.insert(req);
+    // A fresh registration invalidates any EI ack still in flight.
+    e.eiPending.erase(req);
     send(fwd, e.owner, now);
     ++stats.counter("fwd_gets");
 }
@@ -386,6 +404,8 @@ Directory::demoteViaOwner(const CohMsgPtr &msg, DirEntry &e, Cycle now)
     const CoreId req = msg->requester;
     ++stats.counter("getx_demoted_via_owner");
     e.sharers.insert(req);
+    // A fresh registration invalidates any EI ack still in flight.
+    e.eiPending.erase(req);
     auto fwd = std::make_shared<CoherenceMsg>();
     fwd->kind = CohMsgKind::FwdGetS;
     fwd->addr = msg->addr;
@@ -403,6 +423,8 @@ Directory::demoteAtHome(const CohMsgPtr &msg, DirEntry &e, Cycle now)
     const CoreId req = msg->requester;
     ++stats.counter("getx_demoted_at_home");
     e.sharers.insert(req);
+    // A fresh registration invalidates any EI ack still in flight.
+    e.eiPending.erase(req);
     auto data = std::make_shared<CoherenceMsg>();
     data->kind = CohMsgKind::Data;
     data->addr = msg->addr;
@@ -421,6 +443,13 @@ Directory::trimSharer(const CohMsgPtr &msg, DirEntry &e, Cycle now)
     // router; here only the sharer list is trimmed.)
     // The acking core's shared copy is gone; if it was still recorded
     // as a sharer, the next GetX no longer needs to invalidate it.
+    // Guarded: an ack that was overtaken by a newer registration of
+    // the same core (its GetS beat the relayed ack home) must be
+    // ignored, or the next Inv storm would skip a live copy.
+    if (!e.eiPending.erase(msg->requester)) {
+        ++stats.counter("early_acks_overtaken");
+        return;
+    }
     if (e.sharers.erase(msg->requester))
         ++stats.counter("early_acks_applied");
     else

@@ -42,6 +42,18 @@ class Directory : public Ticking
         NodeId owner = INVALID_NODE;
         /** Cores holding shared copies. */
         std::set<CoreId> sharers;
+        /**
+         * Early-invalidation trim guard: core c is in the set while
+         * exactly one big-router early-InvAck from c is expected and
+         * c has not re-registered at the home since its
+         * early-invalidated GetX was served. TrimSharer only applies
+         * while the guard holds -- an EI ack overtaken by a newer
+         * GetS/demote registration of the same core must not erase
+         * the fresh sharer entry. The model checker (tools/protocol_mc)
+         * found that reordering as an SWMR violation; see
+         * docs/PROTOCOL.md.
+         */
+        std::set<CoreId> eiPending;
         /** Line never fetched from memory yet. */
         bool cold = true;
     };

@@ -189,13 +189,17 @@ l1ProtocolTable()
                 "stale Inv aimed at an S copy our own GetX consumed"),
 
             // -- forwarded reads -----------------------------------------
-            l1T(I, Ev::FwdGetS, Ac::ChainForward, {I, O},
+            l1T(I, Ev::FwdGetS, Ac::ChainForward, {I, S, O},
                 {emitData, relayFwdGetS}, {},
                 "not the owner any more: relay along forwardedTo; a "
-                "deferred forward served after our fill supplies Data"),
-            l1T(S, Ev::FwdGetS, Ac::ChainForward, {S, O},
+                "deferred forward served after our fill supplies Data "
+                "(S when an interleaved load re-filled the line before "
+                "the deferred chain relay ran)"),
+            l1T(S, Ev::FwdGetS, Ac::ChainForward, {I, S, O},
                 {emitData, relayFwdGetS}, {},
-                "owner tenure ended and line re-filled shared; relay"),
+                "owner tenure ended and line re-filled shared; relay "
+                "(I when an Inv raced the pending fill before the "
+                "deferred relay ran)"),
             l1T(E, Ev::FwdGetS, Ac::ServeFwdGetS, {O},
                 {emitData, relayFwdGetS}, {}),
             l1T(M, Ev::FwdGetS, Ac::ServeFwdGetS, {O},
@@ -204,11 +208,12 @@ l1ProtocolTable()
                 {emitData, relayFwdGetS}, {}),
 
             // -- forwarded exclusive requests ----------------------------
-            l1T(I, Ev::FwdGetX, Ac::ChainForward, {I},
+            l1T(I, Ev::FwdGetX, Ac::ChainForward, {I, S},
                 {emitDataExcl, relayFwdGetX}, {},
                 "chain GetX: relay toward the node we surrendered to; "
                 "a deferred forward served after our fill supplies "
-                "DataExcl"),
+                "DataExcl (S when an interleaved load re-filled the "
+                "line before the deferred chain relay ran)"),
             l1T(S, Ev::FwdGetX, Ac::ChainForward, {S, I},
                 {emitDataExcl, relayFwdGetX}, {},
                 "owner tenure ended and line re-filled shared; relay"),

@@ -99,6 +99,39 @@ class ProtoTableBase
             insert(t);
     }
 
+    /**
+     * Introspection: every declared entry, row-major (state, event)
+     * order. The model checker's mutation harness snapshots a
+     * production table through this, edits individual rows, and
+     * rebuilds a variant with withRows() -- the seeded-bug tables stay
+     * structurally identical to the shipped ones.
+     */
+    std::vector<ProtoTransition>
+    rows() const
+    {
+        std::vector<ProtoTransition> out;
+        out.reserve(grid_.size());
+        for (const Slot &s : grid_)
+            if (s.present)
+                out.push_back(s.t);
+        return out;
+    }
+
+    /**
+     * Clone this table with a replacement row set (same name, shape,
+     * initial state and naming callbacks). Duplicate/missing rows are
+     * preserved as-is so verifier checks still see them.
+     */
+    ProtoTableBase
+    withRows(const std::vector<ProtoTransition> &entries) const
+    {
+        ProtoTableBase clone(name_, numStates_, numEvents_, initial_,
+                             stateName_, eventName_, eventVnet_, {});
+        for (const ProtoTransition &t : entries)
+            clone.insert(t);
+        return clone;
+    }
+
     /** Add one entry; duplicates are recorded, not overwritten. */
     void
     insert(const ProtoTransition &t)

@@ -1,0 +1,2212 @@
+/**
+ * @file
+ * Explicit-state model checker over the production protocol tables.
+ * See model_check.hh for the model and DESIGN.md section 13 for the
+ * state encoding, canonicalization and invariant catalog.
+ *
+ * Structure:
+ *   1. abstract-state PODs (McMsg / McCore / McState) + encoding
+ *   2. scenario programs (what each abstract core runs)
+ *   3. the table interpreter (Interp): one BFS step = one atomic
+ *      handler cascade, mirroring l1_controller.cc / directory.cc /
+ *      packet_generator.cc with panics replaced by violations
+ *   4. global invariants checked after every step
+ *   5. canonicalization (core-id symmetry) + BFS + witness replay
+ */
+
+#include "verify/model_check.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------
+
+/** printf-style std::string formatting (strutil has no such helper). */
+std::string
+mcFmt(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    char buf[512];
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return std::string(buf);
+}
+
+int
+popcount8(unsigned v)
+{
+    int n = 0;
+    for (; v; v &= v - 1)
+        ++n;
+    return n;
+}
+
+// ---------------------------------------------------------------------
+// Abstract state
+// ---------------------------------------------------------------------
+
+constexpr int MC_MAX_CORES = 3;
+constexpr int MC_MAX_MSGS = 24;
+constexpr int MC_MAX_DEFER = 4;
+
+/** Non-core destinations of a message. */
+constexpr int MC_DIR = -2;
+constexpr int MC_BR = -3;
+
+/** L1 line states (static-asserted against the table's convention). */
+constexpr int LS_I = 0, LS_S = 1, LS_E = 2, LS_M = 3, LS_O = 4;
+
+/** Directory derived states. */
+constexpr int DS_UNCACHED = 0, DS_SHARED = 1, DS_OWNED = 2,
+              DS_OWNED_SELF = 3;
+
+/** Big-router derived states. */
+constexpr int BS_NONE = 0, BS_IDLE = 1, BS_ARMED = 2;
+
+/** Message flag bits (packed CoherenceMsg booleans). */
+enum : unsigned {
+    MF_LOCK = 1u << 0,
+    MF_DEMOTABLE = 1u << 1,
+    MF_DEMOTED = 1u << 2,
+    MF_ATOMIC = 1u << 3,
+    MF_EARLY_INV = 1u << 4,
+    MF_FROM_BR = 1u << 5,
+    MF_OWNER_UPGRADE = 1u << 6,
+};
+
+/** One in-flight coherence message over the single lock line. */
+struct McMsg {
+    std::uint8_t kind = 0;      // CohMsgKind
+    std::int8_t dst = 0;        // core id, MC_DIR or MC_BR
+    std::int8_t requester = -1; // core id
+    std::int8_t collector = -1; // core id or MC_BR (ack target)
+    std::uint8_t value = 0;
+    std::int8_t ackCount = 0; // -1 = owner-supplied DataExcl
+    std::uint8_t epoch = 0;
+    std::uint8_t flags = 0;
+};
+
+std::uint64_t
+encodeMsg(const McMsg &m)
+{
+    return (static_cast<std::uint64_t>(m.kind) << 56) |
+           (static_cast<std::uint64_t>(static_cast<std::uint8_t>(m.dst))
+            << 48) |
+           (static_cast<std::uint64_t>(
+                static_cast<std::uint8_t>(m.requester))
+            << 40) |
+           (static_cast<std::uint64_t>(
+                static_cast<std::uint8_t>(m.collector))
+            << 32) |
+           (static_cast<std::uint64_t>(m.value) << 24) |
+           (static_cast<std::uint64_t>(
+                static_cast<std::uint8_t>(m.ackCount))
+            << 16) |
+           (static_cast<std::uint64_t>(m.epoch) << 8) |
+           static_cast<std::uint64_t>(m.flags);
+}
+
+/** Abstract core operations (a subset of OpRecord's space). */
+enum McOpKind : std::uint8_t {
+    OP_LOAD = 0,
+    OP_STORE = 1,
+    OP_SWAP = 2,
+    OP_FETCH_ADD = 3,
+};
+
+const char *
+mcOpName(int k)
+{
+    static const char *const names[] = {"load", "store", "swap",
+                                        "fetch-add"};
+    return k >= 0 && k < 4 ? names[k] : "?";
+}
+
+/** Pending-transaction bookkeeping, mirroring L1Controller::Pending. */
+struct McPending {
+    std::uint8_t kind = OP_LOAD;
+    std::uint8_t operandA = 0;
+    bool isLock = false;
+    bool exclusive = false;
+    bool demotable = false;
+    bool demoted = false;
+    bool wasMiss = false;
+    bool hasData = false;
+    bool hasAckInfo = false;
+    bool invWhileFilling = false;
+    bool epochKnown = false;
+    std::uint8_t data = 0;
+    std::int8_t ackCount = 0;
+    std::int8_t acksReceived = 0;
+    std::uint8_t myEpoch = 0;
+};
+
+/** One deferred forward plus its arrival line state (attribution). */
+struct McDefer {
+    McMsg msg;
+    std::uint8_t arrivalState = 0;
+};
+
+struct McCore {
+    std::uint8_t state = LS_I; // line state
+    std::uint8_t value = 0;    // line value
+    std::int8_t forwardedTo = -1;
+    bool hasPending = false;
+    McPending pending;
+    std::uint8_t pc = 0;    // program counter
+    std::uint8_t hooks = 0; // LCO hook bits fired this transaction
+    std::uint8_t nDefer = 0;
+    std::array<McDefer, MC_MAX_DEFER> defer{};
+};
+
+struct McDir {
+    std::int8_t owner = -1;
+    std::uint8_t sharers = 0; // core-id bitmask
+    std::uint8_t value = 0;
+    std::uint8_t epoch = 0; // epochCounter
+    /**
+     * Early-invalidation trim guard (core-id bitmask): bit c is set
+     * while exactly one big-router early-InvAck from core c is
+     * expected and core c has not re-registered at the home since the
+     * early-invalidated GetX was processed. TrimSharer only applies
+     * when the bit is set -- an EI ack that was overtaken by a newer
+     * GetS/demote registration of the same core must NOT erase the
+     * fresh sharer entry (the model checker found that race as an
+     * SWMR violation; see docs/PROTOCOL.md).
+     */
+    std::uint8_t eiPending = 0;
+};
+
+struct McBr {
+    bool barrier = false;
+    std::uint8_t eis = 0; // open-EI core-id bitmask
+};
+
+struct McState {
+    std::array<McCore, MC_MAX_CORES> cores{};
+    McDir dir;
+    McBr br;
+    std::uint8_t golden = 0; // golden-memory value of the lock word
+    std::uint8_t nMsgs = 0;
+    std::array<McMsg, MC_MAX_MSGS> msgs{};
+};
+
+void
+sortMsgs(McState &st)
+{
+    std::sort(st.msgs.begin(), st.msgs.begin() + st.nMsgs,
+              [](const McMsg &a, const McMsg &b) {
+                  return encodeMsg(a) < encodeMsg(b);
+              });
+}
+
+/** Byte-serialize a state (already-sorted message multiset). */
+std::string
+encodeState(const McState &st, int num_cores)
+{
+    std::string out;
+    out.reserve(96);
+    auto b = [&out](int v) {
+        out.push_back(static_cast<char>(static_cast<std::uint8_t>(v)));
+    };
+    for (int c = 0; c < num_cores; ++c) {
+        const McCore &k = st.cores[c];
+        b(k.state);
+        b(k.value);
+        b(k.forwardedTo);
+        b(k.pc);
+        b(k.hooks);
+        b(k.hasPending);
+        if (k.hasPending) {
+            const McPending &p = k.pending;
+            b(p.kind);
+            b(p.operandA);
+            b((p.isLock << 0) | (p.exclusive << 1) | (p.demotable << 2) |
+              (p.demoted << 3) | (p.wasMiss << 4) | (p.hasData << 5) |
+              (p.hasAckInfo << 6) | (p.invWhileFilling << 7));
+            b(p.epochKnown);
+            b(p.data);
+            b(p.ackCount);
+            b(p.acksReceived);
+            b(p.myEpoch);
+        }
+        b(k.nDefer);
+        for (int d = 0; d < k.nDefer; ++d) {
+            const std::uint64_t e = encodeMsg(k.defer[d].msg);
+            for (int s = 56; s >= 0; s -= 8)
+                b(static_cast<int>(e >> s));
+            b(k.defer[d].arrivalState);
+        }
+    }
+    b(st.dir.owner);
+    b(st.dir.sharers);
+    b(st.dir.value);
+    b(st.dir.epoch);
+    b(st.dir.eiPending);
+    b(st.br.barrier);
+    b(st.br.eis);
+    b(st.golden);
+    b(st.nMsgs);
+    for (int i = 0; i < st.nMsgs; ++i) {
+        const std::uint64_t e = encodeMsg(st.msgs[i]);
+        for (int s = 56; s >= 0; s -= 8)
+            b(static_cast<int>(e >> s));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Scenario programs
+// ---------------------------------------------------------------------
+
+/** One abstract instruction. */
+struct McOp {
+    std::uint8_t kind = OP_LOAD;
+    std::uint8_t operandA = 0;
+    bool isLock = false;
+    bool demotable = false;
+};
+
+bool
+coreRunsTas(McScenario s, int core)
+{
+    switch (s) {
+      case McScenario::Tas:
+      case McScenario::TasNd:
+      case McScenario::TasHeld:
+        return true;
+      case McScenario::Counter:
+        return false;
+      case McScenario::Rw:
+        return core == 0;
+    }
+    return false;
+}
+
+int
+programLength(McScenario s, int core)
+{
+    if (coreRunsTas(s, core))
+        return 4; // swap, retry-swap, release, trailing load
+    return 2;     // fetch-add + load (Counter) or two loads (Rw)
+}
+
+bool
+programDone(McScenario s, int core, int pc)
+{
+    return pc >= programLength(s, core);
+}
+
+/** The instruction at (scenario, core, pc); pc must not be done. */
+McOp
+programOp(McScenario s, int core, int pc)
+{
+    McOp op;
+    if (coreRunsTas(s, core)) {
+        switch (pc) {
+          case 0:
+            op = {OP_SWAP, 1, true,
+                  s == McScenario::Tas || s == McScenario::TasHeld ||
+                      s == McScenario::Rw};
+            return op;
+          case 1:
+            op = {OP_SWAP, 1, true, false};
+            return op;
+          case 2:
+            op = {OP_STORE, 0, true, false};
+            return op;
+          default:
+            op = {OP_LOAD, 0, false, false};
+            return op;
+        }
+    }
+    if (s == McScenario::Counter && pc == 0) {
+        op = {OP_FETCH_ADD, 1, false, false};
+        return op;
+    }
+    op = {OP_LOAD, 0, false, false}; // Counter pc1 / Rw reader loads
+    return op;
+}
+
+/** Advance a core's pc after an op completes. */
+int
+programNext(McScenario s, int core, int pc, std::uint8_t observed,
+            bool demoted)
+{
+    if (coreRunsTas(s, core)) {
+        const bool acquired = observed == 0 && !demoted;
+        switch (pc) {
+          case 0:
+            return acquired ? 2 : 1;
+          case 1:
+            return acquired ? 2 : 3; // give up after the second miss
+          default:
+            return pc + 1;
+        }
+    }
+    return pc + 1;
+}
+
+/** Value the lock word must hold once every program quiesced. */
+std::uint8_t
+expectedFinalValue(const McConfig &cfg)
+{
+    switch (cfg.scenario) {
+      case McScenario::Counter:
+        return static_cast<std::uint8_t>(cfg.numCores);
+      case McScenario::TasHeld:
+        return 1; // held at init, never released
+      default:
+        return 0; // every successful acquire is released
+    }
+}
+
+std::uint8_t
+initialValue(const McConfig &cfg)
+{
+    return cfg.scenario == McScenario::TasHeld ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------
+// LCO hooks
+// ---------------------------------------------------------------------
+
+enum : unsigned {
+    HK_OP_ISSUED = 1u << 0,
+    HK_REQUEST_SENT = 1u << 1,
+    HK_DIR_ARRIVED = 1u << 2,
+    HK_DIR_SERVED = 1u << 3,
+    HK_RESPONSE_ARRIVED = 1u << 4,
+    HK_INV_ACK_ARRIVED = 1u << 5,
+    HK_EARLY_INV_SEEN = 1u << 6,
+    HK_OP_COMPLETED = 1u << 7,
+};
+
+unsigned
+hookBit(const char *name)
+{
+    if (std::strcmp(name, "opIssued") == 0)
+        return HK_OP_ISSUED;
+    if (std::strcmp(name, "requestSent") == 0)
+        return HK_REQUEST_SENT;
+    if (std::strcmp(name, "dirArrived") == 0)
+        return HK_DIR_ARRIVED;
+    if (std::strcmp(name, "dirServed") == 0)
+        return HK_DIR_SERVED;
+    if (std::strcmp(name, "responseArrived") == 0)
+        return HK_RESPONSE_ARRIVED;
+    if (std::strcmp(name, "invAckArrived") == 0)
+        return HK_INV_ACK_ARRIVED;
+    if (std::strcmp(name, "earlyInvSeen") == 0)
+        return HK_EARLY_INV_SEEN;
+    if (std::strcmp(name, "opCompleted") == 0)
+        return HK_OP_COMPLETED;
+    return 0;
+}
+
+unsigned
+rowHookMask(const ProtoTransition &t)
+{
+    unsigned m = 0;
+    for (const char *h : t.lcoHooks)
+        m |= hookBit(h);
+    return m;
+}
+
+unsigned
+rowEmitMask(const ProtoTransition &t)
+{
+    unsigned m = 0;
+    for (const ProtoEmit &e : t.emits)
+        m |= 1u << static_cast<int>(e.kind);
+    return m;
+}
+
+// ---------------------------------------------------------------------
+// Steps
+// ---------------------------------------------------------------------
+
+enum McStepKind : std::uint8_t {
+    STEP_ISSUE = 0,
+    STEP_DELIVER = 1,
+    STEP_TTL = 2,
+};
+
+struct McStep {
+    std::uint8_t kind = STEP_ISSUE;
+    std::int8_t core = 0;   // STEP_ISSUE only
+    std::uint64_t msg = 0;  // STEP_DELIVER only (encoded message)
+};
+
+const char *
+dstName(int dst)
+{
+    switch (dst) {
+      case MC_DIR:
+        return "dir";
+      case MC_BR:
+        return "big-router";
+      default:
+        return nullptr;
+    }
+}
+
+std::string
+describeDst(int dst)
+{
+    if (const char *n = dstName(dst))
+        return n;
+    return mcFmt("core %d", dst);
+}
+
+std::string describeMsg(const McMsg &m);
+
+// ---------------------------------------------------------------------
+// Table interpreter
+// ---------------------------------------------------------------------
+
+struct IViol {
+    std::string invariant;
+    std::string detail;
+};
+
+/**
+ * Applies one BFS step to a state, mirroring the controller semantics
+ * (l1_controller.cc, directory.cc, packet_generator.cc) with every
+ * panic/assert turned into a violation. All table dispatch is checked:
+ * reaching an undeclared or illegal pair, emitting an undeclared
+ * message kind (dropped + counted), or leaving a state outside the
+ * row's declared nexts is reported. Rows with a single declared next
+ * *force* the L1 line into it so next-state mutations change behavior.
+ */
+class Interp
+{
+  public:
+    Interp(const McConfig &config, const ProtoTableBase &l1_table,
+           const ProtoTableBase &dir_table, const ProtoTableBase &br_table,
+           McState &state, std::vector<std::string> *trace_out,
+           std::uint64_t *drops)
+        : cfg(config), l1(l1_table), dir(dir_table), br(br_table),
+          st(state), trace(trace_out), emitsDropped(drops)
+    {
+    }
+
+    std::optional<IViol> viol;
+
+    /** Apply one step; false when a violation fired. */
+    bool
+    apply(const McStep &step)
+    {
+        switch (step.kind) {
+          case STEP_ISSUE:
+            note("step: core %d issues %s", step.core,
+                 describeOp(step.core).c_str());
+            issue(step.core);
+            break;
+          case STEP_DELIVER: {
+            int idx = -1;
+            for (int i = 0; i < st.nMsgs; ++i)
+                if (encodeMsg(st.msgs[i]) == step.msg) {
+                    idx = i;
+                    break;
+                }
+            INPG_ASSERT(idx >= 0, "model checker: stale deliver step");
+            McMsg m = st.msgs[idx];
+            st.msgs[idx] = st.msgs[st.nMsgs - 1];
+            --st.nMsgs;
+            note("step: deliver %s -> %s", describeMsg(m).c_str(),
+                 describeDst(m.dst).c_str());
+            deliver(m);
+            break;
+          }
+          case STEP_TTL:
+            note("step: big-router TTL expires");
+            ttlExpire();
+            break;
+        }
+        sortMsgs(st);
+        return !viol.has_value();
+    }
+
+  private:
+    const McConfig &cfg;
+    const ProtoTableBase &l1;
+    const ProtoTableBase &dir;
+    const ProtoTableBase &br;
+    McState &st;
+    std::vector<std::string> *trace;
+    std::uint64_t *emitsDropped;
+
+    // -- plumbing ------------------------------------------------------
+
+    void
+    note(const char *fmt, ...)
+    {
+        if (!trace)
+            return;
+        va_list ap;
+        va_start(ap, fmt);
+        char buf[512];
+        std::vsnprintf(buf, sizeof(buf), fmt, ap);
+        va_end(ap);
+        trace->push_back(buf);
+    }
+
+    void
+    fail(const char *invariant, std::string detail)
+    {
+        if (!viol)
+            viol = IViol{invariant, std::move(detail)};
+    }
+
+    std::string
+    describeOp(int core) const
+    {
+        const McOp op = programOp(cfg.scenario, core, st.cores[core].pc);
+        std::string s = mcFmt("%s(operand=%d", mcOpName(op.kind),
+                              op.operandA);
+        if (op.isLock)
+            s += ", lock";
+        if (op.demotable)
+            s += ", demotable";
+        s += ")";
+        return s;
+    }
+
+    /** Table lookup with hole/illegal violations; nullptr on failure. */
+    const ProtoTransition *
+    row(const ProtoTableBase &t, int state, int event)
+    {
+        const ProtoTransition *tr = t.find(state, event);
+        if (!tr) {
+            fail("table-hole",
+                 mcFmt("table %s reached undeclared pair (%s, %s)",
+                       t.name(), t.stateName(state), t.eventName(event)));
+            return nullptr;
+        }
+        if (!tr->legal()) {
+            fail("table-illegal",
+                 mcFmt("table %s reached illegal pair (%s, %s): %s",
+                       t.name(), t.stateName(state), t.eventName(event),
+                       tr->note ? tr->note : "declared impossible"));
+            return nullptr;
+        }
+        note("  dispatch %s: (%s, %s) -> action %d", t.name(),
+             t.stateName(state), t.eventName(event), tr->action);
+        return tr;
+    }
+
+    /**
+     * Inject a message if its kind is declared in the firing row's
+     * emits; otherwise drop it (trace + counter), which is exactly what
+     * a dropped-emit table bug does to the real system.
+     */
+    void
+    sendChecked(const ProtoTransition *attributed, McMsg m)
+    {
+        if (attributed &&
+            !(rowEmitMask(*attributed) &
+              (1u << static_cast<int>(m.kind)))) {
+            ++*emitsDropped;
+            note("  drop %s (kind not declared in row emits)",
+                 describeMsg(m).c_str());
+            return;
+        }
+        if (st.nMsgs >= MC_MAX_MSGS) {
+            fail("state-overflow",
+                 mcFmt("more than %d in-flight messages", MC_MAX_MSGS));
+            return;
+        }
+        note("  send %s -> %s", describeMsg(m).c_str(),
+             describeDst(m.dst).c_str());
+        st.msgs[st.nMsgs++] = m;
+    }
+
+    /** Check golden-memory freshness of every created data response. */
+    void
+    checkSuppliedValue(const McMsg &m, const char *who)
+    {
+        if (m.value != st.golden)
+            fail("supplied-stale-data",
+                 mcFmt("%s supplied %s but golden memory holds %d", who,
+                       describeMsg(m).c_str(), st.golden));
+    }
+
+    /**
+     * Post-action next-state conformance for an L1 row: singleton
+     * declared nexts are forced (the table drives the machine), richer
+     * next sets are membership-checked against the controller's choice.
+     */
+    void
+    conformL1(const ProtoTransition *tr, int core, bool force)
+    {
+        if (!tr || viol)
+            return;
+        McCore &k = st.cores[core];
+        if (force && tr->nexts.size() == 1) {
+            k.state = static_cast<std::uint8_t>(tr->nexts[0]);
+            return;
+        }
+        for (int n : tr->nexts)
+            if (n == k.state)
+                return;
+        fail("undeclared-next",
+             mcFmt("core %d ended in %s after l1 row (%s, %s)", core,
+                   l1.stateName(k.state), l1.stateName(tr->state),
+                   l1.eventName(tr->event)));
+    }
+
+    void
+    fireHooks(int core, const ProtoTransition *tr)
+    {
+        if (tr)
+            st.cores[core].hooks |=
+                static_cast<std::uint8_t>(rowHookMask(*tr));
+    }
+
+    // -- core issue ------------------------------------------------------
+
+    void
+    issue(int core)
+    {
+        McCore &k = st.cores[core];
+        const McOp op = programOp(cfg.scenario, core, k.pc);
+        const int ev = op.kind == OP_LOAD
+                           ? static_cast<int>(L1Event::CoreLoad)
+                           : static_cast<int>(L1Event::CoreWrite);
+        const ProtoTransition *tr = row(l1, k.state, ev);
+        if (!tr)
+            return;
+        k.hooks = 0; // new transaction: fresh hook accounting
+        fireHooks(core, tr);
+
+        McPending p;
+        p.kind = op.kind;
+        p.operandA = op.operandA;
+        p.isLock = op.isLock;
+        p.demotable = op.demotable;
+
+        switch (static_cast<L1Action>(tr->action)) {
+          case L1Action::LoadHit:
+          case L1Action::WriteHit:
+            p.hasData = true;
+            p.data = k.value;
+            k.hasPending = true;
+            k.pending = p;
+            conformL1(tr, core, /*force=*/true); // WriteHit: E -> M
+            executePendingOp(core, tr);
+            return;
+          case L1Action::BeginLoadMiss:
+            p.exclusive = false;
+            p.wasMiss = true;
+            break;
+          case L1Action::BeginWriteMiss:
+            p.exclusive = true;
+            p.wasMiss = true;
+            break;
+          case L1Action::BeginUpgrade:
+            p.exclusive = true;
+            p.demotable = false; // never demotable from O
+            p.wasMiss = true;
+            break;
+          default:
+            fail("bad-action", mcFmt("core-event action %d", tr->action));
+            return;
+        }
+        conformL1(tr, core, /*force=*/true);
+        k.hasPending = true;
+        k.pending = p;
+
+        McMsg m;
+        m.kind = static_cast<std::uint8_t>(
+            p.exclusive ? CohMsgKind::GetX : CohMsgKind::GetS);
+        m.requester = static_cast<std::int8_t>(core);
+        if (p.isLock)
+            m.flags |= MF_LOCK;
+        if (p.exclusive && p.demotable)
+            m.flags |= MF_DEMOTABLE;
+        if (p.kind == OP_SWAP || p.kind == OP_FETCH_ADD)
+            m.flags |= MF_ATOMIC;
+        // Lock-atomic GetX traverses the big router (iNPG); everything
+        // else goes straight to the home.
+        const bool viaBr = cfg.bigRouter &&
+                           m.kind ==
+                               static_cast<int>(CohMsgKind::GetX) &&
+                           (m.flags & MF_LOCK) && (m.flags & MF_ATOMIC);
+        m.dst = static_cast<std::int8_t>(viaBr ? MC_BR : MC_DIR);
+        sendChecked(tr, m);
+    }
+
+    // -- message delivery ------------------------------------------------
+
+    void
+    deliver(const McMsg &m)
+    {
+        if (m.dst == MC_BR)
+            deliverBigRouter(m);
+        else if (m.dst == MC_DIR)
+            deliverDirectory(m);
+        else
+            deliverL1(m.dst, m);
+    }
+
+    // -- big router --------------------------------------------------------
+
+    int
+    brState() const
+    {
+        if (!st.br.barrier)
+            return BS_NONE;
+        return st.br.eis == 0 ? BS_IDLE : BS_ARMED;
+    }
+
+    void
+    deliverBigRouter(McMsg m)
+    {
+        if (m.kind == static_cast<int>(CohMsgKind::GetX)) {
+            // Arrival (RC stage): maybe stop-and-invalidate.
+            if ((m.flags & MF_LOCK) && (m.flags & MF_ATOMIC) &&
+                !(m.flags & MF_EARLY_INV)) {
+                const ProtoTransition *tr =
+                    row(br, brState(),
+                        static_cast<int>(BrEvent::LockGetXArrival));
+                if (!tr)
+                    return;
+                if (static_cast<BrAction>(tr->action) ==
+                    BrAction::StopAndInvalidate) {
+                    const unsigned bit = 1u << m.requester;
+                    if ((st.br.eis & bit) ||
+                        popcount8(st.br.eis) >= cfg.eiCapacity) {
+                        note("  ei-list full/duplicate: pass through");
+                    } else {
+                        st.br.eis |= static_cast<std::uint8_t>(bit);
+                        m.flags |= MF_EARLY_INV | MF_FROM_BR;
+                        note("  ei-open core %d", m.requester);
+                        McMsg inv;
+                        inv.kind =
+                            static_cast<std::uint8_t>(CohMsgKind::Inv);
+                        inv.dst = m.requester;
+                        inv.requester = m.requester;
+                        inv.collector = MC_BR;
+                        inv.flags = MF_LOCK | MF_FROM_BR;
+                        sendChecked(tr, inv);
+                    }
+                }
+            }
+            if (viol)
+                return;
+            // Transfer (ST stage): install/refresh the barrier.
+            if ((m.flags & MF_LOCK) && (m.flags & MF_ATOMIC)) {
+                const ProtoTransition *tr =
+                    row(br, brState(),
+                        static_cast<int>(BrEvent::LockGetXTransfer));
+                if (!tr)
+                    return;
+                switch (static_cast<BrAction>(tr->action)) {
+                  case BrAction::InstallBarrier:
+                  case BrAction::RefreshBarrier:
+                    st.br.barrier = true; // abstract table never fills
+                    break;
+                  default:
+                    fail("bad-action",
+                         mcFmt("br transfer action %d", tr->action));
+                    return;
+                }
+            }
+            // Continue to the home node.
+            m.dst = MC_DIR;
+            if (st.nMsgs >= MC_MAX_MSGS) {
+                fail("state-overflow", "message multiset full");
+                return;
+            }
+            note("  forward %s -> dir", describeMsg(m).c_str());
+            st.msgs[st.nMsgs++] = m;
+            return;
+        }
+
+        if (m.kind == static_cast<int>(CohMsgKind::InvAck) &&
+            (m.flags & MF_FROM_BR)) {
+            const ProtoTransition *tr = row(
+                br, brState(), static_cast<int>(BrEvent::EarlyInvAck));
+            if (!tr)
+                return;
+            switch (static_cast<BrAction>(tr->action)) {
+              case BrAction::RelayAndCloseEi: {
+                const unsigned bit = 1u << m.requester;
+                if (st.br.eis & bit) {
+                    st.br.eis &= static_cast<std::uint8_t>(~bit);
+                    note("  ei-close core %d", m.requester);
+                } else {
+                    note("  stale early ack (no open EI)");
+                }
+                break;
+              }
+              case BrAction::RelayStale:
+                note("  stale early ack (barrier idle/gone)");
+                break;
+              default:
+                fail("bad-action",
+                     mcFmt("br ack action %d", tr->action));
+                return;
+            }
+            McMsg relay = m;
+            relay.dst = MC_DIR;
+            sendChecked(tr, relay);
+            return;
+        }
+        fail("misrouted", mcFmt("big router cannot process %s",
+                                describeMsg(m).c_str()));
+    }
+
+    void
+    ttlExpire()
+    {
+        const ProtoTransition *tr =
+            row(br, brState(), static_cast<int>(BrEvent::TtlExpire));
+        if (!tr)
+            return;
+        if (static_cast<BrAction>(tr->action) == BrAction::ExpireBarrier)
+            st.br.barrier = false;
+        else
+            fail("bad-action", mcFmt("br ttl action %d", tr->action));
+    }
+
+    // -- directory ---------------------------------------------------------
+
+    int
+    dirStateFor(int requester) const
+    {
+        if (st.dir.owner < 0)
+            return st.dir.sharers ? DS_SHARED : DS_UNCACHED;
+        return st.dir.owner == requester ? DS_OWNED_SELF : DS_OWNED;
+    }
+
+    std::int8_t
+    biasedAcks(int n)
+    {
+        n += cfg.ackCountBias;
+        return static_cast<std::int8_t>(n < 0 ? 0 : n);
+    }
+
+    void
+    deliverDirectory(const McMsg &m)
+    {
+        int ev;
+        switch (static_cast<CohMsgKind>(m.kind)) {
+          case CohMsgKind::GetS:
+            ev = static_cast<int>(DirEvent::GetS);
+            break;
+          case CohMsgKind::GetX:
+            ev = static_cast<int>((m.flags & MF_DEMOTABLE)
+                                      ? DirEvent::GetXDemotable
+                                      : DirEvent::GetX);
+            break;
+          case CohMsgKind::InvAck:
+            if (!(m.flags & MF_FROM_BR)) {
+                fail("misrouted",
+                     mcFmt("directory got a non-early %s",
+                           describeMsg(m).c_str()));
+                return;
+            }
+            ev = static_cast<int>(DirEvent::EarlyInvAck);
+            break;
+          default:
+            fail("misrouted", mcFmt("directory cannot process %s",
+                                    describeMsg(m).c_str()));
+            return;
+        }
+        const int preState = dirStateFor(m.requester);
+        const ProtoTransition *tr = row(dir, preState, ev);
+        if (!tr)
+            return;
+        fireHooks(m.requester, tr);
+
+        switch (static_cast<DirAction>(tr->action)) {
+          case DirAction::GrantExclusive:
+            grantExclusive(m, tr);
+            break;
+          case DirAction::AnswerShared:
+            answerShared(m, tr);
+            break;
+          case DirAction::ForwardGetS:
+            forwardGetS(m, tr, /*demoted=*/false);
+            break;
+          case DirAction::InvalidateAndGrant:
+            invalidateAndGrant(m, tr);
+            break;
+          case DirAction::ForwardGetX:
+            forwardGetX(m, tr);
+            break;
+          case DirAction::OwnerUpgrade:
+            ownerUpgrade(m, tr);
+            break;
+          case DirAction::DemoteViaOwner:
+            forwardGetS(m, tr, /*demoted=*/true);
+            break;
+          case DirAction::DemoteOrGrant:
+            if (st.dir.value != 0)
+                demoteAtHome(m, tr);
+            else
+                invalidateAndGrant(m, tr);
+            break;
+          case DirAction::TrimSharer:
+            // Guarded trim: only erase the sharer when the matching
+            // early-invalidated GetX was seen and no newer
+            // registration of this core has overtaken the ack.
+            if (st.dir.eiPending & (1u << m.requester)) {
+                st.dir.eiPending &= static_cast<std::uint8_t>(
+                    ~(1u << m.requester));
+                st.dir.sharers &=
+                    static_cast<std::uint8_t>(~(1u << m.requester));
+                note("home trims sharer %d", m.requester);
+            } else {
+                note("home ignores stale early ack from core %d",
+                     m.requester);
+            }
+            break;
+          default:
+            fail("bad-action", mcFmt("dir action %d", tr->action));
+            return;
+        }
+        if (viol)
+            return;
+        // Arm the trim guard once the early-invalidated GetX itself
+        // has been served (its own demote registration is part of the
+        // same transaction, not a newer one). A second marked GetX
+        // while an ack is still due is ambiguous -- forgo both trims.
+        if ((m.flags & MF_EARLY_INV) &&
+            static_cast<CohMsgKind>(m.kind) == CohMsgKind::GetX) {
+            st.dir.eiPending ^=
+                static_cast<std::uint8_t>(1u << m.requester);
+            note("home %s trim guard for core %d",
+                 (st.dir.eiPending & (1u << m.requester)) ? "arms"
+                                                          : "disarms",
+                 m.requester);
+        }
+        // Derived-state conformance against the same requester.
+        const int postState = dirStateFor(m.requester);
+        bool listed = false;
+        for (int n : tr->nexts)
+            listed = listed || n == postState;
+        if (!listed)
+            fail("undeclared-next",
+                 mcFmt("directory ended in %s after row (%s, %s)",
+                       dir.stateName(postState), dir.stateName(preState),
+                       dir.eventName(ev)));
+    }
+
+    void
+    grantExclusive(const McMsg &m, const ProtoTransition *tr)
+    {
+        st.dir.owner = m.requester;
+        McMsg d;
+        d.kind = static_cast<std::uint8_t>(CohMsgKind::DataExcl);
+        d.dst = m.requester;
+        d.requester = m.requester;
+        d.value = st.dir.value;
+        d.ackCount = biasedAcks(0);
+        d.flags = static_cast<std::uint8_t>(m.flags & MF_LOCK);
+        checkSuppliedValue(d, "home (grant-exclusive)");
+        sendChecked(tr, d);
+    }
+
+    void
+    answerShared(const McMsg &m, const ProtoTransition *tr)
+    {
+        st.dir.sharers |= static_cast<std::uint8_t>(1u << m.requester);
+        // A fresh registration invalidates any EI ack still in flight.
+        st.dir.eiPending &=
+            static_cast<std::uint8_t>(~(1u << m.requester));
+        McMsg d;
+        d.kind = static_cast<std::uint8_t>(CohMsgKind::Data);
+        d.dst = m.requester;
+        d.requester = m.requester;
+        d.value = st.dir.value;
+        d.flags = static_cast<std::uint8_t>(m.flags & MF_LOCK);
+        checkSuppliedValue(d, "home (answer-shared)");
+        sendChecked(tr, d);
+    }
+
+    void
+    forwardGetS(const McMsg &m, const ProtoTransition *tr, bool demoted)
+    {
+        st.dir.sharers |= static_cast<std::uint8_t>(1u << m.requester);
+        // A fresh registration invalidates any EI ack still in flight.
+        st.dir.eiPending &=
+            static_cast<std::uint8_t>(~(1u << m.requester));
+        McMsg f;
+        f.kind = static_cast<std::uint8_t>(CohMsgKind::FwdGetS);
+        f.dst = st.dir.owner;
+        f.requester = m.requester;
+        f.epoch = st.dir.epoch; // current epoch, NOT incremented
+        f.flags = static_cast<std::uint8_t>(m.flags & MF_LOCK);
+        if (demoted)
+            f.flags |= MF_DEMOTED;
+        sendChecked(tr, f);
+    }
+
+    void
+    sendInvalidations(unsigned targets, int collector,
+                      const ProtoTransition *tr, unsigned lock_flag)
+    {
+        for (int c = 0; c < cfg.numCores; ++c) {
+            if (!(targets & (1u << c)))
+                continue;
+            McMsg inv;
+            inv.kind = static_cast<std::uint8_t>(CohMsgKind::Inv);
+            inv.dst = static_cast<std::int8_t>(c);
+            inv.requester = static_cast<std::int8_t>(c);
+            inv.collector = static_cast<std::int8_t>(collector);
+            inv.flags = static_cast<std::uint8_t>(lock_flag);
+            sendChecked(tr, inv);
+        }
+    }
+
+    void
+    invalidateAndGrant(const McMsg &m, const ProtoTransition *tr)
+    {
+        const std::uint8_t epoch = ++st.dir.epoch;
+        const unsigned toInv = st.dir.sharers & ~(1u << m.requester);
+        sendInvalidations(toInv, m.requester, tr, m.flags & MF_LOCK);
+        McMsg d;
+        d.kind = static_cast<std::uint8_t>(CohMsgKind::DataExcl);
+        d.dst = m.requester;
+        d.requester = m.requester;
+        d.value = st.dir.value;
+        d.ackCount = biasedAcks(popcount8(toInv));
+        d.epoch = epoch;
+        d.flags = static_cast<std::uint8_t>(m.flags & MF_LOCK);
+        checkSuppliedValue(d, "home (invalidate-and-grant)");
+        sendChecked(tr, d);
+        st.dir.owner = m.requester;
+        st.dir.sharers = 0;
+    }
+
+    void
+    forwardGetX(const McMsg &m, const ProtoTransition *tr)
+    {
+        const std::uint8_t epoch = ++st.dir.epoch;
+        const unsigned toInv = st.dir.sharers & ~(1u << m.requester) &
+                               ~(1u << st.dir.owner);
+        McMsg f;
+        f.kind = static_cast<std::uint8_t>(CohMsgKind::FwdGetX);
+        f.dst = st.dir.owner;
+        f.requester = m.requester;
+        f.epoch = epoch;
+        f.flags = static_cast<std::uint8_t>(m.flags & MF_LOCK);
+        sendChecked(tr, f);
+        McMsg a;
+        a.kind = static_cast<std::uint8_t>(CohMsgKind::AckCount);
+        a.dst = m.requester;
+        a.requester = m.requester;
+        a.ackCount = biasedAcks(popcount8(toInv));
+        a.epoch = epoch;
+        a.flags = static_cast<std::uint8_t>(m.flags & MF_LOCK);
+        sendChecked(tr, a);
+        sendInvalidations(toInv, m.requester, tr, m.flags & MF_LOCK);
+        st.dir.owner = m.requester;
+        st.dir.sharers = 0;
+    }
+
+    void
+    ownerUpgrade(const McMsg &m, const ProtoTransition *tr)
+    {
+        const std::uint8_t epoch = ++st.dir.epoch;
+        const unsigned toInv = st.dir.sharers & ~(1u << m.requester);
+        McMsg a;
+        a.kind = static_cast<std::uint8_t>(CohMsgKind::AckCount);
+        a.dst = m.requester;
+        a.requester = m.requester;
+        a.ackCount = biasedAcks(popcount8(toInv));
+        a.epoch = epoch;
+        a.flags = static_cast<std::uint8_t>((m.flags & MF_LOCK) |
+                                            MF_OWNER_UPGRADE);
+        sendChecked(tr, a);
+        sendInvalidations(toInv, m.requester, tr, m.flags & MF_LOCK);
+        st.dir.owner = m.requester;
+        st.dir.sharers = 0;
+    }
+
+    void
+    demoteAtHome(const McMsg &m, const ProtoTransition *tr)
+    {
+        st.dir.sharers |= static_cast<std::uint8_t>(1u << m.requester);
+        // A fresh registration invalidates any EI ack still in flight.
+        st.dir.eiPending &=
+            static_cast<std::uint8_t>(~(1u << m.requester));
+        McMsg d;
+        d.kind = static_cast<std::uint8_t>(CohMsgKind::Data);
+        d.dst = m.requester;
+        d.requester = m.requester;
+        d.value = st.dir.value;
+        d.flags = static_cast<std::uint8_t>((m.flags & MF_LOCK) |
+                                            MF_DEMOTED);
+        checkSuppliedValue(d, "home (demote-at-home)");
+        sendChecked(tr, d);
+    }
+
+    // -- L1 -----------------------------------------------------------------
+
+    void
+    deliverL1(int core, const McMsg &m)
+    {
+        McCore &k = st.cores[core];
+        const L1Event ev =
+            l1EventForMsgKind(static_cast<CohMsgKind>(m.kind));
+        switch (ev) {
+          case L1Event::Inv:
+            handleInv(core, m);
+            return;
+          case L1Event::FwdGetS:
+          case L1Event::FwdGetX:
+            handleForward(core, m);
+            return;
+          case L1Event::Data:
+            handleData(core, m);
+            return;
+          case L1Event::DataExcl:
+            handleDataExcl(core, m);
+            return;
+          case L1Event::AckCount:
+            handleAckCount(core, m);
+            return;
+          case L1Event::InvAck:
+            handleInvAck(core, m);
+            return;
+          default:
+            fail("misrouted", mcFmt("core %d cannot process %s", core,
+                                    describeMsg(m).c_str()));
+            (void)k;
+            return;
+        }
+    }
+
+    void
+    handleInv(int core, const McMsg &m)
+    {
+        McCore &k = st.cores[core];
+        const int pre = k.state;
+        const std::uint8_t preValue = k.value;
+        const ProtoTransition *tr =
+            row(l1, k.state, static_cast<int>(L1Event::Inv));
+        if (!tr)
+            return;
+        fireHooks(core, tr);
+        // Every Inv row declares exactly one next state: force it, so a
+        // swapped-next mutation actually invalidates (or keeps) copies.
+        conformL1(tr, core, /*force=*/true);
+
+        // Paper safety property: an early (big-router) invalidation
+        // must never take the line away from an owner whose dirty copy
+        // IS the lock word -- the shipped table acks stale Invs on
+        // M/E/O without touching the line.
+        if ((m.flags & MF_FROM_BR) && (pre == LS_M || pre == LS_O) &&
+            preValue != 0 && k.state == LS_I) {
+            fail("early-inv-dirty-owner",
+                 mcFmt("early Inv invalidated core %d holding the "
+                       "dirty lock word (%s -> I, value=%d)",
+                       core, l1.stateName(pre), preValue));
+            return;
+        }
+
+        if (k.hasPending)
+            k.pending.invWhileFilling = true;
+
+        McMsg ack;
+        ack.kind = static_cast<std::uint8_t>(CohMsgKind::InvAck);
+        ack.dst = m.collector;
+        ack.requester = static_cast<std::int8_t>(core);
+        ack.collector = m.collector;
+        ack.flags = static_cast<std::uint8_t>(
+            m.flags & (MF_LOCK | MF_FROM_BR));
+        sendChecked(tr, ack);
+    }
+
+    void
+    handleForward(int core, const McMsg &m)
+    {
+        McCore &k = st.cores[core];
+        const ProtoTransition *tr = row(
+            l1, k.state,
+            static_cast<int>(l1EventForMsgKind(
+                static_cast<CohMsgKind>(m.kind))));
+        if (!tr)
+            return;
+        if (deferIncomingForward(core, m)) {
+            if (k.nDefer >= MC_MAX_DEFER) {
+                fail("defer-overflow",
+                     mcFmt("core %d deferred more than %d forwards",
+                           core, MC_MAX_DEFER));
+                return;
+            }
+            note("  defer %s (transaction pending, arrival state %s)",
+                 describeMsg(m).c_str(), l1.stateName(k.state));
+            k.defer[k.nDefer].msg = m;
+            k.defer[k.nDefer].arrivalState = k.state;
+            ++k.nDefer;
+            return;
+        }
+        serveForward(core, m, tr, /*force=*/true);
+    }
+
+    bool
+    deferIncomingForward(int core, const McMsg &m) const
+    {
+        const McCore &k = st.cores[core];
+        if (!k.hasPending)
+            return false;
+        // Pre-epoch forward while the pre-transaction copy is still
+        // resident (O-state upgrade window): serve immediately.
+        if (k.pending.epochKnown && m.epoch < k.pending.myEpoch &&
+            (k.state == LS_M || k.state == LS_E || k.state == LS_O))
+            return false;
+        return true;
+    }
+
+    /**
+     * Serve (or chain-relay) a forward. `attributed` is the row the
+     * emission is charged to: the live row for straight-through
+     * forwards, the arrival row for deferred ones. `force` applies
+     * singleton-next forcing only on the non-deferred path (a deferred
+     * forward's end state belongs to the service-time dynamics).
+     */
+    void
+    serveForward(int core, const McMsg &m, const ProtoTransition *attributed,
+                 bool force)
+    {
+        McCore &k = st.cores[core];
+        if (k.state == LS_M || k.state == LS_E || k.state == LS_O) {
+            if (m.kind == static_cast<int>(CohMsgKind::FwdGetS)) {
+                k.state = LS_O;
+                McMsg d;
+                d.kind = static_cast<std::uint8_t>(CohMsgKind::Data);
+                d.dst = m.requester;
+                d.requester = m.requester;
+                d.value = k.value;
+                d.epoch = 0; // untracked on Data (ignored by fills)
+                d.flags = static_cast<std::uint8_t>(
+                    m.flags & (MF_LOCK | MF_DEMOTED));
+                checkSuppliedValue(d, mcFmt("core %d (owner serve "
+                                            "FwdGetS)", core)
+                                          .c_str());
+                sendChecked(attributed, d);
+            } else {
+                McMsg d;
+                d.kind = static_cast<std::uint8_t>(CohMsgKind::DataExcl);
+                d.dst = m.requester;
+                d.requester = m.requester;
+                d.value = k.value;
+                d.ackCount = -1; // ack info comes from the home
+                d.epoch = m.epoch;
+                d.flags = static_cast<std::uint8_t>(m.flags & MF_LOCK);
+                checkSuppliedValue(d, mcFmt("core %d (owner serve "
+                                            "FwdGetX)", core)
+                                          .c_str());
+                k.state = LS_I;
+                k.forwardedTo = m.requester;
+                sendChecked(attributed, d);
+            }
+            if (force)
+                conformL1(attributed, core, /*force=*/false);
+            else
+                conformDeferred(core, attributed);
+            return;
+        }
+        // Not the owner any more: chase the ownership chain.
+        if (k.forwardedTo < 0) {
+            fail("chain-broken",
+                 mcFmt("core %d cannot re-forward %s (state %s, no "
+                       "forwardedTo)",
+                       core, describeMsg(m).c_str(),
+                       l1.stateName(k.state)));
+            return;
+        }
+        McMsg relay = m;
+        relay.dst = k.forwardedTo;
+        sendChecked(attributed, relay);
+        if (force)
+            conformL1(attributed, core, /*force=*/false);
+        else
+            conformDeferred(core, attributed);
+    }
+
+    /** Membership-only conformance for deferred-service end states. */
+    void
+    conformDeferred(int core, const ProtoTransition *tr)
+    {
+        if (!tr || viol)
+            return;
+        for (int n : tr->nexts)
+            if (n == st.cores[core].state)
+                return;
+        fail("undeclared-next",
+             mcFmt("core %d ended in %s serving a forward deferred at "
+                   "l1 row (%s, %s)",
+                   core, l1.stateName(st.cores[core].state),
+                   l1.stateName(tr->state), l1.eventName(tr->event)));
+    }
+
+    void
+    handleData(int core, const McMsg &m)
+    {
+        McCore &k = st.cores[core];
+        const ProtoTransition *tr =
+            row(l1, k.state, static_cast<int>(L1Event::Data));
+        if (!tr)
+            return;
+        fireHooks(core, tr);
+        if (!k.hasPending ||
+            (k.pending.exclusive && !(m.flags & MF_DEMOTED))) {
+            fail("unexpected-data", mcFmt("core %d got unexpected %s",
+                                          core, describeMsg(m).c_str()));
+            return;
+        }
+        k.pending.hasData = true;
+        k.pending.data = m.value;
+        k.pending.demoted = (m.flags & MF_DEMOTED) != 0;
+        if (!k.pending.invWhileFilling) {
+            k.value = m.value;
+            k.state = LS_S;
+        }
+        conformL1(tr, core, /*force=*/false);
+        if (viol)
+            return;
+        executePendingOp(core, tr);
+    }
+
+    void
+    handleDataExcl(int core, const McMsg &m)
+    {
+        McCore &k = st.cores[core];
+        const ProtoTransition *tr =
+            row(l1, k.state, static_cast<int>(L1Event::DataExcl));
+        if (!tr)
+            return;
+        fireHooks(core, tr);
+        if (!k.hasPending) {
+            fail("unexpected-data", mcFmt("core %d got unexpected %s",
+                                          core, describeMsg(m).c_str()));
+            return;
+        }
+        if (!k.pending.exclusive) {
+            // GetS answered exclusively: no other copy exists.
+            if (m.ackCount != 0) {
+                fail("read-with-acks",
+                     mcFmt("core %d: DataExcl for a read carries %d "
+                           "acks",
+                           core, m.ackCount));
+                return;
+            }
+            k.value = m.value;
+            k.state = LS_E;
+            k.pending.hasData = true;
+            k.pending.data = m.value;
+            conformL1(tr, core, /*force=*/false);
+            if (viol)
+                return;
+            executePendingOp(core, tr);
+            return;
+        }
+        k.pending.hasData = true;
+        k.pending.data = m.value;
+        if (m.ackCount >= 0) {
+            if (k.pending.hasAckInfo) {
+                fail("duplicate-ack-info",
+                     mcFmt("core %d got duplicate ack info", core));
+                return;
+            }
+            k.pending.hasAckInfo = true;
+            k.pending.ackCount = m.ackCount;
+        }
+        learnEpoch(core, m.epoch);
+        if (viol)
+            return;
+        maybeCompleteExclusive(core, tr);
+    }
+
+    void
+    handleAckCount(int core, const McMsg &m)
+    {
+        McCore &k = st.cores[core];
+        const ProtoTransition *tr =
+            row(l1, k.state, static_cast<int>(L1Event::AckCount));
+        if (!tr)
+            return;
+        fireHooks(core, tr);
+        if (!k.hasPending || !k.pending.exclusive) {
+            fail("stray-ackcount", mcFmt("core %d got stray %s", core,
+                                         describeMsg(m).c_str()));
+            return;
+        }
+        if (k.pending.hasAckInfo) {
+            fail("duplicate-ack-info",
+                 mcFmt("core %d got duplicate ack info", core));
+            return;
+        }
+        k.pending.hasAckInfo = true;
+        k.pending.ackCount = m.ackCount;
+        if (m.flags & MF_OWNER_UPGRADE) {
+            if (k.state != LS_O) {
+                fail("upgrade-not-owner",
+                     mcFmt("core %d upgrade-acked in state %s", core,
+                           l1.stateName(k.state)));
+                return;
+            }
+            k.pending.hasData = true;
+            k.pending.data = k.value;
+        }
+        learnEpoch(core, m.epoch);
+        if (viol)
+            return;
+        maybeCompleteExclusive(core, tr);
+    }
+
+    void
+    handleInvAck(int core, const McMsg &m)
+    {
+        McCore &k = st.cores[core];
+        const ProtoTransition *tr =
+            row(l1, k.state, static_cast<int>(L1Event::InvAck));
+        if (!tr)
+            return;
+        fireHooks(core, tr);
+        if (!k.hasPending || !k.pending.exclusive) {
+            fail("stray-invack", mcFmt("core %d got stray %s", core,
+                                       describeMsg(m).c_str()));
+            return;
+        }
+        ++k.pending.acksReceived;
+        if (k.pending.hasAckInfo &&
+            k.pending.acksReceived > k.pending.ackCount) {
+            fail("over-collected",
+                 mcFmt("core %d over-collected acks (%d of %d)", core,
+                       k.pending.acksReceived, k.pending.ackCount));
+            return;
+        }
+        maybeCompleteExclusive(core, tr);
+    }
+
+    void
+    learnEpoch(int core, std::uint8_t epoch)
+    {
+        McCore &k = st.cores[core];
+        if (!k.hasPending || !k.pending.exclusive ||
+            k.pending.epochKnown)
+            return;
+        k.pending.epochKnown = true;
+        k.pending.myEpoch = epoch;
+        // O-state upgrade window: still holding the pre-transaction
+        // copy, serve pre-epoch forwards from it straight away.
+        if (!(k.state == LS_M || k.state == LS_E || k.state == LS_O))
+            return;
+        servePreEpochDeferred(core, epoch);
+    }
+
+    void
+    sortDeferred(McCore &k)
+    {
+        std::stable_sort(k.defer.begin(), k.defer.begin() + k.nDefer,
+                         [](const McDefer &a, const McDefer &b) {
+                             return a.msg.epoch < b.msg.epoch;
+                         });
+    }
+
+    void
+    servePreEpochDeferred(int core, std::uint8_t epoch)
+    {
+        McCore &k = st.cores[core];
+        sortDeferred(k);
+        while (!viol && k.nDefer > 0 && k.defer[0].msg.epoch < epoch) {
+            McDefer d = k.defer[0];
+            popDeferFront(k);
+            serveDeferredOne(core, d);
+        }
+    }
+
+    void
+    popDeferFront(McCore &k)
+    {
+        for (int i = 1; i < k.nDefer; ++i)
+            k.defer[i - 1] = k.defer[i];
+        --k.nDefer;
+    }
+
+    void
+    serveDeferredOne(int core, const McDefer &d)
+    {
+        // Attribution: emits and end-state conformance charge to the
+        // forward's arrival row (deferral only delays processing).
+        const ProtoTransition *arrival =
+            l1.find(d.arrivalState,
+                    static_cast<int>(l1EventForMsgKind(
+                        static_cast<CohMsgKind>(d.msg.kind))));
+        note("  serve deferred %s (arrival state %s)",
+             describeMsg(d.msg).c_str(), l1.stateName(d.arrivalState));
+        serveForward(core, d.msg, arrival, /*force=*/false);
+    }
+
+    void
+    maybeCompleteExclusive(int core, const ProtoTransition *tr)
+    {
+        McCore &k = st.cores[core];
+        if (!k.hasPending || !k.pending.exclusive)
+            return;
+        if (!k.pending.hasData || !k.pending.hasAckInfo)
+            return;
+        if (k.pending.acksReceived < k.pending.ackCount)
+            return;
+        executePendingOp(core, tr);
+    }
+
+    /**
+     * Complete the pending operation: LCO-tiling check, golden-memory
+     * check + update, pre-epoch deferred service, program advance, and
+     * the post-completion deferred-forward drain -- mirroring
+     * L1Controller::executePendingOp. `tr` is the row whose handling
+     * triggered completion (conformance of the M end state).
+     */
+    void
+    executePendingOp(int core, const ProtoTransition *tr)
+    {
+        McCore &k = st.cores[core];
+        INPG_ASSERT(k.hasPending && k.pending.hasData,
+                    "model checker: executing op without data");
+        McPending op = k.pending;
+        k.hasPending = false;
+        k.pending = McPending{};
+
+        // LCO tiling: the attribution hooks a completed transaction
+        // must have fired (DESIGN.md section 13 invariant list).
+        unsigned required = HK_OP_ISSUED | HK_OP_COMPLETED;
+        if (op.wasMiss)
+            required |= HK_REQUEST_SENT | HK_DIR_ARRIVED |
+                        HK_DIR_SERVED | HK_RESPONSE_ARRIVED;
+        if (op.acksReceived > 0)
+            required |= HK_INV_ACK_ARRIVED;
+        if ((k.hooks & required) != required) {
+            fail("lco-tiling",
+                 mcFmt("core %d completed %s with hook mask 0x%02x "
+                       "(required 0x%02x)",
+                       core, mcOpName(op.kind), k.hooks, required));
+            return;
+        }
+
+        const bool isWrite = op.kind != OP_LOAD && !op.demoted;
+        if (isWrite && op.exclusive && op.data != st.golden) {
+            fail("golden-mismatch",
+                 mcFmt("core %d completes exclusive %s observing %d "
+                       "but golden memory holds %d",
+                       core, mcOpName(op.kind), op.data, st.golden));
+            return;
+        }
+
+        if (op.exclusive && op.epochKnown && k.nDefer > 0 &&
+            !op.demoted) {
+            // Pre-epoch forwards observe the pre-operation value:
+            // provisional fill, then serve them in epoch order.
+            sortDeferred(k);
+            if (k.defer[0].msg.epoch < op.myEpoch) {
+                k.value = op.data;
+                k.state = LS_M;
+                while (!viol && k.nDefer > 0 &&
+                       k.defer[0].msg.epoch < op.myEpoch) {
+                    McDefer d = k.defer[0];
+                    if (d.msg.kind !=
+                        static_cast<int>(CohMsgKind::FwdGetS)) {
+                        fail("pre-epoch-fwdgetx",
+                             mcFmt("core %d: pre-epoch %s deferred",
+                                   core, describeMsg(d.msg).c_str()));
+                        return;
+                    }
+                    popDeferFront(k);
+                    serveDeferredOne(core, d);
+                }
+                if (viol)
+                    return;
+            }
+        }
+
+        std::uint8_t newValue = op.data;
+        if (op.demoted) {
+            // Demoted atomic: observed via a shared copy, no write.
+            note("  core %d completes %s demoted (observed=%d)", core,
+                 mcOpName(op.kind), op.data);
+        } else {
+            switch (op.kind) {
+              case OP_LOAD:
+                break;
+              case OP_STORE:
+                newValue = op.operandA;
+                break;
+              case OP_SWAP:
+                newValue = op.operandA;
+                break;
+              case OP_FETCH_ADD:
+                newValue =
+                    static_cast<std::uint8_t>(op.data + op.operandA);
+                break;
+            }
+            if (op.kind != OP_LOAD) {
+                k.value = newValue;
+                k.state = LS_M;
+                st.golden = newValue; // the write serializes here
+                conformL1(tr, core, /*force=*/false);
+                if (viol)
+                    return;
+            }
+            note("  core %d completes %s (observed=%d, line=%d, "
+                 "golden=%d)",
+                 core, mcOpName(op.kind), op.data, k.value, st.golden);
+        }
+
+        k.pc = static_cast<std::uint8_t>(programNext(
+            cfg.scenario, core, k.pc, op.data, op.demoted));
+        note("  core %d program advances to pc %d", core, k.pc);
+
+        // Drain the remaining (post-epoch) deferred forwards.
+        while (!viol && k.nDefer > 0) {
+            McDefer d = k.defer[0];
+            popDeferFront(k);
+            serveDeferredOne(core, d);
+        }
+    }
+};
+
+std::string
+describeMsg(const McMsg &m)
+{
+    std::string s = cohMsgKindName(static_cast<CohMsgKind>(m.kind));
+    s += mcFmt("[req=%d", m.requester);
+    if (m.kind == static_cast<int>(CohMsgKind::Inv) ||
+        m.kind == static_cast<int>(CohMsgKind::InvAck))
+        s += mcFmt(" coll=%s", describeDst(m.collector).c_str());
+    if (m.kind == static_cast<int>(CohMsgKind::Data) ||
+        m.kind == static_cast<int>(CohMsgKind::DataExcl))
+        s += mcFmt(" val=%d", m.value);
+    if (m.kind == static_cast<int>(CohMsgKind::DataExcl) ||
+        m.kind == static_cast<int>(CohMsgKind::AckCount))
+        s += mcFmt(" acks=%d", m.ackCount);
+    if (m.epoch)
+        s += mcFmt(" epoch=%d", m.epoch);
+    if (m.flags & MF_LOCK)
+        s += " lock";
+    if (m.flags & MF_DEMOTABLE)
+        s += " demotable";
+    if (m.flags & MF_DEMOTED)
+        s += " demoted";
+    if (m.flags & MF_ATOMIC)
+        s += " atomic";
+    if (m.flags & MF_EARLY_INV)
+        s += " early-inv";
+    if (m.flags & MF_FROM_BR)
+        s += " from-br";
+    if (m.flags & MF_OWNER_UPGRADE)
+        s += " owner-upgrade";
+    s += "]";
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// Global state invariants (checked after every step)
+// ---------------------------------------------------------------------
+
+std::optional<IViol>
+checkStateInvariants(const McConfig &cfg, const McState &st)
+{
+    // SWMR: at most one core in an owner state; a core in E or M means
+    // every other core is I.
+    int owners = 0, exclusiveOwner = -1;
+    for (int c = 0; c < cfg.numCores; ++c) {
+        const int s = st.cores[c].state;
+        if (s == LS_E || s == LS_M || s == LS_O)
+            ++owners;
+        if (s == LS_E || s == LS_M)
+            exclusiveOwner = c;
+    }
+    if (owners > 1)
+        return IViol{"swmr", mcFmt("%d cores hold owner states", owners)};
+    if (exclusiveOwner >= 0) {
+        for (int c = 0; c < cfg.numCores; ++c)
+            if (c != exclusiveOwner && st.cores[c].state != LS_I)
+                return IViol{
+                    "swmr",
+                    mcFmt("core %d holds %s while core %d is exclusive",
+                          c, l1TableStateName(st.cores[c].state),
+                          exclusiveOwner)};
+    }
+
+    // Valid copies match golden memory.
+    for (int c = 0; c < cfg.numCores; ++c)
+        if (st.cores[c].state != LS_I && st.cores[c].value != st.golden)
+            return IViol{"valid-copy",
+                         mcFmt("core %d holds %s value %d but golden "
+                               "memory holds %d",
+                               c, l1TableStateName(st.cores[c].state),
+                               st.cores[c].value, st.golden)};
+
+    // Barrier-count conservation, home side: for every ack-collecting
+    // transaction, outstanding acks == in-flight home Invs it collects
+    // plus in-flight home InvAcks addressed to it.
+    for (int c = 0; c < cfg.numCores; ++c) {
+        const McCore &k = st.cores[c];
+        if (!k.hasPending || !k.pending.exclusive ||
+            !k.pending.hasAckInfo)
+            continue;
+        int inFlight = 0;
+        for (int i = 0; i < st.nMsgs; ++i) {
+            const McMsg &m = st.msgs[i];
+            if (m.flags & MF_FROM_BR)
+                continue;
+            if (m.kind == static_cast<int>(CohMsgKind::Inv) &&
+                m.collector == c)
+                ++inFlight;
+            if (m.kind == static_cast<int>(CohMsgKind::InvAck) &&
+                m.dst == c)
+                ++inFlight;
+        }
+        const int outstanding =
+            k.pending.ackCount - k.pending.acksReceived;
+        if (outstanding != inFlight)
+            return IViol{
+                "ack-conservation",
+                mcFmt("core %d expects %d more acks but %d home "
+                      "Inv/InvAck messages are in flight",
+                      c, outstanding, inFlight)};
+    }
+
+    // Barrier-count conservation, big-router side: every open EI entry
+    // is matched by exactly one in-flight early Inv or returning ack.
+    if (cfg.bigRouter) {
+        int inFlight = 0;
+        for (int i = 0; i < st.nMsgs; ++i) {
+            const McMsg &m = st.msgs[i];
+            if (!(m.flags & MF_FROM_BR))
+                continue;
+            if (m.kind == static_cast<int>(CohMsgKind::Inv))
+                ++inFlight;
+            if (m.kind == static_cast<int>(CohMsgKind::InvAck) &&
+                m.dst == MC_BR)
+                ++inFlight;
+        }
+        if (popcount8(st.br.eis) != inFlight)
+            return IViol{
+                "ei-conservation",
+                mcFmt("%d open EI entries but %d early Inv/InvAck "
+                      "messages in flight",
+                      popcount8(st.br.eis), inFlight)};
+    }
+    return std::nullopt;
+}
+
+bool
+isQuiesced(const McConfig &cfg, const McState &st)
+{
+    if (st.nMsgs != 0 || st.br.barrier || st.br.eis)
+        return false;
+    for (int c = 0; c < cfg.numCores; ++c) {
+        const McCore &k = st.cores[c];
+        if (k.hasPending || k.nDefer ||
+            !programDone(cfg.scenario, c, k.pc))
+            return false;
+    }
+    return true;
+}
+
+std::optional<IViol>
+checkQuiescedInvariants(const McConfig &cfg, const McState &st)
+{
+    if (cfg.checkFinalValue &&
+        st.golden != expectedFinalValue(cfg))
+        return IViol{"final-value",
+                     mcFmt("programs quiesced with lock word %d "
+                           "(expected %d)",
+                           st.golden, expectedFinalValue(cfg))};
+    if (st.dir.owner >= 0) {
+        const int s = st.cores[st.dir.owner].state;
+        if (!(s == LS_E || s == LS_M || s == LS_O))
+            return IViol{"owner-lost-line",
+                         mcFmt("directory records core %d as owner but "
+                               "its line is %s",
+                               st.dir.owner, l1TableStateName(s))};
+    }
+    return std::nullopt;
+}
+
+// ---------------------------------------------------------------------
+// Successor enumeration
+// ---------------------------------------------------------------------
+
+std::vector<McStep>
+enumerateSteps(const McConfig &cfg, const McState &st)
+{
+    std::vector<McStep> steps;
+    if (cfg.bigRouter && st.br.barrier && st.br.eis == 0) {
+        McStep s;
+        s.kind = STEP_TTL;
+        steps.push_back(s);
+    }
+    for (int c = 0; c < cfg.numCores; ++c) {
+        const McCore &k = st.cores[c];
+        if (!k.hasPending && !programDone(cfg.scenario, c, k.pc)) {
+            McStep s;
+            s.kind = STEP_ISSUE;
+            s.core = static_cast<std::int8_t>(c);
+            steps.push_back(s);
+        }
+    }
+    std::uint64_t last = 0;
+    for (int i = 0; i < st.nMsgs; ++i) {
+        const std::uint64_t e = encodeMsg(st.msgs[i]);
+        if (i > 0 && e == last)
+            continue; // multiset: identical messages are one step
+        last = e;
+        McStep s;
+        s.kind = STEP_DELIVER;
+        s.msg = e;
+        steps.push_back(s);
+    }
+    return steps;
+}
+
+// ---------------------------------------------------------------------
+// Canonicalization (symmetry reduction over interchangeable core ids)
+// ---------------------------------------------------------------------
+
+std::int8_t
+renameId(std::int8_t id, const std::array<std::int8_t, MC_MAX_CORES> &perm)
+{
+    return id >= 0 ? perm[id] : id;
+}
+
+std::uint8_t
+renameMask(std::uint8_t mask,
+           const std::array<std::int8_t, MC_MAX_CORES> &perm,
+           int num_cores)
+{
+    std::uint8_t out = 0;
+    for (int c = 0; c < num_cores; ++c)
+        if (mask & (1u << c))
+            out |= static_cast<std::uint8_t>(1u << perm[c]);
+    return out;
+}
+
+void
+renameMsg(McMsg &m, const std::array<std::int8_t, MC_MAX_CORES> &perm)
+{
+    if (m.dst >= 0)
+        m.dst = perm[m.dst];
+    m.requester = renameId(m.requester, perm);
+    if (m.collector >= 0)
+        m.collector = perm[m.collector];
+}
+
+McState
+renameState(const McState &st, const McConfig &cfg,
+            const std::array<std::int8_t, MC_MAX_CORES> &perm)
+{
+    McState out = st;
+    for (int c = 0; c < cfg.numCores; ++c) {
+        McCore k = st.cores[c];
+        k.forwardedTo = renameId(k.forwardedTo, perm);
+        for (int d = 0; d < k.nDefer; ++d)
+            renameMsg(k.defer[d].msg, perm);
+        out.cores[perm[c]] = k;
+    }
+    out.dir.owner = renameId(st.dir.owner, perm);
+    out.dir.sharers = renameMask(st.dir.sharers, perm, cfg.numCores);
+    out.dir.eiPending = renameMask(st.dir.eiPending, perm, cfg.numCores);
+    out.br.eis = renameMask(st.br.eis, perm, cfg.numCores);
+    for (int i = 0; i < out.nMsgs; ++i)
+        renameMsg(out.msgs[i], perm);
+    sortMsgs(out);
+    return out;
+}
+
+/**
+ * Canonical hash key: minimum encoding over all program-preserving
+ * core permutations. Rw pins core 0 (it runs a different program);
+ * every other scenario's cores are fully interchangeable.
+ */
+std::string
+canonicalKey(const McState &st, const McConfig &cfg)
+{
+    if (!cfg.symmetry)
+        return encodeState(st, cfg.numCores);
+    std::array<std::int8_t, MC_MAX_CORES> ids{};
+    const int lo = cfg.scenario == McScenario::Rw ? 1 : 0;
+    for (int c = 0; c < cfg.numCores; ++c)
+        ids[c] = static_cast<std::int8_t>(c);
+    std::string best;
+    do {
+        std::array<std::int8_t, MC_MAX_CORES> perm{};
+        for (int c = 0; c < cfg.numCores; ++c)
+            perm[c] = ids[c];
+        std::string key =
+            encodeState(renameState(st, cfg, perm), cfg.numCores);
+        if (best.empty() || key < best)
+            best = std::move(key);
+    } while (std::next_permutation(ids.begin() + lo,
+                                   ids.begin() + cfg.numCores));
+    return best;
+}
+
+// ---------------------------------------------------------------------
+// BFS with witness reconstruction
+// ---------------------------------------------------------------------
+
+McState
+initialState(const McConfig &cfg)
+{
+    McState st;
+    st.golden = initialValue(cfg);
+    st.dir.value = initialValue(cfg);
+    return st;
+}
+
+struct Rec {
+    McState st;
+    std::uint32_t parent = 0;
+    McStep step;
+    int depth = 0;
+};
+
+std::string
+summarizeState(const McConfig &cfg, const McState &st)
+{
+    std::string out;
+    for (int c = 0; c < cfg.numCores; ++c) {
+        const McCore &k = st.cores[c];
+        out += mcFmt("  core %d: state=%s value=%d pc=%d", c,
+                     l1TableStateName(k.state), k.value, k.pc);
+        if (k.hasPending)
+            out += mcFmt(
+                " pending{%s excl=%d hasData=%d hasAck=%d acks=%d/%d}",
+                mcOpName(k.pending.kind), k.pending.exclusive,
+                k.pending.hasData, k.pending.hasAckInfo,
+                k.pending.acksReceived, k.pending.ackCount);
+        if (k.nDefer)
+            out += mcFmt(" deferred=%d", k.nDefer);
+        out += "\n";
+    }
+    out += mcFmt("  dir: owner=%d sharers=0x%02x value=%d epoch=%d "
+                 "ei-pending=0x%02x\n",
+                 st.dir.owner, st.dir.sharers, st.dir.value,
+                 st.dir.epoch, st.dir.eiPending);
+    if (cfg.bigRouter)
+        out += mcFmt("  big-router: barrier=%d eis=0x%02x\n",
+                     st.br.barrier, st.br.eis);
+    out += mcFmt("  golden=%d in-flight=%d", st.golden, st.nMsgs);
+    for (int i = 0; i < st.nMsgs; ++i)
+        out += mcFmt("\n    %s -> %s", describeMsg(st.msgs[i]).c_str(),
+                     describeDst(st.msgs[i].dst).c_str());
+    return out;
+}
+
+/**
+ * Rebuild the flight-recorder-style witness: replay the BFS path with
+ * the trace recorder on, then append the violation banner and the end
+ * state.
+ */
+McViolation
+buildWitness(const McConfig &cfg, const ProtoTableBase &l1,
+             const ProtoTableBase &dirTable, const ProtoTableBase &br,
+             const std::vector<Rec> &recs, std::uint32_t tail,
+             const McStep *extraStep, const IViol &v)
+{
+    std::vector<McStep> steps;
+    for (std::uint32_t i = tail; i != 0; i = recs[i].parent)
+        steps.push_back(recs[i].step);
+    std::reverse(steps.begin(), steps.end());
+    if (extraStep)
+        steps.push_back(*extraStep);
+
+    McViolation out;
+    out.invariant = v.invariant;
+    out.detail = v.detail;
+
+    McState st = initialState(cfg);
+    std::uint64_t drops = 0;
+    int n = 0;
+    for (const McStep &s : steps) {
+        std::vector<std::string> lines;
+        Interp it(cfg, l1, dirTable, br, st, &lines, &drops);
+        it.apply(s);
+        for (std::string &line : lines) {
+            // Stamp the step number onto the step header lines.
+            if (line.rfind("step:", 0) == 0)
+                line = mcFmt("step %d:%s", n, line.c_str() + 5);
+            out.trace.push_back(std::move(line));
+        }
+        ++n;
+    }
+    out.trace.push_back(
+        mcFmt("VIOLATION %s: %s", v.invariant.c_str(), v.detail.c_str()));
+    out.trace.push_back("end state:");
+    out.trace.push_back(summarizeState(cfg, st));
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+std::string
+McViolation::traceText() const
+{
+    std::string out;
+    for (const std::string &line : trace) {
+        out += line;
+        out += "\n";
+    }
+    return out;
+}
+
+const char *
+mcScenarioName(McScenario s)
+{
+    switch (s) {
+      case McScenario::Tas:
+        return "tas";
+      case McScenario::TasNd:
+        return "tas-nd";
+      case McScenario::TasHeld:
+        return "tas-held";
+      case McScenario::Counter:
+        return "counter";
+      case McScenario::Rw:
+        return "rw";
+    }
+    return "?";
+}
+
+std::optional<McScenario>
+mcScenarioFromName(const std::string &name)
+{
+    for (McScenario s : mcAllScenarios())
+        if (name == mcScenarioName(s))
+            return s;
+    return std::nullopt;
+}
+
+const std::vector<McScenario> &
+mcAllScenarios()
+{
+    static const std::vector<McScenario> all = {
+        McScenario::Tas, McScenario::TasNd, McScenario::TasHeld,
+        McScenario::Counter, McScenario::Rw};
+    return all;
+}
+
+McResult
+runModelCheck(const McConfig &cfg, const McTables &tables)
+{
+    INPG_ASSERT(cfg.numCores >= 2 && cfg.numCores <= MC_MAX_CORES,
+                "model checker supports 2..%d cores", MC_MAX_CORES);
+    const ProtoTableBase &l1 =
+        tables.l1 ? *tables.l1 : protocolTable(PROTO_TABLE_L1);
+    const ProtoTableBase &dirTable =
+        tables.dir ? *tables.dir : protocolTable(PROTO_TABLE_DIR);
+    const ProtoTableBase &br =
+        tables.br ? *tables.br : protocolTable(PROTO_TABLE_BR);
+
+    McResult res;
+    std::vector<Rec> recs;
+    std::deque<std::uint32_t> frontier;
+    std::unordered_set<std::string> visited;
+
+    {
+        Rec r;
+        r.st = initialState(cfg);
+        recs.push_back(r);
+    }
+    visited.insert(canonicalKey(recs[0].st, cfg));
+    frontier.push_back(0);
+    res.statesVisited = 1;
+
+    while (!frontier.empty()) {
+        const std::uint32_t idx = frontier.front();
+        frontier.pop_front();
+        // recs grows while we expand: copy the state out first.
+        const McState cur = recs[idx].st;
+        const int depth = recs[idx].depth;
+        if (depth > res.maxDepth)
+            res.maxDepth = depth;
+
+        const std::vector<McStep> steps = enumerateSteps(cfg, cur);
+        if (steps.empty()) {
+            if (isQuiesced(cfg, cur)) {
+                ++res.finalStates;
+                if (auto v = checkQuiescedInvariants(cfg, cur)) {
+                    res.violation = buildWitness(cfg, l1, dirTable, br,
+                                                 recs, idx, nullptr, *v);
+                    return res;
+                }
+            } else {
+                IViol v{"deadlock",
+                        "reachable non-final state has no enabled "
+                        "transition"};
+                res.violation = buildWitness(cfg, l1, dirTable, br, recs,
+                                             idx, nullptr, v);
+                return res;
+            }
+            continue;
+        }
+        if (cfg.maxDepth > 0 && depth >= cfg.maxDepth) {
+            res.complete = false;
+            continue;
+        }
+
+        for (const McStep &s : steps) {
+            McState next = cur;
+            Interp it(cfg, l1, dirTable, br, next, nullptr,
+                      &res.emitsDropped);
+            ++res.transitions;
+            if (!it.apply(s)) {
+                res.violation = buildWitness(cfg, l1, dirTable, br, recs,
+                                             idx, &s, *it.viol);
+                return res;
+            }
+            if (auto v = checkStateInvariants(cfg, next)) {
+                res.violation = buildWitness(cfg, l1, dirTable, br, recs,
+                                             idx, &s, *v);
+                return res;
+            }
+            std::string key = canonicalKey(next, cfg);
+            if (!visited.insert(std::move(key)).second)
+                continue;
+            ++res.statesVisited;
+            if (cfg.maxStates > 0 &&
+                res.statesVisited > cfg.maxStates) {
+                res.complete = false;
+                return res;
+            }
+            Rec r;
+            r.st = next;
+            r.parent = idx;
+            r.step = s;
+            r.depth = depth + 1;
+            recs.push_back(r);
+            frontier.push_back(
+                static_cast<std::uint32_t>(recs.size() - 1));
+        }
+    }
+    return res;
+}
+
+} // namespace inpg

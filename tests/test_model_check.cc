@@ -1,0 +1,136 @@
+/**
+ * @file
+ * In-process tests for the explicit-state protocol model checker
+ * (src/verify/model_check.*): clean exhaustive sweeps over the shipped
+ * tables, determinism of the exploration itself, the seeded-mutation
+ * self-test, and a golden-file check that pins the counterexample
+ * witness format.
+ *
+ * The golden trace lives in tests/golden/; regenerate it after a
+ * deliberate format change with
+ *     INPG_REGEN_GOLDEN=1 ./build/tests/inpg_tests \
+ *         --gtest_filter=ModelCheck.GoldenWitness
+ * and review the diff like any other source change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "verify/model_check.hh"
+
+namespace inpg {
+namespace {
+
+McConfig
+baseConfig(McScenario sc, bool big_router)
+{
+    McConfig cfg;
+    cfg.numCores = 2;
+    cfg.bigRouter = big_router;
+    cfg.scenario = sc;
+    return cfg;
+}
+
+TEST(ModelCheck, TasN2ExhaustiveClean)
+{
+    McResult r = runModelCheck(baseConfig(McScenario::Tas, true));
+    ASSERT_TRUE(r.ok()) << r.violation->traceText();
+    EXPECT_TRUE(r.complete);
+    // The composed space is non-trivial (thousands of states) and the
+    // run must quiesce somewhere.
+    EXPECT_GT(r.statesVisited, 1000u);
+    EXPECT_GT(r.finalStates, 0u);
+    EXPECT_EQ(r.emitsDropped, 0u);
+}
+
+TEST(ModelCheck, AllScenariosN2Clean)
+{
+    for (McScenario sc : mcAllScenarios()) {
+        for (bool br : {false, true}) {
+            McResult r = runModelCheck(baseConfig(sc, br));
+            ASSERT_TRUE(r.ok())
+                << mcScenarioName(sc) << " big-router=" << br << "\n"
+                << r.violation->traceText();
+            EXPECT_TRUE(r.complete)
+                << mcScenarioName(sc) << " big-router=" << br;
+        }
+    }
+}
+
+TEST(ModelCheck, ExplorationIsDeterministic)
+{
+    McResult a = runModelCheck(baseConfig(McScenario::Tas, true));
+    McResult b = runModelCheck(baseConfig(McScenario::Tas, true));
+    EXPECT_EQ(a.statesVisited, b.statesVisited);
+    EXPECT_EQ(a.transitions, b.transitions);
+    EXPECT_EQ(a.finalStates, b.finalStates);
+    EXPECT_EQ(a.maxDepth, b.maxDepth);
+}
+
+TEST(ModelCheck, SymmetryReductionShrinksTheSpace)
+{
+    McConfig sym = baseConfig(McScenario::Tas, true);
+    McConfig raw = sym;
+    raw.symmetry = false;
+    McResult a = runModelCheck(sym);
+    McResult b = runModelCheck(raw);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    // Canonicalization must only merge states, never invent or lose
+    // violations; with two interchangeable cores it strictly shrinks
+    // the visited set.
+    EXPECT_LT(a.statesVisited, b.statesVisited);
+    EXPECT_EQ(a.finalStates > 0, b.finalStates > 0);
+}
+
+TEST(ModelCheck, SelfTestCatchesEveryCatalogMutation)
+{
+    McSelfTestOutcome out = runMcSelfTest(false, nullptr);
+    for (const std::string &f : out.failures)
+        ADD_FAILURE() << f;
+    EXPECT_TRUE(out.ok());
+    EXPECT_GE(out.mutationsRun, 8);
+    EXPECT_EQ(out.caught, out.mutationsRun);
+}
+
+TEST(ModelCheck, GoldenWitness)
+{
+    // This catalog entry runs with symmetry off on a fixed two-core,
+    // no-big-router configuration, so its BFS witness is fully
+    // deterministic -- byte-stable across runs and platforms.
+    const McMutation *m = mcFindMutation("ownedself-getx-selfforward");
+    ASSERT_NE(m, nullptr);
+    ASSERT_FALSE(m->config.symmetry);
+
+    McResult r = runMutatedModelCheck(*m);
+    ASSERT_TRUE(r.violation.has_value());
+    EXPECT_EQ(r.violation->invariant, "deadlock");
+    const std::string got = r.violation->traceText();
+    ASSERT_FALSE(got.empty());
+
+    const std::string path = std::string(INPG_TEST_GOLDEN_DIR) +
+                             "/mc_witness_ownedself_getx.txt";
+    if (std::getenv("INPG_REGEN_GOLDEN")) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << got;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " (regenerate with INPG_REGEN_GOLDEN=1)";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(got, want.str())
+        << "witness drifted from " << path
+        << "; if the change is deliberate, regenerate with "
+           "INPG_REGEN_GOLDEN=1 and review the diff";
+}
+
+} // namespace
+} // namespace inpg

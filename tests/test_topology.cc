@@ -346,6 +346,60 @@ TEST(ChannelDeps, MeshTorusCmeshAreAcyclic)
     }
 }
 
+TEST(ChannelDeps, CmeshDependenciesMatchRouterGridMesh)
+{
+    // Check-5 witness for the concentrated mesh: concentration lives
+    // entirely at the NIs, so the router-level channel-dependency
+    // graph of cmesh:WxHxC must be exactly the plain mesh:WxH graph
+    // -- same channels in the same canonical order, same edges. A
+    // routing or link-enumeration change that made the concentrated
+    // fabric diverge from the verified mesh structure fails here.
+    auto cmesh = makeTopology(nocFor("cmesh:4x4x4"));
+    auto mesh = makeTopology(nocFor("mesh:4x4"));
+    const ChannelDepGraph cg = cmesh->channelDependencies();
+    const ChannelDepGraph mg = mesh->channelDependencies();
+    ASSERT_EQ(cg.nodes.size(), mg.nodes.size());
+    for (std::size_t i = 0; i < cg.nodes.size(); ++i) {
+        EXPECT_EQ(cg.nodes[i].from, mg.nodes[i].from) << i;
+        EXPECT_EQ(cg.nodes[i].to, mg.nodes[i].to) << i;
+        EXPECT_EQ(cg.nodes[i].dir, mg.nodes[i].dir) << i;
+        EXPECT_EQ(cg.nodes[i].vcClass, mg.nodes[i].vcClass) << i;
+    }
+    ASSERT_EQ(cg.edges.size(), mg.edges.size());
+    for (std::size_t i = 0; i < cg.edges.size(); ++i)
+        EXPECT_EQ(cg.edges[i], mg.edges[i]) << "adjacency of channel "
+                                            << cg.describe(i);
+    // Every channel is an inter-ROUTER link: concentration must not
+    // leak core ids (>= numRouters) into the dependency graph.
+    for (const ChannelDepGraph::Node &n : cg.nodes) {
+        EXPECT_LT(n.from, cmesh->numRouters());
+        EXPECT_LT(n.to, cmesh->numRouters());
+    }
+}
+
+TEST(ChannelDeps, CmeshXyRoutingNeverTurnsBackToRowTraffic)
+{
+    // The XY argument for deadlock freedom, checked structurally on
+    // the concentrated fabric: a column (N/S) channel may never
+    // depend on a row (E/W) channel. Non-square shape on purpose.
+    auto topo = makeTopology(nocFor("cmesh:8x2x2"));
+    EXPECT_TRUE(verifyChannelDeps(*topo).empty());
+    const ChannelDepGraph g = topo->channelDependencies();
+    ASSERT_FALSE(g.nodes.empty());
+    auto vertical = [](Direction d) {
+        return d == Direction::North || d == Direction::South;
+    };
+    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+        if (!vertical(g.nodes[i].dir))
+            continue;
+        for (std::int32_t succ : g.edges[i])
+            EXPECT_TRUE(
+                vertical(g.nodes[static_cast<std::size_t>(succ)].dir))
+                << g.describe(i) << " depends on "
+                << g.describe(static_cast<std::size_t>(succ));
+    }
+}
+
 TEST(ChannelDeps, TorusWithoutEscapeVcsHasCycleWitness)
 {
     NocConfig cfg = nocFor("torus:4x4");

@@ -4,7 +4,7 @@
 #   1. static analysis -- tools/protocol_check --self-test (declarative
 #      transition tables: coverage, vnet acyclicity, LCO hook tiling,
 #      reachability) and tools/lint_inpg.py --self-test (determinism
-#      lint, DESIGN.md invariants 10-17);
+#      lint, DESIGN.md invariants 10-18);
 #   2. ./run_benches.sh --quick    -- kernel fast-forward A/B and busy
 #      hot-path A/B perf smokes (non-zero exit if either optimization
 #      changes simulated results or the optimized schedule path
@@ -16,7 +16,12 @@
 #      deterministic and bit-identical between the serial and parallel
 #      kernels, the no-escape-VC torus must be rejected by the
 #      channel-dependency verifier, and a cmesh run must complete;
-#   5. ./run_benches.sh --tsan then --sanitize -- the threaded suites
+#   5. model check -- tools/protocol_mc explores the composed
+#      MOESI x iNPG protocol: exhaustive at N=2 (every scenario, big
+#      router on and off) and N=3 without the big router, bounded at
+#      N=3 with it, plus the seeded-mutation --self-test; hard time
+#      budget via timeout(1);
+#   6. ./run_benches.sh --tsan then --sanitize -- the threaded suites
 #      (parallel kernel, sweep pool, trace sink) under
 #      ThreadSanitizer in build-tsan/, then configure + build + full
 #      ctest under ASan/UBSan in build-asan/.
@@ -28,6 +33,8 @@
 #   --hang-only  run just the seeded-hang watchdog smoke (the
 #                ci-hang-smoke ctest entry);
 #   --torus-only run just the torus/fabric smoke (the ci-torus-smoke
+#                ctest entry);
+#   --mc-only    run just the model-check stage (the ci-model-check
 #                ctest entry).
 # Expects ./build to be configured (configures it if missing). Wired
 # as the `ci-smoke` ctest when the tree is configured with
@@ -40,14 +47,16 @@ want_tidy=0
 tidy_only=0
 hang_only=0
 torus_only=0
+mc_only=0
 for arg in "$@"; do
     case "$arg" in
       --tidy) want_tidy=1 ;;
       --tidy-only) want_tidy=1; tidy_only=1 ;;
       --hang-only) hang_only=1 ;;
       --torus-only) torus_only=1 ;;
+      --mc-only) mc_only=1 ;;
       *) echo "usage: tools/ci.sh" \
-              "[--tidy|--tidy-only|--hang-only|--torus-only]" >&2
+              "[--tidy|--tidy-only|--hang-only|--torus-only|--mc-only]" >&2
          exit 2 ;;
     esac
 done
@@ -137,6 +146,27 @@ run_torus_smoke() {
          "no-escape-VC rejected, cmesh completes"
 }
 
+# Model-check stage: exhaustive exploration of the composed protocol
+# with a hard wall-clock budget per invocation. The N=2 sweep and the
+# N=3 no-big-router sweep are exhaustive (zero violations required);
+# the N=3 big-router configuration's state space is out of a CI
+# budget, so it runs depth-bounded as a smoke. The seeded-mutation
+# self-test proves the checker still catches real table bugs.
+run_model_check() {
+    cmake --build "$repo_root/build" -j "$(nproc)" --target protocol_mc
+    mc="$repo_root/build/tools/protocol_mc"
+    echo "--- protocol_mc: N=2 exhaustive sweep (budget 120s)"
+    timeout 120 "$mc"
+    echo "--- protocol_mc: N=3 exhaustive, big router off (budget 120s)"
+    timeout 120 "$mc" --cores 3 --no-big-router
+    echo "--- protocol_mc: N=3 depth-bounded, big router on (budget 180s)"
+    timeout 180 "$mc" --cores 3 --big-router --scenario tas \
+        --max-states 200000
+    echo "--- protocol_mc: seeded-mutation self-test (budget 120s)"
+    timeout 120 "$mc" --self-test
+    echo "model check OK"
+}
+
 if [ "$tidy_only" = 1 ]; then
     run_tidy
     exit 0
@@ -149,6 +179,11 @@ fi
 if [ "$torus_only" = 1 ]; then
     echo "=== ci.sh: torus/fabric smoke ==="
     run_torus_smoke
+    exit 0
+fi
+if [ "$mc_only" = 1 ]; then
+    echo "=== ci.sh: protocol model check ==="
+    run_model_check
     exit 0
 fi
 
@@ -170,7 +205,10 @@ run_hang_smoke
 echo "=== ci.sh stage 4: torus/fabric smoke ==="
 run_torus_smoke
 
-echo "=== ci.sh stage 5: sanitizer suites ==="
+echo "=== ci.sh stage 5: protocol model check ==="
+run_model_check
+
+echo "=== ci.sh stage 6: sanitizer suites ==="
 # ThreadSanitizer over the threaded surfaces first (parallel kernel
 # bit-identity suite, sweep pool, trace sink), then the full ASan/
 # UBSan tree. Both configure their own build dirs.

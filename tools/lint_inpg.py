@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Determinism lint for the iNPG simulator sources (DESIGN.md Section 8).
 
-Rules (numbered as DESIGN.md invariants 10-17):
+Rules (numbered as DESIGN.md invariants 10-18):
 
   unordered-iteration  (inv. 10)
       No range-for over std::unordered_map / std::unordered_set in the
@@ -60,6 +60,18 @@ Rules (numbered as DESIGN.md invariants 10-17):
       VC state is SoA arrays. A node container reintroduces a heap
       allocation per enqueued element on the per-cycle path. Cold-path
       uses (if ever justified) must carry an explicit lint:allow.
+
+  table-row-outside-tables (inv. 18)
+      No direct construction of protocol transition-table rows --
+      `TransitionTable<...>` instantiation, a `ProtoTransition{...}`
+      row literal, or a `withRows(...)` rebuild -- outside
+      src/coh/protocol_tables.cc (and the defining header
+      src/coh/transition_table.hh). The shipped tables are the single
+      source of protocol truth: protocol_check proves their static
+      invariants and protocol_mc model-checks their composition, so a
+      row built anywhere else ships unverified protocol behavior.
+      Deliberate rebuilds (the model checker's seeded-mutation
+      harness) must opt out per line.
 
 A finding is suppressed by an end-of-line marker naming its rule:
 
@@ -128,6 +140,19 @@ GUARD_RE = re.compile(
     r"\.size\(\)\s*[<>]|maxRows|maxEvents|recordCap|capacity"
     r"|\.empty\(\)|\breserve\s*\(")
 GUARD_WINDOW = 16
+
+
+# Direct table-row construction: instantiating a TransitionTable,
+# brace-initializing a ProtoTransition row, or rebuilding a table from
+# an edited row vector. Reads (`const ProtoTransition &`, `find()`,
+# `rows()`) stay legal everywhere -- only construction is fenced in.
+TABLE_ROW_RE = re.compile(
+    r"\bTransitionTable\s*<"
+    r"|\bProtoTransition\s*\{"
+    r"|(?:\.|->)\s*withRows\s*\(")
+# The one verified home for row construction, plus the header that
+# defines the table types themselves.
+TABLE_OK_PREFIXES = ("src/coh/protocol_tables", "src/coh/transition_table")
 
 
 def strip_comments(text):
@@ -353,6 +378,28 @@ def check_unbounded_recording(files):
     return findings
 
 
+def check_table_row_construction(files):
+    findings = []
+    for path, text in files:
+        posix = path.as_posix()
+        if any(posix.startswith(p) for p in TABLE_OK_PREFIXES):
+            continue
+        lines = text.splitlines()
+        for m in TABLE_ROW_RE.finditer(text):
+            ln = line_of(text, m.start())
+            if allowed(lines, ln, "table-row-outside-tables"):
+                continue
+            findings.append(Finding(
+                "table-row-outside-tables", path, ln,
+                "'%s': protocol transition rows are built only in "
+                "src/coh/protocol_tables.cc (protocol_check and "
+                "protocol_mc verify that file); read tables via "
+                "find()/require()/rows(), and carry an explicit "
+                "lint:allow for deliberate test rebuilds"
+                % m.group(0).strip()))
+    return findings
+
+
 def gather(root, rel_dirs):
     files = []
     for rel in rel_dirs:
@@ -379,6 +426,7 @@ def run_lint(root):
     findings += check_unbounded_recording(all_files)
     findings += check_threading_scope(all_files)
     findings += check_coordinate_arithmetic(all_files)
+    findings += check_table_row_construction(all_files)
     findings.sort(key=lambda f: (str(f.path), f.line))
     return findings
 
@@ -395,6 +443,8 @@ void f() {
     std::deque<int> queue;
     std::atomic<int> racy{0};
     int x = id % cfg.meshWidth;
+    TransitionTable<TS, TE> rogue(2, 2, {});
+    ProtoTransition row{0, 0, PROTO_OK, {}, {}, {}, ""};
 }
 """
 
@@ -435,11 +485,12 @@ def run_self_test():
           strip_comments(SELF_TEST_BAD_RECORDING))])
     findings += check_threading_scope(files)
     findings += check_coordinate_arithmetic(files)
+    findings += check_table_row_construction(files)
     fired = {f.rule for f in findings}
     want = {"unordered-iteration", "raw-flit-new", "nondeterminism",
             "shared-ptr-flit", "node-container-noc",
             "unbounded-recording", "threading-outside-parallel",
-            "coordinate-arithmetic"}
+            "coordinate-arithmetic", "table-row-outside-tables"}
     failures = want - fired
     for rule in sorted(want):
         status = "ok" if rule in fired else "MISSED"
@@ -509,6 +560,35 @@ def run_self_test():
         print("lint_inpg --self-test: ok: coordinate math inside "
               "src/noc/topology* and src/noc/routing* is exempt")
 
+    # Row construction is legal inside protocol_tables.cc itself (the
+    # verified home) and in the header defining the table types.
+    tables_home = [
+        (Path("src/coh/protocol_tables.cc"),
+         strip_comments("TransitionTable<L1State, L1Event> t(5, 9, {});"
+                        "\nProtoTransition row{};\n")),
+        (Path("src/coh/transition_table.hh"),
+         strip_comments("TransitionTable<S, E> withRows(...) const;\n"))]
+    if check_table_row_construction(tables_home):
+        print("lint_inpg --self-test: MISSED: row construction inside "
+              "src/coh/protocol_tables.cc is exempt")
+        failures.add("table-row-scope")
+    else:
+        print("lint_inpg --self-test: ok: row construction inside "
+              "src/coh/protocol_tables.cc is exempt")
+
+    # ... and a deliberate rebuild elsewhere (the mutation harness)
+    # passes with an explicit per-line opt-out.
+    rebuild = [(Path("src/verify/ok.cc"), strip_comments(
+        "auto t = prod.withRows(rows);"
+        " // lint:allow(table-row-outside-tables)\n"))]
+    if check_table_row_construction(rebuild):
+        print("lint_inpg --self-test: MISSED: lint:allow exempts a "
+              "deliberate withRows rebuild")
+        failures.add("table-row-allow")
+    else:
+        print("lint_inpg --self-test: ok: lint:allow exempts a "
+              "deliberate withRows rebuild")
+
     # Comment text must never trip a rule (flit.hh documents the former
     # shared_ptr design in prose).
     commented = [(Path("src/noc/doc.hh"),
@@ -549,7 +629,7 @@ def main():
         ("unordered-iteration", "raw-flit-new", "nondeterminism",
          "shared-ptr-flit", "node-container-noc",
          "unbounded-recording", "threading-outside-parallel",
-         "coordinate-arithmetic")))
+         "coordinate-arithmetic", "table-row-outside-tables")))
     return 0
 
 
