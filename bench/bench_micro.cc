@@ -204,18 +204,24 @@ emitMeta(std::FILE *out, const char *config_flags)
 #endif
     const char *sha = std::getenv("INPG_GIT_SHA");
     const char *dirty = std::getenv("INPG_GIT_DIRTY");
+    const char *ledger = std::getenv("INPG_LEDGER_PATH");
     std::fprintf(out,
                  "  \"meta\": {\n"
                  "    \"git_sha\": \"%s\",\n"
                  "    \"dirty\": %s,\n"
                  "    \"build_flavor\": \"%s\",\n"
                  "    \"compiler\": \"%s\",\n"
+                 "    \"hw_threads\": %u,\n"
+                 "    \"ledger\": \"%s\",\n"
                  "    \"config_flags\": \"%s\"\n"
                  "  },\n",
                  sha && *sha ? sha : "unknown",
                  dirty && std::strcmp(dirty, "1") == 0 ? "true"
                                                        : "false",
-                 INPG_BENCH_BUILD_FLAVOR, __VERSION__, config_flags);
+                 INPG_BENCH_BUILD_FLAVOR, __VERSION__,
+                 std::thread::hardware_concurrency(),
+                 ledger && *ledger ? ledger : "",
+                 config_flags);
 }
 
 struct KernelRunMetrics {

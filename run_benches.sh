@@ -2,7 +2,16 @@
 # Regenerate every paper table/figure (see README).
 # --quick:    only the perf smokes (bench_micro --json): kernel
 #             fast-forward A/B and busy hot-path A/B, refreshing
-#             build/BENCH_*.json and the tracked repo-root copies.
+#             build/BENCH_*.json and the tracked repo-root copies,
+#             plus the experiment-ledger regression gate: a fresh
+#             mini-sweep is appended to build/BENCH_ledger.jsonl and
+#             checked with `inpg_report regress` against the committed
+#             sweeps/BASELINE_ledger.jsonl (see EXPERIMENTS.md for the
+#             regeneration recipe when simulated behavior changes
+#             intentionally).
+# --ledger-out=PATH (any position): experiment ledger to append runs
+#             to; default sweeps/ledger.jsonl. Exported to benches as
+#             INPG_LEDGER_PATH and stamped into BENCH_*.json meta.
 # --sanitize: configure + build + ctest under ASan/UBSan in
 #             build-asan/ (exercises the raw-storage containers and
 #             callback small-buffer code under the sanitizers).
@@ -31,6 +40,19 @@ else
     INPG_GIT_DIRTY=0
 fi
 export INPG_GIT_DIRTY
+# Experiment ledger (JSONL of RunRecords; tools/inpg_report consumes
+# it). --ledger-out may appear at any argument position; it is consumed
+# here (rotated out of $@) and not forwarded to the benches.
+INPG_LEDGER_PATH="$repo_root/sweeps/ledger.jsonl"
+for arg in "$@"; do
+    shift
+    case "$arg" in
+        --ledger-out=*) INPG_LEDGER_PATH=${arg#--ledger-out=} ;;
+        *) set -- "$@" "$arg" ;;
+    esac
+done
+export INPG_LEDGER_PATH
+mkdir -p "$(dirname "$INPG_LEDGER_PATH")"
 if [ "$1" = "--sanitize" ]; then
     set -e
     cmake -B "$repo_root/build-asan" -S "$repo_root" \
@@ -90,6 +112,25 @@ if ratio < 0.95:
              "fix the regression or regenerate the baseline knowingly"
              % (old_eps, new_eps))
 EOF
+    # Experiment-ledger regression gate: re-run the baseline's
+    # mini-sweep (freq under all four mechanisms on mesh:4x4; the exact
+    # invocation EXPERIMENTS.md documents for regenerating
+    # sweeps/BASELINE_ledger.jsonl) into a fresh ledger and require
+    # every committed metric to reproduce bit-exactly. The kernel is
+    # deterministic, so any delta is a real behavior change.
+    fresh="$repo_root"/build/BENCH_ledger.jsonl
+    rm -f "$fresh"
+    "$repo_root"/build/tools/inpg_sim benchmark=freq all_mechanisms=1 \
+        topology=mesh:4x4 cs_scale=0.05 \
+        --ledger-out="$fresh" > /dev/null
+    if [ -f "$repo_root"/sweeps/BASELINE_ledger.jsonl ]; then
+        "$repo_root"/build/tools/inpg_report regress "$fresh" \
+            "$repo_root"/sweeps/BASELINE_ledger.jsonl
+    else
+        echo "ledger gate: no committed baseline; skipping regress check"
+    fi
+    # The gated runs join the append-only history ledger.
+    cat "$fresh" >> "$INPG_LEDGER_PATH"
     # Keep the perf trajectory visible at the repo root (committed).
     cp "$repo_root"/build/BENCH_kernel.json \
        "$repo_root"/build/BENCH_hotpath.json "$repo_root"/

@@ -1,9 +1,11 @@
 #include "harness/experiment.hh"
 
+#include <cstdlib>
 #include <iterator>
 
 #include "common/logging.hh"
 #include "harness/sweep_runner.hh"
+#include "noc/topology.hh"
 #include "telemetry/trace_event.hh"
 #include "workload/phase_recorder.hh"
 
@@ -133,6 +135,62 @@ runBenchmark(const RunConfig &run_cfg)
         telem->timeseries->writeFile(run_cfg.timeseriesOutPath);
     r.stats = system.statsSnapshot();
     return r;
+}
+
+RunRecord
+makeRunRecord(const RunConfig &cfg, const RunResult &r)
+{
+    // Re-finalize a copy so derived fields (core count, big-router
+    // count when iNPG is off, INPG_IMPL override, thread clamp) match
+    // what runBenchmark() actually simulated.
+    SystemConfig sys = cfg.system;
+    sys.mechanism = r.mechanism; // runAllMechanisms varies it per run
+    sys.lockKind = r.lockKind;
+    sys.finalize();
+
+    RunRecord rec;
+    if (const char *sha = std::getenv("INPG_GIT_SHA"))
+        rec.gitSha = sha;
+    if (const char *dirty = std::getenv("INPG_GIT_DIRTY"))
+        rec.gitDirty = std::string(dirty) == "1";
+    rec.compiler = runRecordCompiler();
+
+    rec.benchmark = r.benchmark;
+    rec.mechanism = mechanismName(r.mechanism);
+    rec.lock = lockKindName(r.lockKind);
+    TopologySpec spec;
+    spec.kind = sys.noc.topology;
+    spec.width = sys.noc.meshWidth;
+    spec.height = sys.noc.meshHeight;
+    spec.concentration = sys.noc.concentration;
+    rec.topology = spec.canonical();
+    rec.impl = sys.impl == ImplMode::Fast ? "fast" : "reference";
+    rec.cores = sys.numCores();
+    rec.bigRouters = sys.inpg.numBigRouters;
+    rec.threads = sys.threads;
+    rec.seed = sys.seed;
+    rec.csScale = cfg.csScale;
+
+    rec.roiCycles = r.roiCycles;
+    rec.csCompleted = r.csCompleted;
+    rec.parallelCycles = r.parallelCycles;
+    rec.cohCycles = r.cohCycles;
+    rec.sleepCycles = r.sleepCycles;
+    rec.cseCycles = r.cseCycles;
+    rec.lockCohCycles = r.lockCohCycles;
+    rec.rttMean = r.rttMean;
+    rec.rttMax = r.rttMax;
+    rec.rttCount = r.rttCount;
+    rec.earlyInvs = r.earlyInvs;
+    rec.sleeps = r.sleeps;
+    rec.wakeups = r.wakeups;
+
+    if (const JsonValue *lco = r.stats.find("lco"))
+        rec.lco = *lco;
+    if (const JsonValue *ts = r.stats.find("timeseries"))
+        rec.timeseries = *ts;
+    rec.stats = r.stats;
+    return rec;
 }
 
 std::vector<RunResult>

@@ -13,6 +13,7 @@
 #include "harness/system.hh"
 #include "telemetry/json.hh"
 #include "telemetry/lco_attribution.hh"
+#include "telemetry/run_record.hh"
 #include "workload/benchmark_profile.hh"
 #include "workload/workload.hh"
 
@@ -116,6 +117,14 @@ struct RunConfig {
  * Deterministic for a given RunConfig.
  */
 RunResult runBenchmark(const RunConfig &cfg);
+
+/**
+ * Describe a finished run as a ledger RunRecord: configuration
+ * identity from the (finalized) config, provenance from the build and
+ * the INPG_GIT_SHA / INPG_GIT_DIRTY environment (run_benches.sh
+ * exports them), metrics and attached sections from the result.
+ */
+RunRecord makeRunRecord(const RunConfig &cfg, const RunResult &r);
 
 /**
  * Run the same profile under all four mechanisms (paper's comparative

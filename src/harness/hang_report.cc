@@ -4,6 +4,7 @@
 #include "harness/system.hh"
 #include "inpg/big_router.hh"
 #include "noc/network.hh"
+#include "telemetry/run_record.hh"
 
 namespace inpg {
 
@@ -17,6 +18,7 @@ buildHangReport(System &sys, Cycle now, const char *reason)
 
     JsonValue doc = JsonValue::object();
     doc["report"] = "inpg-hang-report";
+    doc["schema_version"] = HANG_REPORT_SCHEMA_VERSION;
     doc["reason"] = reason;
     doc["cycle"] = static_cast<std::uint64_t>(now);
     doc["mechanism"] = mechanismName(sys.config().mechanism);

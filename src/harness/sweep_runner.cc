@@ -1,5 +1,6 @@
 #include "harness/sweep_runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <string>
@@ -55,10 +56,26 @@ runSweep(const std::vector<RunConfig> &configs, const SweepOptions &opts)
     if (configs.empty())
         return results;
 
+    // Kernel threads each run actually got (after the budget clamp
+    // below), recorded into its ledger entry.
+    std::vector<int> runThreads(configs.size(), 1);
+    auto appendLedger = [&] {
+        if (!opts.ledger)
+            return;
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            RunRecord rec = makeRunRecord(configs[i], results[i]);
+            rec.threads = runThreads[i];
+            opts.ledger->append(rec);
+        }
+    };
+
     const int nthreads = sweepThreadCount(configs.size(), opts.threads);
     if (nthreads == 1) {
-        for (std::size_t i = 0; i < configs.size(); ++i)
+        for (std::size_t i = 0; i < configs.size(); ++i) {
             results[i] = runBenchmark(configs[i]);
+            runThreads[i] = std::max(configs[i].system.threads, 1);
+        }
+        appendLedger();
         return results;
     }
 
@@ -81,6 +98,7 @@ runSweep(const std::vector<RunConfig> &configs, const SweepOptions &opts)
                 RunConfig rc = configs[i];
                 rc.system.threads = perRunThreadBudget(
                     nthreads, rc.system.threads, hw);
+                runThreads[i] = rc.system.threads;
                 results[i] = runBenchmark(rc);
             } else {
                 results[i] = runBenchmark(configs[i]);
@@ -94,6 +112,7 @@ runSweep(const std::vector<RunConfig> &configs, const SweepOptions &opts)
         pool.emplace_back(worker);
     for (auto &th : pool)
         th.join();
+    appendLedger();
     return results;
 }
 

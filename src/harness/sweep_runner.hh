@@ -28,6 +28,13 @@ struct SweepOptions {
      * hardware concurrency, capped at the job count).
      */
     int threads = 0;
+
+    /**
+     * When set, every finished run is appended as a RunRecord after
+     * the sweep completes, in submission order -- so the ledger's
+     * contents are deterministic regardless of worker scheduling.
+     */
+    ExperimentLedger *ledger = nullptr;
 };
 
 /**

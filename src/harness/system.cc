@@ -197,7 +197,7 @@ System::buildStatsRegistry() const
 }
 
 JsonValue
-System::statsSnapshot() const
+System::statsSnapshot(bool include_parallel_profile) const
 {
     JsonValue doc = buildStatsRegistry().snapshot();
     if (telem && telem->lco)
@@ -225,6 +225,11 @@ System::statsSnapshot() const
         fr["lost_to_wrap"] = telem->recorder->wrapped();
         doc["recorder"] = fr;
     }
+    // Absent at threads == 1, so serial snapshots are byte-identical
+    // to pre-profiler ones; the flag lets the parallel-equivalence
+    // tests compare thread counts on the simulated sections alone.
+    if (include_parallel_profile && parKernel)
+        doc["parallel_profile"] = parKernel->profile().toJson();
     return doc;
 }
 

@@ -103,6 +103,9 @@ ParallelKernel::ParallelKernel(Simulator &sim_, Network &net_,
 
     sim.attachParallel(this);
 
+    // Built before the workers spawn so every quantum is profiled.
+    prof = std::make_unique<ParallelProfile>(nThreads, lookaheadCycles);
+
     workers.reserve(static_cast<std::size_t>(nWorkers));
     for (int w = 0; w < nWorkers; ++w)
         workers.emplace_back(
@@ -212,22 +215,30 @@ ParallelKernel::workerLoop(std::size_t d)
     std::uint64_t epoch = 0;
     for (;;) {
         ++epoch;
+        const std::uint64_t t0 = ParallelProfile::nowNs();
         go.await(epoch);
         if (stopFlag.load(std::memory_order_acquire)) {
             dom.done.release(epoch);
             return;
         }
-        sweepDomain(dom, quantumBase, quantumLen);
+        const std::uint64_t t1 = ParallelProfile::nowNs();
+        const std::uint64_t ticks =
+            sweepDomain(dom, quantumBase, quantumLen);
+        // Recorded before the gate release: the coordinator's await
+        // acquires these writes, so it may read them between quanta.
+        prof->workerQuantum(d, t1 - t0, ParallelProfile::nowNs() - t1,
+                            ticks);
         dom.done.release(epoch);
     }
 }
 
-void
+std::uint64_t
 ParallelKernel::sweepDomain(Domain &d, Cycle base, Cycle quantum)
 {
     // Same cursor-mask sweep as the serial kernel: live word re-read
     // so a forward wake inside the domain runs this same cycle,
     // retired bits wait for the next cycle.
+    std::uint64_t ticks = 0;
     for (Cycle c = 0; c < quantum; ++c) {
         const Cycle now = base + c;
         for (std::size_t w = 0; w < d.bits.size(); ++w) {
@@ -238,9 +249,11 @@ ParallelKernel::sweepDomain(Domain &d, Cycle base, Cycle quantum)
                     static_cast<std::size_t>(std::countr_zero(m));
                 eligible &= ~std::uint64_t{0} << 1 << b;
                 d.comps[(w << 6) + b]->tick(now);
+                ++ticks;
             }
         }
     }
+    return ticks;
 }
 
 void
@@ -259,12 +272,14 @@ ParallelKernel::step(Cycle quantum)
     // Elide the barrier round-trip while every fabric domain sleeps;
     // the coordinator's own merge below can wake them back up.
     const bool fabricBusy = fabricActive() != 0;
+    prof->onQuantum(q, fabricBusy);
     if (fabricBusy) {
         ++seq;
         quantumBase = sim.currentCycle;
         quantumLen = q;
         go.release(seq);
     }
+    const std::uint64_t tSweep = ParallelProfile::nowNs();
     for (Cycle i = 0;;) {
         sim.runEventPhase();
         sim.sweepActive();
@@ -272,12 +287,17 @@ ParallelKernel::step(Cycle quantum)
             break;
         ++sim.currentCycle;
     }
+    const std::uint64_t tBarrier = ParallelProfile::nowNs();
     if (fabricBusy) {
         for (Domain &d : domains)
             d.done.await(seq);
     }
+    const std::uint64_t tMerge = ParallelProfile::nowNs();
     drainOutboxes();
     replayTelLogs();
+    prof->coordinatorQuantum(tBarrier - tSweep,
+                             fabricBusy ? tMerge - tBarrier : 0,
+                             ParallelProfile::nowNs() - tMerge);
     if (sim.sampler)
         sim.sampler->onCycle(sim.currentCycle);
     if (sim.wdog)
@@ -292,11 +312,15 @@ ParallelKernel::drainOutboxes()
     // channel (single producer per direction), and every re-push
     // carries its original cycle so DelayLine delivery cycles -- and
     // the sink wakes -- are exactly the serial ones.
+    std::uint64_t flits = 0;
+    std::uint64_t credits = 0;
     for (Boundary &b : boundaries) {
         if (b.box.empty())
             continue;
         Channel *ch = b.channel;
         ch->setOutbox(nullptr);
+        flits += b.box.flits.size();
+        credits += b.box.credits.size();
         for (auto &e : b.box.flits)
             ch->pushFlit(std::move(e.second), e.first);
         for (auto &e : b.box.credits)
@@ -305,6 +329,8 @@ ParallelKernel::drainOutboxes()
         b.box.credits.clear();
         ch->setOutbox(&b.box);
     }
+    if (flits || credits)
+        prof->drained(flits, credits);
 }
 
 void

@@ -42,11 +42,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/types.hh"
 #include "noc/link.hh"
+#include "sim/parallel/parallel_profile.hh"
 #include "sim/parallel/spin_barrier.hh"
 #include "telemetry/packet_lifetime.hh"
 
@@ -110,6 +112,13 @@ class ParallelKernel
     /** Components stolen into fabric domains. */
     std::size_t stolenComponents() const { return stolen.size(); }
 
+    /**
+     * Execution self-profile (always collected; the overhead is a few
+     * clock reads per quantum). Stable to read between quanta and
+     * after shutdown.
+     */
+    const ParallelProfile &profile() const { return *prof; }
+
   private:
     /** One worker thread's tile: components, active set, arrival gate. */
     struct Domain {
@@ -139,7 +148,7 @@ class ParallelKernel
     void classifyBoundaries(Network &net,
                             const std::vector<int> &domainByNode);
     void workerLoop(std::size_t d);
-    void sweepDomain(Domain &d, Cycle base, Cycle quantum);
+    std::uint64_t sweepDomain(Domain &d, Cycle base, Cycle quantum);
     void drainOutboxes();
     void replayTelLogs();
 
@@ -163,6 +172,8 @@ class ParallelKernel
     std::uint64_t seq = 0;
     std::atomic<bool> stopFlag{false};
     bool joined = false;
+
+    std::unique_ptr<ParallelProfile> prof;
 };
 
 } // namespace inpg

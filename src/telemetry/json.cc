@@ -1,9 +1,17 @@
 #include "telemetry/json.hh"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace inpg {
+
+namespace {
+
+const JsonValue kNullValue;
+
+} // namespace
 
 JsonValue
 JsonValue::array()
@@ -52,6 +60,79 @@ JsonValue::size() const
         return obj.size();
       default:
         return 0;
+    }
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &kv : obj) {
+        if (kv.first == key)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    return v ? *v : kNullValue;
+}
+
+const JsonValue &
+JsonValue::item(std::size_t i) const
+{
+    if (kind != Kind::Array || i >= arr.size())
+        return kNullValue;
+    return arr[i];
+}
+
+long long
+JsonValue::asInt(long long dflt) const
+{
+    switch (kind) {
+      case Kind::Int:
+        return intVal;
+      case Kind::Uint:
+        return static_cast<long long>(uintVal);
+      case Kind::Double:
+        return static_cast<long long>(doubleVal);
+      default:
+        return dflt;
+    }
+}
+
+std::uint64_t
+JsonValue::asUint(std::uint64_t dflt) const
+{
+    switch (kind) {
+      case Kind::Uint:
+        return uintVal;
+      case Kind::Int:
+        return intVal < 0 ? dflt : static_cast<std::uint64_t>(intVal);
+      case Kind::Double:
+        return doubleVal < 0 ? dflt
+                             : static_cast<std::uint64_t>(doubleVal);
+      default:
+        return dflt;
+    }
+}
+
+double
+JsonValue::asDouble(double dflt) const
+{
+    switch (kind) {
+      case Kind::Int:
+        return static_cast<double>(intVal);
+      case Kind::Uint:
+        return static_cast<double>(uintVal);
+      case Kind::Double:
+        return doubleVal;
+      default:
+        return dflt;
     }
 }
 
@@ -177,6 +258,350 @@ JsonValue::dump(int indent) const
 {
     std::string out;
     dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/**
+ * Recursive-descent reader over the byte range [pos, end). Kept
+ * deliberately strict: the only producers are this file's writer and
+ * python's json module, neither of which emits extensions.
+ */
+class JsonReader
+{
+  public:
+    JsonReader(const std::string &text) : text(text) {}
+
+    bool parseDocument(JsonValue &out, std::string &err)
+    {
+        if (!parseValue(out, err))
+            return false;
+        skipSpace();
+        if (pos != text.size()) {
+            fail(err, "trailing characters after document");
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    void skipSpace()
+    {
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos;
+        }
+    }
+
+    void fail(std::string &err, const char *what)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " at offset %zu", pos);
+        err = std::string(what) + buf;
+    }
+
+    bool consume(char c, std::string &err, const char *what)
+    {
+        skipSpace();
+        if (pos >= text.size() || text[pos] != c) {
+            fail(err, what);
+            return false;
+        }
+        ++pos;
+        return true;
+    }
+
+    bool parseValue(JsonValue &out, std::string &err)
+    {
+        skipSpace();
+        if (pos >= text.size()) {
+            fail(err, "unexpected end of input");
+            return false;
+        }
+        char c = text[pos];
+        switch (c) {
+          case '{':
+            return parseObject(out, err);
+          case '[':
+            return parseArray(out, err);
+          case '"': {
+            std::string s;
+            if (!parseString(s, err))
+                return false;
+            out = JsonValue(std::move(s));
+            return true;
+          }
+          case 't':
+            return parseLiteral("true", JsonValue(true), out, err);
+          case 'f':
+            return parseLiteral("false", JsonValue(false), out, err);
+          case 'n':
+            return parseLiteral("null", JsonValue(), out, err);
+          default:
+            return parseNumber(out, err);
+        }
+    }
+
+    bool parseLiteral(const char *word, JsonValue v, JsonValue &out,
+                      std::string &err)
+    {
+        std::size_t n = std::string(word).size();
+        if (text.compare(pos, n, word) != 0) {
+            fail(err, "invalid literal");
+            return false;
+        }
+        pos += n;
+        out = std::move(v);
+        return true;
+    }
+
+    bool parseObject(JsonValue &out, std::string &err)
+    {
+        ++pos; // '{'
+        out = JsonValue::object();
+        skipSpace();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            std::string key;
+            if (!parseString(key, err))
+                return false;
+            if (!consume(':', err, "expected ':' in object"))
+                return false;
+            JsonValue member;
+            if (!parseValue(member, err))
+                return false;
+            out[key] = std::move(member);
+            skipSpace();
+            if (pos >= text.size()) {
+                fail(err, "unterminated object");
+                return false;
+            }
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            fail(err, "expected ',' or '}' in object");
+            return false;
+        }
+    }
+
+    bool parseArray(JsonValue &out, std::string &err)
+    {
+        ++pos; // '['
+        out = JsonValue::array();
+        skipSpace();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            JsonValue elem;
+            if (!parseValue(elem, err))
+                return false;
+            out.push(std::move(elem));
+            skipSpace();
+            if (pos >= text.size()) {
+                fail(err, "unterminated array");
+                return false;
+            }
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            fail(err, "expected ',' or ']' in array");
+            return false;
+        }
+    }
+
+    bool parseString(std::string &out, std::string &err)
+    {
+        if (pos >= text.size() || text[pos] != '"') {
+            fail(err, "expected string");
+            return false;
+        }
+        ++pos;
+        out.clear();
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c != '\\') {
+                out += c;
+                ++pos;
+                continue;
+            }
+            if (pos + 1 >= text.size()) {
+                fail(err, "unterminated escape");
+                return false;
+            }
+            char e = text[pos + 1];
+            pos += 2;
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos + 4 > text.size()) {
+                    fail(err, "truncated \\u escape");
+                    return false;
+                }
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos + i];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail(err, "bad hex digit in \\u escape");
+                        return false;
+                    }
+                }
+                pos += 4;
+                // The writer only emits \u00XX for control bytes;
+                // encode the general case as UTF-8 anyway.
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xC0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail(err, "unknown escape");
+                return false;
+            }
+        }
+        fail(err, "unterminated string");
+        return false;
+    }
+
+    bool parseNumber(JsonValue &out, std::string &err)
+    {
+        std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        bool isDouble = false;
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c >= '0' && c <= '9') {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                isDouble = true;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        if (pos == start || (text[start] == '-' && pos == start + 1)) {
+            pos = start;
+            fail(err, "invalid number");
+            return false;
+        }
+        // Strict JSON: no leading zeros ("01"). The writer never
+        // emits them, and a lenient read would mask a corrupt ledger
+        // line instead of refusing it.
+        const std::size_t d0 = text[start] == '-' ? start + 1 : start;
+        if (text[d0] == '0' && d0 + 1 < pos && text[d0 + 1] >= '0' &&
+            text[d0 + 1] <= '9') {
+            pos = start;
+            fail(err, "invalid number");
+            return false;
+        }
+        std::string tok = text.substr(start, pos - start);
+        if (isDouble) {
+            out = JsonValue(std::strtod(tok.c_str(), nullptr));
+            return true;
+        }
+        // Integers keep the writer's signedness split so a document
+        // round-trips byte-identically: non-negative -> Uint,
+        // negative -> Int. Out-of-range magnitudes fall back to
+        // double (the writer never produces them).
+        errno = 0;
+        if (tok[0] == '-') {
+            char *end = nullptr;
+            long long v = std::strtoll(tok.c_str(), &end, 10);
+            if (errno == ERANGE)
+                out = JsonValue(std::strtod(tok.c_str(), nullptr));
+            else
+                out = JsonValue(v);
+        } else {
+            char *end = nullptr;
+            unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+            if (errno == ERANGE)
+                out = JsonValue(std::strtod(tok.c_str(), nullptr));
+            else
+                out = JsonValue(static_cast<std::uint64_t>(v));
+        }
+        return true;
+    }
+
+    const std::string &text;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text, std::string *err)
+{
+    JsonValue out;
+    std::string diag;
+    JsonReader reader(text);
+    if (!reader.parseDocument(out, diag)) {
+        if (err)
+            *err = diag;
+        return JsonValue();
+    }
+    if (err)
+        err->clear();
     return out;
 }
 

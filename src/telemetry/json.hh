@@ -1,11 +1,16 @@
 /**
  * @file
- * Minimal JSON document builder for telemetry exports (stats snapshots,
- * Chrome-trace files). Build-only -- no parser: the simulator emits
- * machine-readable results; it never consumes them.
+ * Minimal JSON document model for telemetry exports and the experiment
+ * ledger (stats snapshots, Chrome-trace files, RunRecords). The writer
+ * came first; the reader was added for `inpg_report`, which consumes
+ * the ledgers the simulator emits.
  *
  * Object keys keep insertion order so snapshots diff cleanly across
- * runs; numbers are emitted with enough precision to round-trip.
+ * runs; numbers are emitted with enough precision to round-trip, and
+ * parse() preserves the emitted forms (non-negative integers stay
+ * unsigned, doubles re-print identically under %.17g) so that
+ * parse(dump(x)).dump() == dump(x) for any document this writer
+ * produced.
  */
 
 #ifndef INPG_TELEMETRY_JSON_HH
@@ -48,7 +53,29 @@ class JsonValue
     /** Empty object value. */
     static JsonValue object();
 
+    /**
+     * Parse one JSON document. On failure returns a Null value and,
+     * when @p err is non-null, stores a one-line diagnostic with the
+     * byte offset of the problem. Trailing whitespace is permitted;
+     * trailing garbage is an error.
+     */
+    static JsonValue parse(const std::string &text,
+                           std::string *err = nullptr);
+
     Kind type() const { return kind; }
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** True for Int / Uint / Double. */
+    bool isNumber() const
+    {
+        return kind == Kind::Int || kind == Kind::Uint ||
+               kind == Kind::Double;
+    }
 
     /**
      * Member access on an object (created on first use); converts a
@@ -60,6 +87,47 @@ class JsonValue
     void push(JsonValue v);
 
     std::size_t size() const;
+
+    /** Object lookup without insertion; nullptr when absent. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** True when an object has the key. */
+    bool contains(const std::string &key) const
+    {
+        return find(key) != nullptr;
+    }
+
+    /**
+     * Read-only member access; returns a shared Null value when the
+     * key is absent or this is not an object, so lookups chain:
+     * `doc.at("a").at("b").asUint()`.
+     */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Read-only array element; shared Null when out of range. */
+    const JsonValue &item(std::size_t i) const;
+
+    bool asBool(bool dflt = false) const
+    {
+        return kind == Kind::Bool ? boolVal : dflt;
+    }
+
+    long long asInt(long long dflt = 0) const;
+
+    std::uint64_t asUint(std::uint64_t dflt = 0) const;
+
+    double asDouble(double dflt = 0.0) const;
+
+    const std::string &asString() const { return strVal; }
+
+    /** Object members in insertion order (empty unless an object). */
+    const std::vector<std::pair<std::string, JsonValue>> &members() const
+    {
+        return obj;
+    }
+
+    /** Array elements (empty unless an array). */
+    const std::vector<JsonValue> &items() const { return arr; }
 
     /** Serialize; indent > 0 pretty-prints with that many spaces. */
     std::string dump(int indent = 0) const;

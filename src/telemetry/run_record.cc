@@ -1,0 +1,232 @@
+#include "telemetry/run_record.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace inpg {
+
+bool
+schemaVersionCompatible(const JsonValue &doc, int expected,
+                        std::string *why)
+{
+    const JsonValue *v = doc.find("schema_version");
+    if (!v) {
+        if (why)
+            *why = "document has no schema_version field";
+        return false;
+    }
+    const long long got = v->asInt(-1);
+    if (got != expected) {
+        if (why)
+            *why = format("schema_version %lld not supported (this "
+                          "reader understands %d)",
+                          static_cast<long long>(got), expected);
+        return false;
+    }
+    return true;
+}
+
+std::string
+runRecordCompiler()
+{
+    return __VERSION__;
+}
+
+std::string
+RunRecord::configKey() const
+{
+    return format("%s|%s|%s|%s|br%d|seed%llu|cs%.17g",
+                  benchmark.c_str(), mechanism.c_str(), lock.c_str(),
+                  topology.c_str(), bigRouters,
+                  static_cast<unsigned long long>(seed), csScale);
+}
+
+JsonValue
+RunRecord::toJson() const
+{
+    JsonValue doc = JsonValue::object();
+    doc["record"] = RUN_RECORD_TAG;
+    doc["schema_version"] = RUN_RECORD_SCHEMA_VERSION;
+
+    JsonValue prov = JsonValue::object();
+    prov["git_sha"] = gitSha;
+    prov["git_dirty"] = gitDirty;
+    prov["compiler"] = compiler;
+    doc["provenance"] = std::move(prov);
+
+    JsonValue cfg = JsonValue::object();
+    cfg["benchmark"] = benchmark;
+    cfg["mechanism"] = mechanism;
+    cfg["lock"] = lock;
+    cfg["topology"] = topology;
+    cfg["impl"] = impl;
+    cfg["cores"] = cores;
+    cfg["big_routers"] = bigRouters;
+    cfg["threads"] = threads;
+    cfg["seed"] = seed;
+    cfg["cs_scale"] = csScale;
+    doc["config"] = std::move(cfg);
+
+    JsonValue met = JsonValue::object();
+    met["roi_cycles"] = roiCycles;
+    met["cs_completed"] = csCompleted;
+    met["parallel_cycles"] = parallelCycles;
+    met["coh_cycles"] = cohCycles;
+    met["sleep_cycles"] = sleepCycles;
+    met["cse_cycles"] = cseCycles;
+    met["lock_coh_cycles"] = lockCohCycles;
+    met["rtt_mean"] = rttMean;
+    met["rtt_max"] = rttMax;
+    met["rtt_count"] = rttCount;
+    met["early_invs"] = earlyInvs;
+    met["sleeps"] = sleeps;
+    met["wakeups"] = wakeups;
+    doc["metrics"] = std::move(met);
+
+    if (!lco.isNull())
+        doc["lco"] = lco;
+    if (!timeseries.isNull())
+        doc["timeseries"] = timeseries;
+    if (!stats.isNull())
+        doc["stats"] = stats;
+    return doc;
+}
+
+RunRecord
+RunRecord::fromJson(const JsonValue &doc, std::string *err)
+{
+    RunRecord rec;
+    if (doc.at("record").asString() != RUN_RECORD_TAG) {
+        if (err)
+            *err = "not an " + std::string(RUN_RECORD_TAG) +
+                   " document";
+        return rec;
+    }
+    std::string why;
+    if (!schemaVersionCompatible(doc, RUN_RECORD_SCHEMA_VERSION,
+                                 &why)) {
+        if (err)
+            *err = why;
+        return rec;
+    }
+
+    const JsonValue &prov = doc.at("provenance");
+    rec.gitSha = prov.at("git_sha").asString();
+    rec.gitDirty = prov.at("git_dirty").asBool();
+    rec.compiler = prov.at("compiler").asString();
+
+    const JsonValue &cfg = doc.at("config");
+    rec.benchmark = cfg.at("benchmark").asString();
+    rec.mechanism = cfg.at("mechanism").asString();
+    rec.lock = cfg.at("lock").asString();
+    rec.topology = cfg.at("topology").asString();
+    rec.impl = cfg.at("impl").asString();
+    rec.cores = static_cast<int>(cfg.at("cores").asInt());
+    rec.bigRouters = static_cast<int>(cfg.at("big_routers").asInt());
+    rec.threads = static_cast<int>(cfg.at("threads").asInt(1));
+    rec.seed = cfg.at("seed").asUint(1);
+    rec.csScale = cfg.at("cs_scale").asDouble();
+
+    const JsonValue &met = doc.at("metrics");
+    rec.roiCycles = met.at("roi_cycles").asUint();
+    rec.csCompleted = met.at("cs_completed").asUint();
+    rec.parallelCycles = met.at("parallel_cycles").asUint();
+    rec.cohCycles = met.at("coh_cycles").asUint();
+    rec.sleepCycles = met.at("sleep_cycles").asUint();
+    rec.cseCycles = met.at("cse_cycles").asUint();
+    rec.lockCohCycles = met.at("lock_coh_cycles").asUint();
+    rec.rttMean = met.at("rtt_mean").asDouble();
+    rec.rttMax = met.at("rtt_max").asUint();
+    rec.rttCount = met.at("rtt_count").asUint();
+    rec.earlyInvs = met.at("early_invs").asUint();
+    rec.sleeps = met.at("sleeps").asUint();
+    rec.wakeups = met.at("wakeups").asUint();
+
+    rec.lco = doc.at("lco");
+    rec.timeseries = doc.at("timeseries");
+    rec.stats = doc.at("stats");
+    if (err)
+        err->clear();
+    return rec;
+}
+
+ExperimentLedger::ExperimentLedger(std::string path)
+    : filePath(std::move(path))
+{
+    file = std::fopen(filePath.c_str(), "a");
+}
+
+ExperimentLedger::~ExperimentLedger()
+{
+    if (file)
+        std::fclose(file);
+}
+
+void
+ExperimentLedger::append(const RunRecord &rec)
+{
+    if (!file)
+        return;
+    std::string line = rec.toJson().dump(0);
+    line += '\n';
+    // One write call for the whole line, serialized by the mutex and
+    // flushed before release: a reader (or a crash) never observes a
+    // torn record.
+    std::lock_guard<std::mutex> guard(mu); // lint:allow(threading-outside-parallel)
+    std::fwrite(line.data(), 1, line.size(), file);
+    std::fflush(file);
+    ++count;
+}
+
+std::vector<RunRecord>
+ExperimentLedger::load(const std::string &path, std::string *err)
+{
+    std::vector<RunRecord> out;
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f) {
+        if (err)
+            *err = "cannot open ledger '" + path + "'";
+        return out;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    std::size_t lineno = 0;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        ++lineno;
+        const std::string line = text.substr(start, end - start);
+        start = end + 1;
+        if (line.empty())
+            continue;
+        std::string diag;
+        JsonValue doc = JsonValue::parse(line, &diag);
+        if (!diag.empty()) {
+            if (err)
+                *err = format("%s:%zu: %s", path.c_str(), lineno,
+                              diag.c_str());
+            return out;
+        }
+        RunRecord rec = RunRecord::fromJson(doc, &diag);
+        if (!diag.empty()) {
+            if (err)
+                *err = format("%s:%zu: %s", path.c_str(), lineno,
+                              diag.c_str());
+            return out;
+        }
+        out.push_back(std::move(rec));
+    }
+    if (err)
+        err->clear();
+    return out;
+}
+
+} // namespace inpg

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * RunRecord: the versioned, machine-readable record of one benchmark
+ * run -- full provenance (commit, compiler, topology, mechanism, lock,
+ * threads, seed, implementation flavor) plus the scalar metrics every
+ * figure is computed from, the LCO leg breakdown, the timeseries
+ * summary, and the complete stats snapshot.
+ *
+ * Records are appended to an **experiment ledger**: a JSONL file, one
+ * record per line, append-only. `inpg_sim --ledger-out=...`, the sweep
+ * runner, and `run_benches.sh --ledger-out=...` all write the same
+ * schema, and `tools/inpg_report` consumes it (diff / aggregate /
+ * regress). The schema is versioned so readers can refuse records they
+ * do not understand instead of mis-parsing them.
+ *
+ * Serialization is canonical: toJson() emits a fixed key order, so
+ * serialize -> parse -> re-serialize is byte-identical (asserted in
+ * tests/test_run_record.cc) and ledger lines diff cleanly.
+ */
+
+#ifndef INPG_TELEMETRY_RUN_RECORD_HH
+#define INPG_TELEMETRY_RUN_RECORD_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex> // lint:allow(threading-outside-parallel)
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hh"
+
+namespace inpg {
+
+/** Ledger / RunRecord schema version (bump on incompatible change). */
+inline constexpr int RUN_RECORD_SCHEMA_VERSION = 1;
+
+/** Version stamped into `--stats-json` documents. */
+inline constexpr int STATS_JSON_SCHEMA_VERSION = 1;
+
+/** Version stamped into structured hang reports. */
+inline constexpr int HANG_REPORT_SCHEMA_VERSION = 1;
+
+/** The `record` tag every ledger line carries. */
+inline constexpr const char *RUN_RECORD_TAG = "inpg-run-record";
+
+/**
+ * Check a parsed document's `schema_version` against what this reader
+ * understands. Returns false (with a diagnostic in *why, when given)
+ * for a missing or different version -- readers must refuse such
+ * documents rather than mis-parse them.
+ */
+bool schemaVersionCompatible(const JsonValue &doc, int expected,
+                             std::string *why = nullptr);
+
+/** One run, fully described. See the file comment for the contract. */
+struct RunRecord {
+    // -- provenance ----------------------------------------------------
+    std::string gitSha = "unknown"; ///< INPG_GIT_SHA (run_benches.sh)
+    bool gitDirty = false;          ///< INPG_GIT_DIRTY == "1"
+    std::string compiler;           ///< __VERSION__ of the build
+
+    // -- configuration -------------------------------------------------
+    std::string benchmark;
+    std::string mechanism; ///< mechanismName() spelling
+    std::string lock;      ///< lockKindName() spelling
+    std::string topology;  ///< TopologySpec::canonical() ("mesh:8x8")
+    std::string impl;      ///< "fast" / "reference"
+    int cores = 0;
+    int bigRouters = 0;
+    int threads = 1; ///< host kernel threads (bit-identical results)
+    std::uint64_t seed = 1;
+    double csScale = 0;
+
+    // -- metrics (all deterministic for a given configuration) ---------
+    std::uint64_t roiCycles = 0;
+    std::uint64_t csCompleted = 0;
+    std::uint64_t parallelCycles = 0;
+    std::uint64_t cohCycles = 0;
+    std::uint64_t sleepCycles = 0;
+    std::uint64_t cseCycles = 0;
+    std::uint64_t lockCohCycles = 0;
+    double rttMean = 0;
+    std::uint64_t rttMax = 0;
+    std::uint64_t rttCount = 0;
+    std::uint64_t earlyInvs = 0;
+    std::uint64_t sleeps = 0;
+    std::uint64_t wakeups = 0;
+
+    // -- attached sections (Null when the observer was off) ------------
+    JsonValue lco;        ///< LcoSummary::toJson()
+    JsonValue timeseries; ///< stats snapshot "timeseries" summary
+    JsonValue stats;      ///< full System::statsSnapshot()
+
+    /**
+     * Simulated-configuration identity used to pair records across
+     * ledgers: benchmark, mechanism, lock, topology, big routers, seed
+     * and cs_scale. `threads` and `impl` are deliberately excluded --
+     * both are documented bit-identical in simulated results, so a
+     * threads=4 run diffs cleanly against its threads=1 twin.
+     */
+    std::string configKey() const;
+
+    /** Fixed-key-order serialization; see the canonical contract. */
+    JsonValue toJson() const;
+
+    /**
+     * Rebuild a record from a parsed ledger line. Refuses documents
+     * whose tag or schema_version does not match (returns a default
+     * record and sets *err when given).
+     */
+    static RunRecord fromJson(const JsonValue &doc,
+                              std::string *err = nullptr);
+};
+
+/** Compiler identification used for RunRecord provenance. */
+std::string runRecordCompiler();
+
+/**
+ * Append-only JSONL ledger writer. One fwrite per record under a
+ * mutex, flushed immediately, so concurrent appends from sweep worker
+ * threads never tear lines (mirrors the thread-safe Trace sink
+ * discipline; asserted in tests/test_run_record.cc).
+ */
+class ExperimentLedger
+{
+  public:
+    /** Open `path` for appending; ok() reports failure. */
+    explicit ExperimentLedger(std::string path);
+
+    ~ExperimentLedger();
+
+    ExperimentLedger(const ExperimentLedger &) = delete;
+    ExperimentLedger &operator=(const ExperimentLedger &) = delete;
+
+    bool ok() const { return file != nullptr; }
+
+    const std::string &path() const { return filePath; }
+
+    /** Records appended by this writer. */
+    std::uint64_t appended() const { return count; }
+
+    /** Serialize and append one record (thread-safe). */
+    void append(const RunRecord &rec);
+
+    /**
+     * Parse every line of a ledger file. Returns the records in file
+     * order; on any unreadable or incompatible line, returns what was
+     * parsed so far and sets *err with the line number.
+     */
+    static std::vector<RunRecord> load(const std::string &path,
+                                       std::string *err = nullptr);
+
+  private:
+    std::string filePath;
+    std::FILE *file = nullptr;
+    std::uint64_t count = 0;
+    std::mutex mu; // lint:allow(threading-outside-parallel)
+};
+
+} // namespace inpg
+
+#endif // INPG_TELEMETRY_RUN_RECORD_HH

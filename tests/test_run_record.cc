@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Experiment-ledger tests: the JSON reader's round-trip guarantee
+ * (parse(dump(x)).dump() == dump(x), signedness and escape handling),
+ * the RunRecord canonical serialization contract, schema-version
+ * refusal, configKey pairing semantics, torn-line-free concurrent
+ * ledger appends, and the determinism of the diff / aggregate /
+ * regress reports built on top.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/json.hh"
+#include "telemetry/report.hh"
+#include "telemetry/run_record.hh"
+
+namespace inpg {
+namespace {
+
+/** A fully populated record; knobs cover the pairing identity. */
+RunRecord
+makeRecord(const std::string &mech, const std::string &lock,
+           std::uint64_t seed, std::uint64_t roi_cycles)
+{
+    RunRecord rec;
+    rec.gitSha = "abc1234";
+    rec.gitDirty = true;
+    rec.compiler = "test-compiler 1.0";
+    rec.benchmark = "freq";
+    rec.mechanism = mech;
+    rec.lock = lock;
+    rec.topology = "mesh:4x4";
+    rec.impl = "fast";
+    rec.cores = 16;
+    rec.bigRouters = 1;
+    rec.threads = 1;
+    rec.seed = seed;
+    rec.csScale = 0.05;
+    rec.roiCycles = roi_cycles;
+    rec.csCompleted = 320;
+    rec.parallelCycles = roi_cycles / 2;
+    rec.cohCycles = roi_cycles / 8;
+    rec.sleepCycles = 17;
+    rec.cseCycles = 23;
+    rec.lockCohCycles = roi_cycles / 16;
+    rec.rttMean = 41.25;
+    rec.rttMax = 96;
+    rec.rttCount = 320;
+    rec.earlyInvs = 7;
+    rec.sleeps = 3;
+    rec.wakeups = 3;
+    return rec;
+}
+
+TEST(JsonReader, RoundTripPreservesEmittedForms)
+{
+    JsonValue doc = JsonValue::object();
+    doc["escapes"] = "quote \" backslash \\ newline \n tab \t ctl \x01";
+    doc["uint_max"] = static_cast<std::uint64_t>(18446744073709551615ull);
+    doc["negative"] = -42;
+    doc["zero"] = static_cast<std::uint64_t>(0);
+    doc["fraction"] = 0.25;
+    doc["tiny"] = 1e-3;
+    doc["truth"] = true;
+    doc["nothing"] = JsonValue();
+    JsonValue arr = JsonValue::array();
+    arr.push(JsonValue(1));
+    arr.push(JsonValue("two"));
+    JsonValue inner = JsonValue::object();
+    inner["k"] = 3.5;
+    arr.push(std::move(inner));
+    doc["mixed"] = std::move(arr);
+
+    for (int indent : {0, 2}) {
+        const std::string text = doc.dump(indent);
+        std::string err;
+        JsonValue back = JsonValue::parse(text, &err);
+        EXPECT_TRUE(err.empty()) << err;
+        // Byte-identical re-serialization: unsigned stays unsigned,
+        // doubles re-print identically, key order survives.
+        EXPECT_EQ(back.dump(indent), text);
+    }
+
+    // Signedness is preserved, not collapsed to double.
+    JsonValue back = JsonValue::parse(doc.dump(0));
+    EXPECT_EQ(back.at("uint_max").type(), JsonValue::Kind::Uint);
+    EXPECT_EQ(back.at("uint_max").asUint(), 18446744073709551615ull);
+    EXPECT_EQ(back.at("negative").type(), JsonValue::Kind::Int);
+    EXPECT_EQ(back.at("negative").asInt(), -42);
+    EXPECT_EQ(back.at("escapes").asString(),
+              doc.at("escapes").asString());
+}
+
+TEST(JsonReader, RejectsMalformedInput)
+{
+    const char *bad[] = {
+        "{} trailing",     // trailing garbage
+        "{\"a\":}",        // missing value
+        "[1,",             // unterminated array
+        "\"open string",   // unterminated string
+        "{\"a\" 1}",       // missing colon
+        "01",              // leading zero
+        "",                // empty document
+    };
+    for (const char *text : bad) {
+        std::string err;
+        JsonValue v = JsonValue::parse(text, &err);
+        EXPECT_TRUE(v.isNull()) << text;
+        EXPECT_FALSE(err.empty()) << text;
+    }
+}
+
+TEST(RunRecord, CanonicalSerializationRoundTrips)
+{
+    RunRecord rec = makeRecord("iNPG", "QSL", 1, 1000000);
+    rec.lco["acquires"] = static_cast<std::uint64_t>(320);
+    rec.timeseries["samples"] = static_cast<std::uint64_t>(64);
+    rec.stats["sim"]["roi_cycles"] = rec.roiCycles;
+
+    const std::string line = rec.toJson().dump(0);
+    std::string err;
+    JsonValue doc = JsonValue::parse(line, &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    RunRecord back = RunRecord::fromJson(doc, &err);
+    EXPECT_TRUE(err.empty()) << err;
+    // serialize -> parse -> re-serialize is byte-identical (the
+    // canonical fixed-key-order contract ledger diffs rely on).
+    EXPECT_EQ(back.toJson().dump(0), line);
+    EXPECT_EQ(back.configKey(), rec.configKey());
+    EXPECT_EQ(back.seed, rec.seed);
+    EXPECT_EQ(back.rttMean, rec.rttMean);
+    EXPECT_EQ(back.stats.at("sim").at("roi_cycles").asUint(),
+              rec.roiCycles);
+}
+
+TEST(RunRecord, RefusesForeignDocuments)
+{
+    // Wrong tag.
+    JsonValue other = JsonValue::object();
+    other["record"] = "something-else";
+    other["schema_version"] = RUN_RECORD_SCHEMA_VERSION;
+    std::string err;
+    RunRecord rec = RunRecord::fromJson(other, &err);
+    EXPECT_FALSE(err.empty());
+    EXPECT_EQ(rec.benchmark, "");
+
+    // Future schema version: refuse, never mis-parse.
+    JsonValue future = makeRecord("iNPG", "QSL", 1, 100).toJson();
+    future["schema_version"] = RUN_RECORD_SCHEMA_VERSION + 1;
+    err.clear();
+    RunRecord rec2 = RunRecord::fromJson(future, &err);
+    EXPECT_FALSE(err.empty());
+    EXPECT_EQ(rec2.benchmark, "");
+}
+
+TEST(RunRecord, SchemaVersionCompatibility)
+{
+    JsonValue doc = JsonValue::object();
+    std::string why;
+    EXPECT_FALSE(schemaVersionCompatible(doc, 1, &why));
+    EXPECT_FALSE(why.empty());
+
+    doc["schema_version"] = 2;
+    EXPECT_FALSE(schemaVersionCompatible(doc, 1, &why));
+    EXPECT_NE(why.find("2"), std::string::npos);
+
+    doc["schema_version"] = 1;
+    EXPECT_TRUE(schemaVersionCompatible(doc, 1));
+}
+
+TEST(RunRecord, ConfigKeyPairsAcrossThreadsAndImpl)
+{
+    RunRecord a = makeRecord("iNPG", "QSL", 1, 100);
+    RunRecord b = a;
+    // threads and impl are documented bit-identical in simulated
+    // results, so they are excluded from the pairing identity.
+    b.threads = 4;
+    b.impl = "reference";
+    EXPECT_EQ(a.configKey(), b.configKey());
+
+    RunRecord c = a;
+    c.seed = 2;
+    EXPECT_NE(a.configKey(), c.configKey());
+    RunRecord d = a;
+    d.lock = "MCS";
+    EXPECT_NE(a.configKey(), d.configKey());
+}
+
+TEST(ExperimentLedger, ConcurrentAppendsNeverTearLines)
+{
+    const std::string path = "test_run_record_ledger.jsonl";
+    std::remove(path.c_str());
+    {
+        ExperimentLedger ledger(path);
+        ASSERT_TRUE(ledger.ok());
+        constexpr int WRITERS = 4;
+        constexpr int PER_WRITER = 25;
+        std::vector<std::thread> pool;
+        for (int w = 0; w < WRITERS; ++w) {
+            pool.emplace_back([&ledger, w] {
+                for (int i = 0; i < PER_WRITER; ++i) {
+                    const std::uint64_t seed =
+                        static_cast<std::uint64_t>(w * PER_WRITER + i);
+                    ledger.append(
+                        makeRecord("iNPG", "QSL", seed, 1000 + seed));
+                }
+            });
+        }
+        for (std::thread &t : pool)
+            t.join();
+        EXPECT_EQ(ledger.appended(), 100u);
+    }
+
+    // Every line parses back as a full record (no torn writes) and
+    // every seed arrived exactly once.
+    std::string err;
+    std::vector<RunRecord> records = ExperimentLedger::load(path, &err);
+    EXPECT_TRUE(err.empty()) << err;
+    ASSERT_EQ(records.size(), 100u);
+    std::set<std::uint64_t> seeds;
+    for (const RunRecord &rec : records) {
+        EXPECT_EQ(rec.benchmark, "freq");
+        seeds.insert(rec.seed);
+    }
+    EXPECT_EQ(seeds.size(), 100u);
+    std::remove(path.c_str());
+}
+
+TEST(Report, DiffPairsByConfigAndCatchesDeltas)
+{
+    std::vector<RunRecord> a = {makeRecord("Original", "TAS", 1, 5000),
+                                makeRecord("iNPG", "TAS", 1, 4000),
+                                makeRecord("iNPG", "QSL", 1, 3000)};
+    std::vector<RunRecord> b = a;
+
+    DiffResult same = diffLedgers(a, b);
+    EXPECT_TRUE(same.identical());
+    EXPECT_EQ(same.pairedConfigs, 3u);
+    // Deterministic rendering: the same inputs produce the same text.
+    EXPECT_EQ(same.render(), diffLedgers(a, b).render());
+
+    b[1].roiCycles += 1;
+    DiffResult changed = diffLedgers(a, b);
+    ASSERT_EQ(changed.deltas.size(), 1u);
+    EXPECT_EQ(changed.deltas[0].metric, "roi_cycles");
+    EXPECT_EQ(changed.deltas[0].configKey, a[1].configKey());
+
+    // Unpaired configurations are reported on both sides.
+    b.pop_back();
+    b.push_back(makeRecord("OCOR", "QSL", 1, 2500));
+    DiffResult moved = diffLedgers(a, b);
+    ASSERT_EQ(moved.onlyInA.size(), 1u);
+    ASSERT_EQ(moved.onlyInB.size(), 1u);
+    EXPECT_EQ(moved.onlyInA[0], a[2].configKey());
+}
+
+TEST(Report, RegressGatesFreshAgainstBaseline)
+{
+    std::vector<RunRecord> baseline = {
+        makeRecord("Original", "TAS", 1, 5000),
+        makeRecord("iNPG", "TAS", 1, 4000)};
+
+    // Identical reproduction passes; extra fresh-only runs stay legal
+    // (ledgers grow append-only).
+    std::vector<RunRecord> fresh = baseline;
+    fresh.push_back(makeRecord("iNPG", "QSL", 1, 3000));
+    RegressResult pass = regressLedger(fresh, baseline);
+    EXPECT_TRUE(pass.pass);
+    EXPECT_NE(pass.render().find("PASS"), std::string::npos);
+
+    // A metric delta fails the gate.
+    fresh[0].lockCohCycles += 1;
+    RegressResult delta = regressLedger(fresh, baseline);
+    EXPECT_FALSE(delta.pass);
+    EXPECT_NE(delta.render().find("FAIL"), std::string::npos);
+
+    // A baseline configuration missing from the fresh ledger fails.
+    std::vector<RunRecord> partial = {baseline[0]};
+    EXPECT_FALSE(regressLedger(partial, baseline).pass);
+}
+
+TEST(Report, AggregateIsDeterministic)
+{
+    std::vector<RunRecord> records;
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        for (const char *mech : {"Original", "iNPG"}) {
+            for (const char *lock : {"TAS", "QSL"}) {
+                records.push_back(
+                    makeRecord(mech, lock, seed, 4000 + 100 * seed));
+            }
+        }
+    }
+    const std::string report = aggregateReport(records);
+    EXPECT_EQ(report, aggregateReport(records));
+    // The Fig-2 table and its row labels are present.
+    EXPECT_NE(report.find("LCO share of running time"),
+              std::string::npos);
+    EXPECT_NE(report.find("iNPG"), std::string::npos);
+}
+
+} // namespace
+} // namespace inpg

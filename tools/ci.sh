@@ -16,12 +16,16 @@
 #      deterministic and bit-identical between the serial and parallel
 #      kernels, the no-escape-VC torus must be rejected by the
 #      channel-dependency verifier, and a cmesh run must complete;
-#   5. model check -- tools/protocol_mc explores the composed
+#   5. experiment-ledger report smoke -- identical tiny configs must
+#      diff clean under tools/inpg_report, an injected metric delta
+#      must be caught by diff and regress, and aggregate must render
+#      the Fig-2 LCO table from a fresh ledger;
+#   6. model check -- tools/protocol_mc explores the composed
 #      MOESI x iNPG protocol: exhaustive at N=2 (every scenario, big
 #      router on and off) and N=3 without the big router, bounded at
 #      N=3 with it, plus the seeded-mutation --self-test; hard time
 #      budget via timeout(1);
-#   6. ./run_benches.sh --tsan then --sanitize -- the threaded suites
+#   7. ./run_benches.sh --tsan then --sanitize -- the threaded suites
 #      (parallel kernel, sweep pool, trace sink) under
 #      ThreadSanitizer in build-tsan/, then configure + build + full
 #      ctest under ASan/UBSan in build-asan/.
@@ -35,7 +39,12 @@
 #   --torus-only run just the torus/fabric smoke (the ci-torus-smoke
 #                ctest entry);
 #   --mc-only    run just the model-check stage (the ci-model-check
-#                ctest entry).
+#                ctest entry);
+#   --report-only run just the experiment-ledger report smoke (the
+#                ci-report-smoke ctest entry): identical configs must
+#                diff clean, an injected metric delta must be caught,
+#                and `inpg_report aggregate` must render the Fig-2
+#                table from a fresh ledger.
 # Expects ./build to be configured (configures it if missing). Wired
 # as the `ci-smoke` ctest when the tree is configured with
 # -DINPG_CI_SMOKE=ON; off by default because it builds and tests a
@@ -48,6 +57,7 @@ tidy_only=0
 hang_only=0
 torus_only=0
 mc_only=0
+report_only=0
 for arg in "$@"; do
     case "$arg" in
       --tidy) want_tidy=1 ;;
@@ -55,8 +65,9 @@ for arg in "$@"; do
       --hang-only) hang_only=1 ;;
       --torus-only) torus_only=1 ;;
       --mc-only) mc_only=1 ;;
-      *) echo "usage: tools/ci.sh" \
-              "[--tidy|--tidy-only|--hang-only|--torus-only|--mc-only]" >&2
+      --report-only) report_only=1 ;;
+      *) echo "usage: tools/ci.sh [--tidy|--tidy-only|--hang-only|" \
+              "--torus-only|--mc-only|--report-only]" >&2
          exit 2 ;;
     esac
 done
@@ -100,10 +111,12 @@ run_hang_smoke() {
     python3 - "$report" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
-for key in ("report", "reason", "cycle", "watchdog", "event_queue",
-            "routers", "directories", "l1s", "flight_recorder"):
+for key in ("report", "schema_version", "reason", "cycle", "watchdog",
+            "event_queue", "routers", "directories", "l1s",
+            "flight_recorder"):
     assert key in d, "hang report missing key: " + key
 assert d["report"] == "inpg-hang-report", d["report"]
+assert d["schema_version"] == 1, d["schema_version"]
 assert d["flight_recorder"]["events"], "flight recorder dump is empty"
 print("hang report OK: reason=%s cycle=%d, %d recorder events"
       % (d["reason"], d["cycle"], len(d["flight_recorder"]["events"])))
@@ -146,6 +159,54 @@ run_torus_smoke() {
          "no-escape-VC rejected, cmesh completes"
 }
 
+# Experiment-ledger report smoke: two identical tiny configs must diff
+# clean (exit 0); an injected single-metric delta must be caught by
+# both diff and regress (exit 1); and `inpg_report aggregate` must
+# render the Fig-2 LCO table from the fresh ledger. All runs are
+# deterministic, so the stage needs no committed fixture.
+run_report_smoke() {
+    cmake --build "$repo_root/build" -j "$(nproc)" \
+        --target inpg_sim --target inpg_report
+    sim="$repo_root/build/tools/inpg_sim"
+    rep="$repo_root/build/tools/inpg_report"
+    led_a="$repo_root/build/report_smoke_a.jsonl"
+    led_b="$repo_root/build/report_smoke_b.jsonl"
+    led_c="$repo_root/build/report_smoke_c.jsonl"
+    rm -f "$led_a" "$led_b" "$led_c"
+    "$sim" benchmark=freq lock=qsl mechanism=inpg topology=mesh:4x4 \
+        cs_scale=0.02 num_locks=1 telemetry=lco \
+        --ledger-out="$led_a" >/dev/null
+    "$sim" benchmark=freq lock=qsl mechanism=inpg topology=mesh:4x4 \
+        cs_scale=0.02 num_locks=1 telemetry=lco \
+        --ledger-out="$led_b" >/dev/null
+    "$rep" diff "$led_a" "$led_b"
+    echo "report smoke: identical configs diff clean"
+    # Seed a one-metric delta into a copy of B; diff and regress must
+    # both catch it and exit nonzero.
+    python3 - "$led_b" "$led_c" <<'EOF'
+import json, sys
+rec = json.loads(open(sys.argv[1]).read().splitlines()[0])
+rec["metrics"]["roi_cycles"] += 1
+open(sys.argv[2], "w").write(json.dumps(rec) + "\n")
+EOF
+    if "$rep" diff "$led_a" "$led_c" > /dev/null; then
+        echo "FAIL: injected roi_cycles delta not detected by diff" >&2
+        exit 1
+    fi
+    if "$rep" regress "$led_c" "$led_a" > /dev/null; then
+        echo "FAIL: injected roi_cycles delta not detected by regress" >&2
+        exit 1
+    fi
+    echo "report smoke: injected delta caught by diff and regress"
+    agg=$("$rep" aggregate "$led_a")
+    case "$agg" in
+        *"LCO share of running time"*) ;;
+        *) echo "FAIL: aggregate output is missing the Fig-2 table" >&2
+           exit 1 ;;
+    esac
+    echo "report smoke OK: diff/regress/aggregate behave"
+}
+
 # Model-check stage: exhaustive exploration of the composed protocol
 # with a hard wall-clock budget per invocation. The N=2 sweep and the
 # N=3 no-big-router sweep are exhaustive (zero violations required);
@@ -186,6 +247,11 @@ if [ "$mc_only" = 1 ]; then
     run_model_check
     exit 0
 fi
+if [ "$report_only" = 1 ]; then
+    echo "=== ci.sh: experiment-ledger report smoke ==="
+    run_report_smoke
+    exit 0
+fi
 
 echo "=== ci.sh stage 1: static analysis ==="
 cmake --build "$repo_root/build" -j "$(nproc)" --target protocol_check
@@ -205,10 +271,13 @@ run_hang_smoke
 echo "=== ci.sh stage 4: torus/fabric smoke ==="
 run_torus_smoke
 
-echo "=== ci.sh stage 5: protocol model check ==="
+echo "=== ci.sh stage 5: experiment-ledger report smoke ==="
+run_report_smoke
+
+echo "=== ci.sh stage 6: protocol model check ==="
 run_model_check
 
-echo "=== ci.sh stage 6: sanitizer suites ==="
+echo "=== ci.sh stage 7: sanitizer suites ==="
 # ThreadSanitizer over the threaded surfaces first (parallel kernel
 # bit-identity suite, sweep pool, trace sink), then the full ASan/
 # UBSan tree. Both configure their own build dirs.

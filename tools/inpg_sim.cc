@@ -18,6 +18,9 @@
  *   inpg_sim config=myrun.cfg        # "key = value" lines
  *   inpg_sim benchmark=freq --trace-out=run.json   # Chrome trace
  *   inpg_sim benchmark=freq telemetry=lco --stats-json=stats.json
+ *   inpg_sim benchmark=freq --ledger-out=sweeps/ledger.jsonl  # append
+ *       one RunRecord per run to the experiment ledger (JSONL; see
+ *       src/telemetry/run_record.hh and tools/inpg_report)
  *   inpg_sim benchmark=freq --timeseries-out=ts.csv  # congestion rows
  *   inpg_sim benchmark=freq --watchdog-window=1000000 \
  *       --hang-report-out=hang.json   # exit 86 on detected no-progress
@@ -31,6 +34,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "common/config.hh"
 #include "common/logging.hh"
@@ -185,6 +189,14 @@ main(int argc, char **argv)
         overrides.getString("stats_json", "");
     const std::string hang_report_path =
         overrides.getString("hang_report_out", "");
+    const std::string ledger_path =
+        overrides.getString("ledger_out", "");
+    std::unique_ptr<ExperimentLedger> ledger;
+    if (!ledger_path.empty()) {
+        ledger = std::make_unique<ExperimentLedger>(ledger_path);
+        if (!ledger->ok())
+            fatal("cannot open ledger '%s'", ledger_path.c_str());
+    }
 
     TablePrinter t("inpg_sim results");
     t.header({"benchmark", "mechanism", "lock", "roi_cycles",
@@ -196,6 +208,8 @@ main(int argc, char **argv)
     auto one_run = [&](const RunConfig &run_rc) {
         RunResult r = runWithDump(run_rc, dump);
         addResultRow(t, r, threads);
+        if (ledger)
+            ledger->append(makeRunRecord(run_rc, r));
         if (!stats_json_path.empty()) {
             JsonValue entry = JsonValue::object();
             entry["benchmark"] = r.benchmark;
@@ -249,6 +263,7 @@ main(int argc, char **argv)
 
     if (!stats_json_path.empty()) {
         JsonValue doc = JsonValue::object();
+        doc["schema_version"] = STATS_JSON_SCHEMA_VERSION;
         doc["runs"] = std::move(runs);
         std::FILE *f = std::fopen(stats_json_path.c_str(), "w");
         if (!f)

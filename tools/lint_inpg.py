@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Determinism lint for the iNPG simulator sources (DESIGN.md Section 8).
 
-Rules (numbered as DESIGN.md invariants 10-18):
+Rules (numbered as DESIGN.md invariants 10-19):
 
   unordered-iteration  (inv. 10)
       No range-for over std::unordered_map / std::unordered_set in the
@@ -72,6 +72,16 @@ Rules (numbered as DESIGN.md invariants 10-18):
       row built anywhere else ships unverified protocol behavior.
       Deliberate rebuilds (the model checker's seeded-mutation
       harness) must opt out per line.
+
+  ad-hoc-json          (inv. 19)
+      No hand-formatted JSON emission -- a `\\"key\\":` fragment inside
+      a string literal -- in src/ outside src/telemetry/json.*. Every
+      machine-readable document (stats snapshots, run records, hang
+      reports) flows through JsonValue so schema versioning, escaping
+      and the canonical round-trip guarantee hold; a stray fprintf of
+      JSON text silently forks the schema. Scanned on RAW file text
+      (string literals are exactly the evidence), so the historical
+      Chrome-trace writer carries per-line lint:allow markers.
 
 A finding is suppressed by an end-of-line marker naming its rule:
 
@@ -153,6 +163,15 @@ TABLE_ROW_RE = re.compile(
 # The one verified home for row construction, plus the header that
 # defines the table types themselves.
 TABLE_OK_PREFIXES = ("src/coh/protocol_tables", "src/coh/transition_table")
+
+
+# Hand-formatted JSON emission: an escaped-quoted key followed by a
+# colon (`\"key\":`) inside a string literal. This rule scans RAW file
+# text -- strip_comments blanks string literals, and the literal is
+# exactly the evidence here. JsonValue (src/telemetry/json.*) owns
+# escaping, schema_version stamping and the canonical round-trip.
+ADHOC_JSON_RE = re.compile(r'\\"[A-Za-z0-9_]+\\"\s*:')
+ADHOC_JSON_OK_PREFIXES = ("src/telemetry/json",)
 
 
 def strip_comments(text):
@@ -400,7 +419,31 @@ def check_table_row_construction(files):
     return findings
 
 
-def gather(root, rel_dirs):
+def check_adhoc_json(raw_files):
+    """Operates on RAW text (gather with strip=False): strip_comments
+    blanks string literals, which are this rule's evidence."""
+    findings = []
+    for path, text in raw_files:
+        posix = path.as_posix()
+        if any(posix.startswith(p) for p in ADHOC_JSON_OK_PREFIXES):
+            continue
+        lines = text.splitlines()
+        for m in ADHOC_JSON_RE.finditer(text):
+            ln = line_of(text, m.start())
+            if allowed(lines, ln, "ad-hoc-json"):
+                continue
+            findings.append(Finding(
+                "ad-hoc-json", path, ln,
+                "'%s': hand-formatted JSON outside src/telemetry/json.* "
+                "forks the schema; build a JsonValue and dump() it "
+                "(escaping, schema_version and the round-trip guarantee "
+                "live there)" % m.group(0).strip()))
+    return findings
+
+
+def gather(root, rel_dirs, strip=True):
+    """strip=False keeps string literals intact for the raw-text rules
+    (ad-hoc-json reads the literals as its evidence)."""
     files = []
     for rel in rel_dirs:
         base = root / rel
@@ -408,8 +451,9 @@ def gather(root, rel_dirs):
             continue
         for path in sorted(base.rglob("*")):
             if path.suffix in (".cc", ".hh", ".cpp", ".hpp", ".h"):
-                text = strip_comments(path.read_text(errors="replace"))
-                files.append((path.relative_to(root), text))
+                text = path.read_text(errors="replace")
+                files.append((path.relative_to(root),
+                              strip_comments(text) if strip else text))
     return files
 
 
@@ -427,6 +471,7 @@ def run_lint(root):
     findings += check_threading_scope(all_files)
     findings += check_coordinate_arithmetic(all_files)
     findings += check_table_row_construction(all_files)
+    findings += check_adhoc_json(gather(root, ALL_SRC, strip=False))
     findings.sort(key=lambda f: (str(f.path), f.line))
     return findings
 
@@ -457,6 +502,18 @@ void g() {
 SELF_TEST_BAD_RECORDING = """
 void FlightRecorder::record(const Event &ev) {
     events.push_back(ev);
+}
+"""
+
+SELF_TEST_BAD_JSON = r"""
+void dumpStats(std::FILE *f) {
+    std::fprintf(f, "{\"runs\": [], \"roi_cycles\": %llu}\n", cycles);
+}
+"""
+
+SELF_TEST_ALLOWED_JSON = r"""
+void writeTrace(std::string &out) {
+    out += "{\"ph\":\"X\","; // lint:allow(ad-hoc-json) Chrome trace format
 }
 """
 
@@ -589,6 +646,39 @@ def run_self_test():
         print("lint_inpg --self-test: ok: lint:allow exempts a "
               "deliberate withRows rebuild")
 
+    # Ad-hoc JSON emission fires on RAW text (the string literal is
+    # the evidence) ...
+    bad_json = [(Path("src/harness/bad_json.cc"), SELF_TEST_BAD_JSON)]
+    if check_adhoc_json(bad_json):
+        print("lint_inpg --self-test: ok: rule ad-hoc-json fires on "
+              "the bad snippet")
+    else:
+        print("lint_inpg --self-test: MISSED: rule ad-hoc-json fires "
+              "on the bad snippet")
+        failures.add("ad-hoc-json")
+
+    # ... stays legal inside the JsonValue implementation itself ...
+    json_home = [(Path("src/telemetry/json.cc"), SELF_TEST_BAD_JSON)]
+    if check_adhoc_json(json_home):
+        print("lint_inpg --self-test: MISSED: src/telemetry/json.* is "
+              "exempt from ad-hoc-json")
+        failures.add("ad-hoc-json-scope")
+    else:
+        print("lint_inpg --self-test: ok: src/telemetry/json.* is "
+              "exempt from ad-hoc-json")
+
+    # ... and honors a per-line opt-out (the Chrome-trace writer emits
+    # an externally specified format, not our schema).
+    traced = [(Path("src/telemetry/trace_event_ok.cc"),
+               SELF_TEST_ALLOWED_JSON)]
+    if check_adhoc_json(traced):
+        print("lint_inpg --self-test: MISSED: lint:allow exempts the "
+              "Chrome-trace writer from ad-hoc-json")
+        failures.add("ad-hoc-json-allow")
+    else:
+        print("lint_inpg --self-test: ok: lint:allow exempts the "
+              "Chrome-trace writer from ad-hoc-json")
+
     # Comment text must never trip a rule (flit.hh documents the former
     # shared_ptr design in prose).
     commented = [(Path("src/noc/doc.hh"),
@@ -629,7 +719,8 @@ def main():
         ("unordered-iteration", "raw-flit-new", "nondeterminism",
          "shared-ptr-flit", "node-container-noc",
          "unbounded-recording", "threading-outside-parallel",
-         "coordinate-arithmetic", "table-row-outside-tables")))
+         "coordinate-arithmetic", "table-row-outside-tables",
+         "ad-hoc-json")))
     return 0
 
 
